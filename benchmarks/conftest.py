@@ -1,0 +1,31 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table/figure of the paper through the
+experiment harness and asserts its shape-level findings.  Experiments
+are stochastic simulations, not micro-kernels, so every benchmark runs
+pedantically (one round) and reports wall time per artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+SEED = 2024
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Benchmark one experiment and return its result."""
+
+    def runner(experiment_id: str, quick: bool = True):
+        return benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"seed": SEED, "quick": quick},
+            rounds=1,
+            iterations=1,
+        )
+
+    return runner

@@ -1,0 +1,56 @@
+"""Ablation — TDD frame-structure sweep.
+
+The paper defers a full TDD study to future work but shows (§4.2/§4.3)
+that the pattern sets the DL/UL split and the user-plane latency.  This
+bench sweeps four patterns on an otherwise identical deployment and
+regenerates both trends: DL and UL throughput track the symbol
+fractions, and latency tracks the UL-opportunity spacing.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.latency import UserPlaneLatencyModel
+from repro.nr.tdd import TddPattern
+from repro.operators.profiles import EU_PROFILES
+from repro.ran.simulator import simulate_downlink, simulate_uplink
+
+PATTERNS = ("DDDSU", "DDSU", "DDDSUU", "DDDDDDDSUU")
+
+
+def _run_pattern(pattern_str: str) -> dict:
+    profile = EU_PROFILES["V_Sp"]
+    pattern = TddPattern.from_string(pattern_str)
+    cell = replace(profile.primary_cell, tdd=pattern)
+    rng = np.random.default_rng(11)
+    dl_channel = profile.dl_channel().realize(6.0, mu=cell.mu, rng=rng)
+    ul_channel = profile.ul_channel().realize(6.0, mu=cell.mu, rng=rng)
+    dl = simulate_downlink(cell, dl_channel, rng=rng, params=profile.sim_params())
+    ul = simulate_uplink(cell, ul_channel, rng=rng, params=profile.sim_params())
+    latency = UserPlaneLatencyModel(pattern).mean_latency_ms()
+    return {
+        "dl": dl.mean_throughput_mbps,
+        "ul": ul.mean_throughput_mbps,
+        "latency_ms": latency,
+        "dl_fraction": pattern.dl_symbol_fraction,
+        "ul_fraction": pattern.ul_symbol_fraction,
+    }
+
+
+def test_ablation_tdd(benchmark):
+    results = benchmark.pedantic(
+        lambda: {p: _run_pattern(p) for p in PATTERNS},
+        rounds=1, iterations=1,
+    )
+    # DL throughput tracks the DL symbol fraction across patterns.
+    ordered = sorted(PATTERNS, key=lambda p: results[p]["dl_fraction"])
+    dl_values = [results[p]["dl"] for p in ordered]
+    assert dl_values == sorted(dl_values)
+    # UL-heavy patterns pay in DL, gain in UL.
+    assert results["DDSU"]["ul"] > results["DDDDDDDSUU"]["ul"]
+    assert results["DDDDDDDSUU"]["dl"] > results["DDSU"]["dl"]
+    # Sparse UL patterns have the worst latency (§4.3).
+    assert results["DDDDDDDSUU"]["latency_ms"] == max(
+        results[p]["latency_ms"] for p in PATTERNS)

@@ -1,0 +1,13 @@
+"""Bench EQ — §3.2 TS 38.306 maximum-throughput formula."""
+
+import pytest
+
+
+def test_eq_max_throughput(run_figure):
+    result = run_figure("eq32")
+    data = result.data
+    assert data["V_Sp_90MHz"]["two_layer_no_oh"] == pytest.approx(1213.44, rel=0.01)
+    assert data["O_Sp_100MHz"]["two_layer_no_oh"] == pytest.approx(1352.12, rel=0.01)
+    assert data["ratio"] == pytest.approx(273 / 245, rel=1e-4)
+    # Measured means stay below the TDD-adjusted ceilings.
+    assert data["operators"]["V_Sp"]["primary_tdd_adjusted_mbps"] > 743.0

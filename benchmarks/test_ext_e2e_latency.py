@@ -1,0 +1,15 @@
+"""Extension bench — end-to-end RTT vs server placement."""
+
+
+def test_ext_e2e_latency(run_figure):
+    result = run_figure("ext_e2e")
+    data = result.data
+    for key in ("V_Ge", "V_It"):
+        row = data[key]
+        # Deeper placement tiers cost strictly more RTT.
+        assert row["wavelength"] < row["edge"] < row["metro"] < row["regional"]
+        # The TDD pattern's latency signal survives at the edge ...
+        assert data["V_It"]["edge"] > 2.0 * data["V_Ge"]["edge"] * 0.5
+    # ... and the Fig. 11 ordering holds at every placement tier.
+    for tier in ("wavelength", "edge", "metro", "regional"):
+        assert data["V_It"][tier] > data["V_Ge"][tier]

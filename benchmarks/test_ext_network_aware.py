@@ -1,0 +1,14 @@
+"""Extension bench — 5G-network-aware ABR (the §8 proposal).
+
+Network awareness should cut stall time relative to plain BOLA on
+unstable channels, at a bounded bitrate cost.
+"""
+
+
+def test_ext_network_aware(run_figure):
+    result = run_figure("ext_aware")
+    data = result.data
+    assert data["aware"]["stall_pct"] <= data["bola"]["stall_pct"]
+    assert data["stall_reduction"] > 0.0
+    # The conservatism costs some bitrate, but bounded.
+    assert data["aware"]["norm_bitrate"] > 0.8 * data["bola"]["norm_bitrate"]

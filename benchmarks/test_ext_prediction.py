@@ -1,0 +1,16 @@
+"""Extension bench — PHY-feature throughput prediction.
+
+The ridge-over-persistence model must beat the persistence baseline on
+a held-out session using only modem-visible PHY KPIs.
+"""
+
+
+def test_ext_prediction(run_figure):
+    result = run_figure("ext_predict")
+    data = result.data
+    assert data["improvement"] > 0.05       # PHY features carry real signal
+    assert data["model_mae"] < data["baseline_mae"]
+    # PHY features (not just throughput history) drive the residual model.
+    importance = data["importance"]
+    phy_weight = importance["mcs_mean"] + importance["cqi_mean"] + importance["layers_mean"]
+    assert phy_weight > 0.0

@@ -1,0 +1,18 @@
+"""Bench F1 — Fig. 1 DL throughput, EU and U.S."""
+
+import pytest
+
+from repro import papertargets as targets
+
+
+def test_fig01_dl_throughput(run_figure):
+    result = run_figure("fig01")
+    eu = result.data["eu"]
+    for key, paper in targets.FIG1_EU_DL_MBPS.items():
+        assert eu[key] == pytest.approx(paper, rel=0.20), key
+    # Orderings the figure shows.
+    assert eu["V_It"] == max(eu.values())
+    assert eu["V_Sp"] > eu["O_Sp_100"]
+    us = result.data["us"]
+    assert us["Vzw_US"] > 1.0 and us["Tmb_US"] > 1.0
+    assert us["Att_US"] < 0.6

@@ -1,0 +1,14 @@
+"""Bench F2 — Fig. 2 Spain DL throughput with CQI >= 12."""
+
+import pytest
+
+from repro import papertargets as targets
+
+
+def test_fig02_spain_cqi12(run_figure):
+    result = run_figure("fig02")
+    data = result.data
+    for key, paper in targets.FIG2_SPAIN_CQI12_MBPS.items():
+        assert data[key]["cqi12_mbps"] == pytest.approx(paper, rel=0.25), key
+    assert data["V_Sp"]["cqi12_mbps"] > data["O_Sp_100"]["cqi12_mbps"]
+    assert data["O_Sp_90"]["cqi12_mbps"] > data["O_Sp_100"]["cqi12_mbps"]

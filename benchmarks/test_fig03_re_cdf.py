@@ -1,0 +1,12 @@
+"""Bench F3 — Fig. 3 RE-allocation CDFs (Spain)."""
+
+
+def test_fig03_re_cdf(run_figure):
+    result = run_figure("fig03")
+    data = result.data
+    assert data["O_Sp_100"]["mean_re"] > data["O_Sp_90"]["mean_re"]
+    assert data["O_Sp_100"]["mean_re"] > data["V_Sp"]["mean_re"]
+    # CDFs spread across allocations (not a point mass).
+    for key in ("O_Sp_100", "V_Sp"):
+        quantiles = data[key]["quantiles"]
+        assert quantiles[90] > quantiles[10]

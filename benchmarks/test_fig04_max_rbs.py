@@ -1,0 +1,8 @@
+"""Bench F4 — Fig. 4 maximum RBs allocated per operator."""
+
+
+def test_fig04_max_rbs(run_figure):
+    result = run_figure("fig04")
+    for key, row in result.data.items():
+        assert row["utilization"] > 0.9, key
+        assert row["max_allocated"] <= row["configured_n_rb"], key

@@ -1,0 +1,11 @@
+"""Bench F5 — Fig. 5 modulation-scheme shares (Spain)."""
+
+
+def test_fig05_mcs_ratios(run_figure):
+    result = run_figure("fig05")
+    data = result.data
+    # 64QAM ceiling on the 100 MHz carrier: zero 256QAM use.
+    assert data["O_Sp_100"].get("256QAM", 0.0) == 0.0
+    for key in ("V_Sp", "O_Sp_90"):
+        assert 1.0 < data[key].get("256QAM", 0.0) < 20.0   # paper ~8%
+        assert data[key].get("64QAM", 0.0) > 60.0          # paper ~91%

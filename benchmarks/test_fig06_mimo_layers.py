@@ -1,0 +1,14 @@
+"""Bench F6 — Fig. 6 MIMO-layer shares (Spain)."""
+
+import pytest
+
+from repro import papertargets as targets
+
+
+def test_fig06_mimo_layers(run_figure):
+    result = run_figure("fig06")
+    data = result.data
+    assert data["V_Sp"].get(4, 0.0) == pytest.approx(87.1, abs=15.0)
+    assert data["O_Sp_90"].get(4, 0.0) == pytest.approx(83.8, abs=15.0)
+    assert data["O_Sp_100"].get(4, 0.0) == pytest.approx(13.8, abs=10.0)
+    assert data["O_Sp_100"].get(3, 0.0) == pytest.approx(74.1, abs=15.0)

@@ -1,0 +1,13 @@
+"""Bench F7 — Figs. 7/22 RSRQ along a walking route (3 vs 2 gNBs)."""
+
+
+def test_fig07_rsrq_route(run_figure):
+    result = run_figure("fig07")
+    vodafone = result.data["V_Sp (3 gNBs)"]
+    orange = result.data["O_Sp (2 gNBs)"]
+    assert vodafone["n_sites"] == 3 and orange["n_sites"] == 2
+    # Denser deployment: better worst-case signal quality, more 4-layer
+    # MIMO, higher throughput — the paper's causal chain.
+    assert vodafone["rsrq_p10"] >= orange["rsrq_p10"] - 0.5
+    assert vodafone["share_4l"] > orange["share_4l"]
+    assert vodafone["mean_tput_mbps"] > orange["mean_tput_mbps"]

@@ -1,0 +1,12 @@
+"""Bench F8 — Fig. 8 DL-throughput factor interplay."""
+
+
+def test_fig08_spider(run_figure):
+    result = run_figure("fig08")
+    data = result.data
+    # The spider shape: widest channel leads on REs yet trails on
+    # modulation, layers, and throughput.
+    assert data["O_Sp_100"]["mean_re"] > data["V_Sp"]["mean_re"]
+    assert data["O_Sp_100"]["mean_modulation_order"] <= data["V_Sp"]["mean_modulation_order"]
+    assert data["O_Sp_100"]["mean_layers"] < data["V_Sp"]["mean_layers"]
+    assert data["O_Sp_100"]["tput_mbps"] < data["V_Sp"]["tput_mbps"]

@@ -1,0 +1,14 @@
+"""Bench F9 — Fig. 9 EU PHY UL throughput with CQI >= 12."""
+
+import pytest
+
+from repro import papertargets as targets
+
+
+def test_fig09_ul_eu(run_figure):
+    result = run_figure("fig09")
+    data = result.data
+    for key, paper in targets.FIG9_EU_UL_MBPS.items():
+        assert data[key]["ul_mbps"] == pytest.approx(paper, rel=0.30), key
+        assert data[key]["ul_mbps"] < 120.0
+    assert abs(data["bandwidth_correlation"]) < 0.6

@@ -1,0 +1,16 @@
+"""Bench F10 — Fig. 10 U.S. UL throughput and the LTE leg."""
+
+import pytest
+
+from repro import papertargets as targets
+
+
+def test_fig10_ul_us(run_figure):
+    result = run_figure("fig10")
+    data = result.data
+    for key, paper in targets.FIG10_US_UL_MBPS["good"].items():
+        assert data["good"][key] == pytest.approx(paper, rel=0.30), key
+    # The NSA punchline in both regimes.
+    for condition in ("good", "poor"):
+        assert data[condition]["LTE_US"] > data[condition]["Tmb_US"]
+    assert data["poor"]["Att_US"] < 6.0   # near-collapse (paper 0.3)

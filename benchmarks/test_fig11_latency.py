@@ -1,0 +1,16 @@
+"""Bench F11 — Fig. 11 PHY user-plane latency."""
+
+import pytest
+
+from repro import papertargets as targets
+
+
+def test_fig11_latency(run_figure):
+    result = run_figure("fig11")
+    data = result.data
+    for key, paper in targets.FIG11_LATENCY_MS["bler0"].items():
+        assert data[key]["bler0_ms"] == pytest.approx(paper, rel=0.25), key
+    for key, paper in targets.FIG11_LATENCY_MS["bler_pos"].items():
+        assert data[key]["bler_pos_ms"] == pytest.approx(paper, rel=0.25), key
+    # Frame structure, not bandwidth, drives the outcome.
+    assert data["V_It"]["bler0_ms"] > 2 * data["V_Ge"]["bler0_ms"]

@@ -1,0 +1,16 @@
+"""Bench F12 — Fig. 12 scaled variability across time scales."""
+
+import numpy as np
+
+
+def test_fig12_variability(run_figure):
+    result = run_figure("fig12")
+    data = result.data
+    order = data["ordering_128ms"]
+    assert order[0] == "O_Sp_100" and order[-1] == "V_It"
+    # V(t) stabilizes at coarse scales: the 2 s value sits below the peak.
+    for key in ("O_Sp_100", "V_Sp", "V_It"):
+        tput = data[key]["throughput"]["v"]
+        assert tput[-1] < tput.max()
+        # MIMO variability an order of magnitude below MCS variability.
+        assert np.median(data[key]["mimo"]["v"]) < np.median(data[key]["mcs"]["v"])

@@ -1,0 +1,9 @@
+"""Bench F13 — Fig. 13 time-series dissection of V_Sp at 60 ms."""
+
+
+def test_fig13_timeseries(run_figure):
+    result = run_figure("fig13")
+    data = result.data
+    assert data["corr_mcs"] > 0.5
+    assert data["corr_mimo"] > 0.5
+    assert data["rb_cv"] < 0.5 * data["mcs_cv"]

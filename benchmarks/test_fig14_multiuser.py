@@ -1,0 +1,15 @@
+"""Bench F14 — Fig. 14 multi-location / multi-user study."""
+
+import pytest
+
+
+def test_fig14_multiuser(run_figure):
+    result = run_figure("fig14")
+    data = result.data
+    assert data["tput_ratio"] == pytest.approx(0.5, abs=0.15)
+    assert data["rb_ratio"] == pytest.approx(0.5, abs=0.1)
+    # Channel variability is a property of the location, not the load.
+    for label in ("A", "B"):
+        seq = data["sequential"][label]["v_mcs"]
+        sim = data["simultaneous"][label]["v_mcs"]
+        assert sim == pytest.approx(seq, abs=max(1.0, 0.8 * seq))

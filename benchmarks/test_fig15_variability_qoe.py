@@ -1,0 +1,9 @@
+"""Bench F15 — Fig. 15 channel variability implications on QoE."""
+
+
+def test_fig15_variability_qoe(run_figure):
+    result = run_figure("fig15")
+    data = result.data
+    assert data["corr_bitrate"] > 0.5   # tput -> bitrate
+    assert data["corr_stall"] > 0.0     # instability -> stalls
+    assert len(data["points"]) == 6

@@ -1,0 +1,9 @@
+"""Bench F16 — Fig. 16 BOLA session dissection over V_Sp."""
+
+
+def test_fig16_streaming_trace(run_figure):
+    result = run_figure("fig16")
+    qoe = result.data["qoe"]
+    assert 3.0 <= qoe.mean_quality_level <= 6.5   # paper 5.41
+    assert qoe.stall_percentage < 30.0            # paper 9.96%
+    assert result.data["tput_60ms"].min() < 0.3 * result.data["tput_60ms"].mean()

@@ -1,0 +1,9 @@
+"""Bench F17 — Fig. 17 chunk length 4 s vs 1 s."""
+
+
+def test_fig17_chunk_length(run_figure):
+    result = run_figure("fig17")
+    for key in ("O_Fr", "V_Ge"):
+        row = result.data[key]
+        assert row["stall_reduction"] > 0.3   # paper: ~50% stall cut
+        assert row["bitrate_gain"] > -0.15    # paper: up to +40%

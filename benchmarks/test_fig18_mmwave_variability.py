@@ -1,0 +1,12 @@
+"""Bench F18 — Fig. 18 mid-band vs mmWave under mobility."""
+
+
+def test_fig18_mmwave_variability(run_figure):
+    result = run_figure("fig18")
+    data = result.data
+    for scenario in ("walking", "driving"):
+        assert data[scenario]["rv_mmwave"] > data[scenario]["rv_midband"]
+        assert data[scenario]["stability_gain"] > 0.0
+    walking_gap = data["walking"]["mmwave_gbps"] / data["walking"]["midband_gbps"]
+    driving_gap = data["driving"]["mmwave_gbps"] / data["driving"]["midband_gbps"]
+    assert driving_gap < walking_gap  # the gap narrows while driving

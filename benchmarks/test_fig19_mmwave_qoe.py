@@ -1,0 +1,11 @@
+"""Bench F19 — Fig. 19 mid-band vs mmWave QoE."""
+
+
+def test_fig19_mmwave_qoe(run_figure):
+    result = run_figure("fig19")
+    set_a = result.data["set_a"]
+    assert set_a["mmwave"]["norm_bitrate"] >= set_a["midband"]["norm_bitrate"] - 0.05
+    assert set_a["mmwave"]["stall_pct"] >= set_a["midband"]["stall_pct"] - 0.01
+    set_b = result.data["set_b"]
+    assert set_b["driving"]["bitrate_mbps"] <= set_b["walking"]["bitrate_mbps"]
+    assert 0.3 <= set_b["driving"]["bitrate_tput_fraction"] <= 1.1  # paper 80.8%

@@ -1,0 +1,10 @@
+"""Bench F23 — Fig. 23 T-Mobile carrier-aggregation benefit."""
+
+
+def test_fig23_ca_benefit(run_figure):
+    result = run_figure("fig23")
+    means = [row["mean_gbps"] for row in result.data.values()]
+    assert means == sorted(means)     # each added CC helps
+    assert means[-1] > 1.0            # paper: mean up to ~1.3 Gbps
+    peaks = [row["peak_gbps"] for row in result.data.values()]
+    assert peaks[-1] > means[-1]

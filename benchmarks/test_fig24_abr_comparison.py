@@ -1,0 +1,9 @@
+"""Bench F24 — Fig. 24 BOLA vs throughput-based vs dynamic ABR."""
+
+
+def test_fig24_abr_comparison(run_figure):
+    result = run_figure("fig24")
+    assert result.data["best"] == "Bola"
+    bola = result.data["Bola"]
+    for name in ("ThroughputBased", "DynamicAbr"):
+        assert bola["score"] >= result.data[name]["score"]

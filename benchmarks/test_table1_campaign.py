@@ -1,0 +1,9 @@
+"""Bench T1 — regenerate the Table 1 campaign statistics."""
+
+
+def test_table1_campaign(run_figure):
+    result = run_figure("table1")
+    data = result.data
+    assert data["minutes"] > 0
+    assert len(data["operators"]) == 11
+    assert set(data["countries"]) == {"Spain", "France", "Italy", "Germany", "USA"}

@@ -1,0 +1,15 @@
+"""Bench T2 — regenerate Table 2 (EU network configs)."""
+
+
+def test_table2_eu_configs(run_figure):
+    result = run_figure("table2")
+    data = result.data
+    # Row 7 of Table 2, verbatim.
+    expected_nrb = {"O_Sp_100": 273, "O_Sp_90": 245, "V_Sp": 245, "O_Fr": 245,
+                    "S_Fr": 217, "V_It": 217, "T_Ge": 245, "V_Ge": 217}
+    for key, n_rb in expected_nrb.items():
+        assert data[key][0]["n_rb"] == n_rb
+        assert data[key][0]["band"] == "n78"
+        assert data[key][0]["scs_khz"] == 30
+        assert data[key][0]["duplexing"] == "TDD"
+        assert not data[key][0]["ca"]

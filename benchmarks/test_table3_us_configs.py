@@ -1,0 +1,12 @@
+"""Bench T3 — regenerate Table 3 (U.S. network configs)."""
+
+
+def test_table3_us_configs(run_figure):
+    result = run_figure("table3")
+    data = result.data
+    assert [c["n_rb"] for c in data["Tmb_US"]] == [273, 106, 51, 11]
+    assert [c["duplexing"] for c in data["Tmb_US"]] == ["TDD", "TDD", "FDD", "FDD"]
+    assert data["Att_US"][0]["bandwidth_mhz"] == 40
+    assert data["Vzw_US"][0]["bandwidth_mhz"] == 60
+    assert data["Tmb_US"][0]["ca"] and data["Vzw_US"][0]["ca"]
+    assert not data["Att_US"][0]["ca"]

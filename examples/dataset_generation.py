@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Generate and export a synthetic measurement campaign (§2 / Table 1).
+
+Produces XCAL-style slot-level traces for every operator of the study,
+prints Table 1-style statistics, exports the traces as CSV, and then
+round-trips one of them through the reader to demonstrate that external
+KPI extracts with the same columns flow through the identical pipeline.
+
+Run:  python examples/dataset_generation.py [--out /tmp/campaign]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.xcal.dataset import CampaignSpec, generate_campaign
+from repro.xcal.io import read_csv
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("/tmp/repro_campaign"))
+    parser.add_argument("--minutes", type=float, default=1.0,
+                        help="simulated minutes per operator")
+    args = parser.parse_args()
+
+    spec = CampaignSpec(minutes_per_operator=args.minutes, session_s=10.0, seed=2024)
+    print("generating campaign (all 11 operator-channels)...")
+    campaign = generate_campaign(spec=spec)
+    for row in campaign.summary_rows():
+        print("  " + row)
+
+    paths = campaign.export_csv(args.out)
+    print(f"\nexported {len(paths)} traces to {args.out}")
+
+    # Round-trip one trace through the CSV reader and re-derive its KPIs.
+    sample = paths[0]
+    trace = read_csv(sample)
+    print(f"\nre-loaded {sample.name}:")
+    print(f"  operator {trace.metadata.operator} ({trace.metadata.country}), "
+          f"{trace.metadata.direction}, {trace.metadata.bandwidth_mhz:.0f} MHz")
+    print(f"  {len(trace)} slots, mean throughput {trace.mean_throughput_mbps:.1f} Mbps, "
+          f"BLER {100 * trace.bler:.1f}%")
+    print(f"  layer shares: { {k: round(v, 3) for k, v in trace.layer_shares().items()} }")
+
+
+if __name__ == "__main__":
+    main()

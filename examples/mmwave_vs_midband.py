@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Mid-band vs mmWave under mobility: the §7 comparison.
+
+Runs the U.S. mid-band CA bundle and the FR2 mmWave bundle under
+walking and driving, compares throughput and multi-scale variability,
+and streams the scaled-up video ladder over mmWave — showing why the
+paper calls mid-band the 5G "sweet spot".
+
+Run:  python examples/mmwave_vs_midband.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.video import Bola, PAPER_LADDER_MMWAVE, StreamingSession, Video
+from repro.core.variability import variability_profile
+from repro.experiments.fig18_mmwave_variability import SCENARIOS, _midband_run, _mmwave_run
+
+SEED = 2024
+DURATION_S = 15.0
+
+
+def describe(label: str, result) -> None:
+    series = result.throughput_mbps(8.0)
+    scales, values = variability_profile(series, 8.0, max_scale_ms=1024.0)
+    rel = values / max(series.mean(), 1e-9)
+    print(f"  {label:10s} mean {series.mean() / 1000:5.2f} Gbps  "
+          f"p5 {np.percentile(series, 5) / 1000:5.2f}  "
+          f"relative V(8ms..1s): {rel[0]:.3f} -> {rel[-1]:.3f}")
+
+
+def main() -> None:
+    for scenario_name, scenario in SCENARIOS.items():
+        print(f"== {scenario_name} ({scenario['speed']:.1f} m/s) ==")
+        midband = _midband_run(DURATION_S, scenario, SEED)
+        mmwave = _mmwave_run(DURATION_S, scenario, SEED)
+        describe("mid-band", midband)
+        describe("mmWave", mmwave)
+        ratio = mmwave.mean_throughput_mbps / midband.mean_throughput_mbps
+        print(f"  mmWave/mid-band throughput ratio: {ratio:.2f} "
+              f"(paper: ~2.0 walking, ~1.2 driving)\n")
+
+    # Scaled-up streaming over mmWave (§7 set (b)).
+    print("== scaled-up ladder (0.4-2.8 Gbps) over mmWave ==")
+    for scenario_name in ("walking", "driving"):
+        result = _mmwave_run(60.0, SCENARIOS[scenario_name], SEED + 3)
+        capacity = result.throughput_mbps(50.0)
+        video = Video(duration_s=50.0, chunk_s=1.0, ladder=PAPER_LADDER_MMWAVE)
+        session = StreamingSession(video=video, abr=Bola(video.ladder),
+                                   capacity_mbps=capacity, buffer_capacity_s=12.0).run()
+        qoe = session.qoe()
+        print(f"  {scenario_name:8s} {qoe.row()}")
+    print("\npaper: driving degrades the scaled-up stream markedly; the achieved")
+    print("bitrate falls to ~80% of the channel's average throughput.")
+
+
+if __name__ == "__main__":
+    main()

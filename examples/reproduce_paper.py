@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+Drives the experiment registry end to end and prints each artifact's
+paper-vs-measured rows.  ``--full`` uses the longer simulation durations
+(matching EXPERIMENTS.md); the default quick mode finishes in about a
+minute.
+
+Run:  python examples/reproduce_paper.py [--full] [--only fig02 fig11]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import EXPERIMENT_IDS, run_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="use full (paper-length) simulation durations")
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="subset of experiment ids (default: all)")
+    args = parser.parse_args()
+
+    ids = args.only or EXPERIMENT_IDS
+    unknown = sorted(set(ids) - set(EXPERIMENT_IDS))
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown}; known: {list(EXPERIMENT_IDS)}")
+
+    total_start = time.time()
+    for experiment_id in ids:
+        start = time.time()
+        result = run_experiment(experiment_id, seed=args.seed, quick=not args.full)
+        print(result.render())
+        print(f"   [{time.time() - start:.1f} s]\n")
+    print(f"regenerated {len(ids)} artifacts in {time.time() - total_start:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

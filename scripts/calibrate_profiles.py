@@ -1,0 +1,113 @@
+"""One-off calibration: jointly fit per-operator mean SINR, rank bias and
+UL offsets to the paper's Fig. 1 / Fig. 2 / Fig. 5 / Fig. 6 / Fig. 9 /
+Fig. 10 targets and print profile constants to bake into
+``repro/operators/profiles.py``.  Run from the repo root:
+
+    python scripts/calibrate_profiles.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro import papertargets as targets
+from repro.operators.profiles import ALL_PROFILES
+from repro.ran.simulator import simulate_downlink, simulate_uplink
+
+DURATION_S = 15.0
+SEED = 3
+
+DL_TARGETS = dict(targets.FIG1_EU_DL_MBPS)
+DL_TARGETS["S_Fr"] = 590.0   # not in Fig. 1; plausible mid-pack value
+DL_TARGETS["V_Ge"] = 650.0   # not in Fig. 1; plausible mid-pack value
+DL_TARGETS["Tmb_US"] = 790.0  # primary-CC share of the 1.2 Gbps aggregate
+DL_TARGETS["Vzw_US"] = 560.0  # primary-CC share of the 1.3 Gbps aggregate
+DL_TARGETS["Att_US"] = 400.0  # single carrier
+
+RANK4_TARGETS = {  # Fig. 6 where given, else plausible share
+    "V_Sp": 0.871, "O_Sp_90": 0.838, "O_Sp_100": 0.138,
+    "V_It": 0.97, "O_Fr": 0.75, "S_Fr": 0.75, "T_Ge": 0.70, "V_Ge": 0.85,
+    "Tmb_US": 0.85, "Vzw_US": 0.85, "Att_US": 0.85,
+}
+
+UL_TARGETS = dict(targets.FIG9_EU_UL_MBPS)
+UL_TARGETS.update({k: v for k, v in targets.FIG10_US_UL_MBPS["good"].items() if k != "LTE_US"})
+
+
+def run_dl(profile):
+    rng = np.random.default_rng(SEED)
+    cell = profile.primary_cell
+    ch = profile.dl_channel().realize(DURATION_S, mu=cell.mu, rng=rng)
+    return simulate_downlink(cell, ch, rng=rng, params=profile.sim_params())
+
+
+def run_ul(profile):
+    rng = np.random.default_rng(SEED + 1)
+    cell = profile.primary_cell
+    ch = profile.ul_channel().realize(DURATION_S, mu=cell.mu, rng=rng)
+    return simulate_uplink(cell, ch, rng=rng, params=profile.sim_params(),
+                           max_layers=profile.ul_max_layers)
+
+
+def bisect(update, evaluate, target, low, high, iters=10, tol=0.0):
+    f_low = evaluate(update(low)) - target
+    if f_low > 0:
+        return low
+    if evaluate(update(high)) - target < 0:
+        return high
+    mid = (low + high) / 2
+    for _ in range(iters):
+        mid = (low + high) / 2
+        err = evaluate(update(mid)) - target
+        if tol and abs(err) < tol:
+            break
+        if err > 0:
+            high = mid
+        else:
+            low = mid
+    return mid
+
+
+def main() -> None:
+    for key, dl_target in DL_TARGETS.items():
+        profile = ALL_PROFILES[key]
+        rank_target = RANK4_TARGETS[key]
+        # Alternate: fit mean SINR for throughput, then bias for rank share.
+        for _ in range(3):
+            mean = bisect(
+                lambda m: replace(profile, mean_sinr_db=m),
+                lambda pr: run_dl(pr).mean_throughput_mbps,
+                dl_target, profile.mean_sinr_db - 6, profile.mean_sinr_db + 6, tol=4.0,
+            )
+            profile = replace(profile, mean_sinr_db=round(mean, 2))
+            bias = bisect(
+                lambda b: replace(profile, rank_bias_db=b),
+                lambda pr: -run_dl(pr).layer_shares().get(4, 0.0),
+                -rank_target, -4.0, 14.0, tol=0.01,
+            )
+            profile = replace(profile, rank_bias_db=round(bias, 2))
+        ul_target = UL_TARGETS.get(key)
+        if ul_target is not None:
+            ul = bisect(
+                lambda u: replace(profile, ul_sinr_offset_db=u),
+                lambda pr: run_ul(pr).mean_throughput_mbps,
+                ul_target, -30.0, 2.0, tol=0.8,
+            )
+            profile = replace(profile, ul_sinr_offset_db=round(ul, 2))
+        trace = run_dl(profile)
+        ul_tput = run_ul(profile).mean_throughput_mbps if ul_target else float("nan")
+        print(
+            f"{key:10s} mean_sinr_db={profile.mean_sinr_db:6.2f}  "
+            f"rank_bias_db={profile.rank_bias_db:6.2f}  "
+            f"ul_sinr_offset_db={profile.ul_sinr_offset_db:7.2f}  |  "
+            f"dl={trace.mean_throughput_mbps:7.1f} (tgt {dl_target:7.1f})  "
+            f"4L={100 * trace.layer_shares().get(4, 0):5.1f}% (tgt {100 * rank_target:5.1f})  "
+            f"256Q={100 * trace.modulation_shares().get(8, 0):5.2f}%  "
+            f"ul={ul_tput:6.1f} (tgt {UL_TARGETS.get(key, float('nan'))})"
+        )
+
+
+if __name__ == "__main__":
+    main()

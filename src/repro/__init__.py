@@ -1,0 +1,36 @@
+"""repro — reproduction of "Unveiling the 5G Mid-Band Landscape"
+(Fezeu et al., ACM SIGCOMM 2024).
+
+The package is organized bottom-up:
+
+- :mod:`repro.nr` — the 3GPP NR substrate (tables and procedures),
+- :mod:`repro.channel` — radio channel models,
+- :mod:`repro.ran` — the slot-level RAN simulator,
+- :mod:`repro.operators` — the paper's operator deployments (Tables 2-3),
+- :mod:`repro.xcal` — the XCAL-equivalent trace layer,
+- :mod:`repro.core` — the paper's analysis pipeline (V(t), latency, QoE),
+- :mod:`repro.apps` — profiled applications (iPerf, DASH video),
+- :mod:`repro.experiments` — one runnable experiment per table/figure.
+
+Quick entry points::
+
+    from repro import get_profile, simulate_downlink, run_experiment
+"""
+
+from repro.experiments import EXPERIMENT_IDS, run_experiment
+from repro.operators import get_profile
+from repro.ran.simulator import SimParams, simulate_downlink, simulate_uplink
+from repro.xcal.records import SlotTrace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EXPERIMENT_IDS",
+    "run_experiment",
+    "get_profile",
+    "SimParams",
+    "simulate_downlink",
+    "simulate_uplink",
+    "SlotTrace",
+    "__version__",
+]

@@ -1,0 +1,90 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Print the experiment registry.
+``run <id> [...]``
+    Regenerate one or more tables/figures (``--full`` for paper-length
+    simulations).
+``campaign``
+    Generate a synthetic measurement campaign and export it as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import EXPERIMENT_IDS, run_experiment
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for experiment_id in EXPERIMENT_IDS:
+        print(experiment_id)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ids = args.ids or list(EXPERIMENT_IDS)
+    unknown = sorted(set(ids) - set(EXPERIMENT_IDS))
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        return 2
+    for experiment_id in ids:
+        start = time.time()
+        result = run_experiment(experiment_id, seed=args.seed, quick=not args.full)
+        print(result.render())
+        if args.plot:
+            from repro.experiments.plots import render_plots
+
+            rendering = render_plots(result)
+            if rendering:
+                print("\n" + rendering)
+        print(f"   [{time.time() - start:.1f} s]\n")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.xcal.dataset import CampaignSpec, generate_campaign
+
+    spec = CampaignSpec(minutes_per_operator=args.minutes, session_s=args.session,
+                        seed=args.seed)
+    campaign = generate_campaign(spec=spec)
+    for row in campaign.summary_rows():
+        print(row)
+    if args.out is not None:
+        paths = campaign.export_csv(args.out)
+        print(f"exported {len(paths)} traces to {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids").set_defaults(func=_cmd_list)
+
+    run_parser = sub.add_parser("run", help="regenerate tables/figures")
+    run_parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    run_parser.add_argument("--full", action="store_true")
+    run_parser.add_argument("--plot", action="store_true",
+                            help="render ASCII figures where available")
+    run_parser.add_argument("--seed", type=int, default=2024)
+    run_parser.set_defaults(func=_cmd_run)
+
+    campaign_parser = sub.add_parser("campaign", help="generate a synthetic campaign")
+    campaign_parser.add_argument("--minutes", type=float, default=1.0)
+    campaign_parser.add_argument("--session", type=float, default=10.0)
+    campaign_parser.add_argument("--seed", type=int, default=2024)
+    campaign_parser.add_argument("--out", type=Path, default=None)
+    campaign_parser.set_defaults(func=_cmd_campaign)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

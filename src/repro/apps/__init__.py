@@ -1,0 +1,33 @@
+"""Profiled applications (§2, §6): bulk transfer and video streaming."""
+
+from repro.apps.iperf import IperfResult, run_iperf_dl, run_iperf_ul
+from repro.apps.video import (
+    QualityLevel,
+    BitrateLadder,
+    Video,
+    PAPER_LADDER_MIDBAND,
+    PAPER_LADDER_MMWAVE,
+    PlaybackBuffer,
+    StreamingSession,
+    SessionResult,
+    Bola,
+    ThroughputBased,
+    DynamicAbr,
+)
+
+__all__ = [
+    "IperfResult",
+    "run_iperf_dl",
+    "run_iperf_ul",
+    "QualityLevel",
+    "BitrateLadder",
+    "Video",
+    "PAPER_LADDER_MIDBAND",
+    "PAPER_LADDER_MMWAVE",
+    "PlaybackBuffer",
+    "StreamingSession",
+    "SessionResult",
+    "Bola",
+    "ThroughputBased",
+    "DynamicAbr",
+]

@@ -1,0 +1,33 @@
+"""DASH video streaming stack (§6): content model, client buffer, ABR
+algorithms, and the streaming session driver."""
+
+from repro.apps.video.content import (
+    QualityLevel,
+    BitrateLadder,
+    Video,
+    PAPER_LADDER_MIDBAND,
+    PAPER_LADDER_MMWAVE,
+)
+from repro.apps.video.buffer import PlaybackBuffer
+from repro.apps.video.abr import AbrAlgorithm, AbrContext, Bola, ThroughputBased, DynamicAbr
+from repro.apps.video.aware import NetworkAwareBola, phy_instability_series
+from repro.apps.video.player import StreamingSession, SessionResult, ChunkRecord
+
+__all__ = [
+    "QualityLevel",
+    "BitrateLadder",
+    "Video",
+    "PAPER_LADDER_MIDBAND",
+    "PAPER_LADDER_MMWAVE",
+    "PlaybackBuffer",
+    "AbrAlgorithm",
+    "AbrContext",
+    "Bola",
+    "ThroughputBased",
+    "DynamicAbr",
+    "NetworkAwareBola",
+    "phy_instability_series",
+    "StreamingSession",
+    "SessionResult",
+    "ChunkRecord",
+]

@@ -1,0 +1,117 @@
+"""Additional ABR algorithms the paper profiled (footnote 6).
+
+"We have also used L2A [43] and LoLP [19], the results of which are not
+included in this paper."  For completeness this module provides working
+simplified implementations of both, so the Fig. 24-style comparison can
+be extended to the full algorithm set the campaign ran:
+
+- :class:`L2A` — Learn2Adapt-LowLatency (Karagkioules et al., MMSys'20):
+  online learning over the bitrate simplex via online gradient descent
+  on a buffer-violation surrogate loss.
+- :class:`LolPlus` — LoL+ (Bentaleb et al., TMM'22): a weighted
+  multi-metric scoring rule over throughput fit, buffer safety and
+  switching cost (the learning-based playback-speed control of the full
+  system is out of scope for a throughput-trace player).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.video.abr import AbrAlgorithm, AbrContext
+from repro.apps.video.content import BitrateLadder
+
+
+def project_to_simplex(weights: np.ndarray) -> np.ndarray:
+    """Euclidean projection of a vector onto the probability simplex."""
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 1 or weights.size == 0:
+        raise ValueError("weights must be a non-empty 1-D vector")
+    sorted_desc = np.sort(weights)[::-1]
+    cumulative = np.cumsum(sorted_desc) - 1.0
+    rho_candidates = sorted_desc - cumulative / np.arange(1, weights.size + 1)
+    rho = int(np.nonzero(rho_candidates > 0)[0][-1])
+    theta = cumulative[rho] / (rho + 1)
+    return np.maximum(weights - theta, 0.0)
+
+
+class L2A(AbrAlgorithm):
+    """Simplified Learn2Adapt: OGD over the bitrate simplex.
+
+    Each chunk, the expected buffer drain of every level is scored
+    against the measured throughput; the weight vector takes a gradient
+    step away from levels whose expected download time would violate
+    the buffer and is re-projected onto the simplex.  The chosen level
+    is the weighted-average bitrate's ladder rung.
+    """
+
+    name = "l2a"
+
+    def __init__(self, ladder: BitrateLadder, learning_rate: float = 0.3,
+                 target_buffer_s: float = 8.0):
+        super().__init__(ladder)
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if target_buffer_s <= 0:
+            raise ValueError("target_buffer_s must be positive")
+        self.learning_rate = learning_rate
+        self.target_buffer_s = target_buffer_s
+        self.weights = np.full(len(ladder), 1.0 / len(ladder))
+
+    def reset(self) -> None:
+        self.weights = np.full(len(self.ladder), 1.0 / len(self.ladder))
+
+    def choose(self, context: AbrContext) -> int:
+        estimate = max(context.throughput_estimate_mbps, 1e-6)
+        # Expected download seconds per chunk for each level.
+        download_s = self.ladder.bitrates_mbps * context.chunk_s / estimate
+        # Surrogate loss: buffer violation (download beyond what the
+        # buffer plus one chunk absorbs), minus a small utility reward.
+        headroom = max(context.buffer_level_s, 0.1) + context.chunk_s - self.target_buffer_s / 4.0
+        violation = np.maximum(0.0, download_s - headroom)
+        gradient = violation - 0.05 * self.ladder.utilities
+        self.weights = project_to_simplex(self.weights - self.learning_rate * gradient)
+        expected_bitrate = float(self.weights @ self.ladder.bitrates_mbps)
+        return self.ladder.highest_below(expected_bitrate + 1e-9)
+
+
+class LolPlus(AbrAlgorithm):
+    """Simplified LoL+: weighted multi-metric scoring.
+
+    Scores every level by throughput fit, buffer safety and switching
+    smoothness, and picks the maximum — the heuristic core of LoL+'s
+    QoE-weighted SOM selection, without the playback-speed controller.
+    """
+
+    name = "lolp"
+
+    def __init__(self, ladder: BitrateLadder, throughput_weight: float = 0.5,
+                 buffer_weight: float = 0.35, switch_weight: float = 0.15,
+                 safety: float = 0.9):
+        super().__init__(ladder)
+        total = throughput_weight + buffer_weight + switch_weight
+        if total <= 0:
+            raise ValueError("weights must be positive")
+        self.throughput_weight = throughput_weight / total
+        self.buffer_weight = buffer_weight / total
+        self.switch_weight = switch_weight / total
+        if not 0.0 < safety <= 1.0:
+            raise ValueError("safety must lie in (0, 1]")
+        self.safety = safety
+
+    def choose(self, context: AbrContext) -> int:
+        estimate = max(context.throughput_estimate_mbps * self.safety, 1e-6)
+        bitrates = self.ladder.bitrates_mbps
+        # Throughput fit: best when the bitrate uses the estimate without
+        # exceeding it; harshly penalized above.
+        fit = np.where(bitrates <= estimate, bitrates / estimate,
+                       -2.0 * (bitrates / estimate - 1.0))
+        # Buffer safety: expected download time relative to the buffer.
+        download_s = bitrates * context.chunk_s / estimate
+        buffer_score = 1.0 - download_s / max(context.buffer_level_s + context.chunk_s, 0.5)
+        # Switching smoothness: penalize big jumps from the last level.
+        switch_score = -np.abs(np.arange(len(self.ladder)) - context.last_level) / len(self.ladder)
+        scores = (self.throughput_weight * fit
+                  + self.buffer_weight * np.clip(buffer_score, -2.0, 1.0)
+                  + self.switch_weight * switch_score)
+        return int(np.argmax(scores))

@@ -1,0 +1,127 @@
+"""5G-network-aware ABR — the paper's proposed extension.
+
+§8 (lessons learned): "developing adaptive algorithms that can better
+accommodate 5G channel variability — making them 5G-network-aware — is
+key to enhance application QoE."  This module implements that proposal:
+:class:`NetworkAwareBola` runs standard BOLA but consults a PHY-layer
+instability signal (the §5 joint MCS/MIMO variability, or throughput
+variability, computed from the modem's own KPIs) and becomes more
+conservative exactly when the channel is unstable:
+
+- the throughput estimate is discounted by an instability-dependent
+  safety factor (an unstable channel's recent mean overstates what the
+  next seconds will deliver),
+- quality upswitches are capped to one level per chunk while unstable
+  (no q2 -> q6 jumps straight into a drop).
+
+:func:`phy_instability_series` derives the signal from a
+:class:`~repro.xcal.records.SlotTrace`, i.e. from data a UE modem
+already exposes — no network-side changes required.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.video.abr import AbrContext, Bola
+from repro.apps.video.content import BitrateLadder
+from repro.core.timeseries import KpiSeries
+from repro.core.variability import scaled_variability
+
+
+def phy_instability_series(
+    trace,
+    window_s: float = 2.0,
+    scale_ms: float = 150.0,
+) -> np.ndarray:
+    """Per-``window_s`` channel-instability score from a slot trace.
+
+    For each window the score is the normalized joint variability of
+    MCS and MIMO layers at ``scale_ms`` (the Fig. 15 signal): V(MCS)
+    scaled by the table size plus V(MIMO) scaled by the layer count.
+    Returns one score per window; values around 0 mean a quiet channel,
+    values approaching 1 a rapidly reconfiguring one.
+    """
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    mcs = KpiSeries.from_trace_column(trace, "mcs_index").values
+    mimo = KpiSeries.from_trace_column(trace, "layers").values
+    slot_ms = trace.slot_duration_ms
+    block = max(1, int(round(scale_ms / slot_ms)))
+    per_window = max(2 * block, int(round(window_s * 1000.0 / slot_ms)))
+    n_windows = max(1, mcs.size // per_window)
+    scores = np.empty(n_windows)
+    for w in range(n_windows):
+        sl = slice(w * per_window, (w + 1) * per_window)
+        v_mcs = scaled_variability(mcs[sl], block)
+        v_mimo = scaled_variability(mimo[sl], block)
+        if np.isnan(v_mcs):
+            v_mcs = 0.0
+        if np.isnan(v_mimo):
+            v_mimo = 0.0
+        scores[w] = v_mcs / 28.0 + v_mimo / 4.0
+    # Normalize into [0, 1] against a "very unstable" reference level.
+    return np.clip(scores / 0.15, 0.0, 1.0)
+
+
+class NetworkAwareBola(Bola):
+    """BOLA with a PHY-instability side channel.
+
+    Parameters
+    ----------
+    ladder:
+        Quality ladder.
+    instability:
+        Per-window instability scores in ``[0, 1]``
+        (:func:`phy_instability_series`).
+    instability_window_s:
+        Window length the scores were computed over.
+    max_discount:
+        Throughput-estimate discount applied at instability 1.0.
+    """
+
+    name = "aware-bola"
+
+    def __init__(
+        self,
+        ladder: BitrateLadder,
+        instability: np.ndarray,
+        instability_window_s: float = 2.0,
+        max_discount: float = 0.5,
+        gamma_p: float = 5.0,
+    ):
+        super().__init__(ladder, gamma_p=gamma_p)
+        instability = np.asarray(instability, dtype=float)
+        if instability.size == 0:
+            raise ValueError("instability series must be non-empty")
+        if instability_window_s <= 0:
+            raise ValueError("instability_window_s must be positive")
+        if not 0.0 <= max_discount < 1.0:
+            raise ValueError("max_discount must lie in [0, 1)")
+        self.instability = instability
+        self.instability_window_s = instability_window_s
+        self.max_discount = max_discount
+
+    def instability_at(self, now_s: float) -> float:
+        """Instability score for the window containing ``now_s``."""
+        idx = int(now_s / self.instability_window_s)
+        return float(self.instability[min(idx, self.instability.size - 1)])
+
+    def choose(self, context: AbrContext) -> int:
+        instability = self.instability_at(context.now_s)
+        discount = 1.0 - self.max_discount * instability
+        discounted = AbrContext(
+            buffer_level_s=context.buffer_level_s,
+            buffer_capacity_s=context.buffer_capacity_s,
+            chunk_s=context.chunk_s,
+            throughput_estimate_mbps=context.throughput_estimate_mbps * discount,
+            last_level=context.last_level,
+            chunk_index=context.chunk_index,
+            stalled_since_last=context.stalled_since_last,
+            now_s=context.now_s,
+        )
+        level = super().choose(discounted)
+        if instability > 0.5 and level > context.last_level + 1:
+            # Unstable channel: climb one rung at a time.
+            level = context.last_level + 1
+        return level

@@ -1,0 +1,70 @@
+"""Client playback buffer.
+
+The DASH client appends downloaded chunks and drains the buffer in real
+time during playback; when it empties mid-stream the player stalls
+(rebuffers) until the in-flight chunk lands.  §6 uses the buffer level
+as one of its evaluation metrics (Fig. 16's third panel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PlaybackBuffer:
+    """Seconds-denominated playback buffer.
+
+    Parameters
+    ----------
+    capacity_s:
+        Maximum buffered playback time; downloads pause (the client
+        idles) when the next chunk would overflow it.  dash.js defaults
+        to ~30 s of forward buffer.
+    """
+
+    capacity_s: float = 30.0
+    level_s: float = 0.0
+    total_stall_s: float = 0.0
+    n_stalls: int = 0
+    _in_stall: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_s <= 0:
+            raise ValueError("capacity must be positive")
+        if self.level_s < 0:
+            raise ValueError("level must be non-negative")
+
+    def would_overflow(self, chunk_s: float) -> bool:
+        """True if appending a chunk would exceed capacity."""
+        return self.level_s + chunk_s > self.capacity_s
+
+    def append(self, chunk_s: float) -> None:
+        """Add a downloaded chunk."""
+        if chunk_s <= 0:
+            raise ValueError("chunk_s must be positive")
+        self.level_s += chunk_s
+        self._in_stall = False
+
+    def drain(self, wall_s: float) -> float:
+        """Play out ``wall_s`` seconds of wall-clock time.
+
+        Returns the stall time incurred within the interval: when the
+        buffer runs dry before the interval ends, the remainder counts
+        as a stall (a new stall event is recorded at the dry-run point).
+        """
+        if wall_s < 0:
+            raise ValueError("wall_s must be non-negative")
+        played = min(self.level_s, wall_s)
+        self.level_s -= played
+        stall = wall_s - played
+        if stall > 0:
+            self.total_stall_s += stall
+            if not self._in_stall:
+                self.n_stalls += 1
+                self._in_stall = True
+        return stall
+
+    @property
+    def is_empty(self) -> bool:
+        return self.level_s <= 1e-12

@@ -1,0 +1,131 @@
+"""Video content model: quality ladders and chunked videos.
+
+§6: videos were segmented into chunks (4 s default, 1 s in the §6.2
+enhancement study) at seven quality levels with bandwidth requirements
+of ~30 / 60 / 75 / 200 / 400 / 600 / 750 Mbps (mid-band experiments) or
+400 Mbps-2.8 Gbps (the §7 scaled-up mmWave ladder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QualityLevel:
+    """One rung of a bitrate ladder."""
+
+    level: int
+    bitrate_mbps: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise ValueError("level must be non-negative")
+        if self.bitrate_mbps <= 0:
+            raise ValueError("bitrate must be positive")
+
+    def chunk_bits(self, chunk_s: float) -> float:
+        """Size of one chunk at this quality, in bits."""
+        if chunk_s <= 0:
+            raise ValueError("chunk_s must be positive")
+        return self.bitrate_mbps * 1e6 * chunk_s
+
+
+class BitrateLadder:
+    """An ordered set of quality levels (level 0 = lowest)."""
+
+    def __init__(self, bitrates_mbps: list[float], labels: list[str] | None = None):
+        if not bitrates_mbps:
+            raise ValueError("a ladder needs at least one level")
+        if sorted(bitrates_mbps) != list(bitrates_mbps):
+            raise ValueError("bitrates must be sorted ascending")
+        labels = labels or [""] * len(bitrates_mbps)
+        if len(labels) != len(bitrates_mbps):
+            raise ValueError("one label per level required")
+        self.levels = tuple(
+            QualityLevel(level=i, bitrate_mbps=b, label=label)
+            for i, (b, label) in enumerate(zip(bitrates_mbps, labels))
+        )
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def __getitem__(self, level: int) -> QualityLevel:
+        if not 0 <= level < len(self.levels):
+            raise IndexError(f"quality level {level} outside [0, {len(self.levels) - 1}]")
+        return self.levels[level]
+
+    def __iter__(self):
+        return iter(self.levels)
+
+    @property
+    def max_level(self) -> int:
+        return len(self.levels) - 1
+
+    @property
+    def min_bitrate_mbps(self) -> float:
+        return self.levels[0].bitrate_mbps
+
+    @property
+    def max_bitrate_mbps(self) -> float:
+        return self.levels[-1].bitrate_mbps
+
+    @cached_property
+    def bitrates_mbps(self) -> np.ndarray:
+        return np.array([q.bitrate_mbps for q in self.levels])
+
+    @cached_property
+    def utilities(self) -> np.ndarray:
+        """BOLA utilities ``v_m = ln(S_m / S_min)`` (Spiteri et al.)."""
+        return np.log(self.bitrates_mbps / self.min_bitrate_mbps)
+
+    def highest_below(self, throughput_mbps: float) -> int:
+        """Highest level whose bitrate fits the given throughput
+        (level 0 if none does)."""
+        idx = int(np.searchsorted(self.bitrates_mbps, throughput_mbps, side="right")) - 1
+        return max(0, idx)
+
+
+#: §6 mid-band ladder: seven levels, ~400 Mbps average requirement.
+PAPER_LADDER_MIDBAND = BitrateLadder([30.0, 60.0, 75.0, 200.0, 400.0, 600.0, 750.0])
+
+#: §7 scaled-up mmWave ladder: ~1.25 Gbps average requirement.
+PAPER_LADDER_MMWAVE = BitrateLadder([400.0, 800.0, 1200.0, 1500.0, 2000.0, 2400.0, 2800.0])
+
+
+@dataclass(frozen=True)
+class Video:
+    """A chunked video asset.
+
+    Parameters
+    ----------
+    duration_s:
+        Total playback duration.
+    chunk_s:
+        Chunk length (4 s default per §6; 1 s in the enhancement study).
+    ladder:
+        Available quality levels.
+    """
+
+    duration_s: float
+    chunk_s: float = 4.0
+    ladder: BitrateLadder = PAPER_LADDER_MIDBAND
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0 or self.chunk_s <= 0:
+            raise ValueError("durations must be positive")
+        if self.chunk_s > self.duration_s:
+            raise ValueError("chunk length exceeds the video duration")
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of chunks (the last one may be shorter; we count full)."""
+        return int(self.duration_s // self.chunk_s)
+
+    def chunk_bits(self, level: int) -> float:
+        """Bits of one chunk at the given quality level."""
+        return self.ladder[level].chunk_bits(self.chunk_s)

@@ -1,0 +1,279 @@
+"""DASH streaming session over a (simulated or measured) link trace.
+
+Drives the §6 evaluation: sequential chunk downloads over a capacity
+series, client buffer dynamics, stall accounting, and the ABR decision
+loop.  Mirrors the paper's setup — DASH.js client, Apache server in the
+same country (so the radio link is the bottleneck), XCAL recording the
+PHY KPIs underneath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.video.abr import AbrAlgorithm, AbrContext
+from repro.apps.video.buffer import PlaybackBuffer
+from repro.apps.video.content import Video
+from repro.core.qoe import QoeMetrics
+
+#: PHY-to-application goodput factor.
+DEFAULT_PROTOCOL_EFFICIENCY = 0.95
+
+
+@dataclass(frozen=True)
+class ChunkRecord:
+    """One downloaded chunk."""
+
+    index: int
+    level: int
+    bitrate_mbps: float
+    request_time_s: float
+    finish_time_s: float
+    stall_s: float
+    buffer_after_s: float
+
+    @property
+    def download_time_s(self) -> float:
+        return self.finish_time_s - self.request_time_s
+
+
+@dataclass
+class SessionResult:
+    """Outcome of one streaming session."""
+
+    video: Video
+    chunks: list[ChunkRecord]
+    startup_delay_s: float
+    buffer_timeline_s: np.ndarray  # buffer level sampled once per second
+    total_stall_s: float
+    n_stalls: int
+
+    @property
+    def quality_levels(self) -> np.ndarray:
+        return np.array([c.level for c in self.chunks])
+
+    @property
+    def chunk_bitrates_mbps(self) -> np.ndarray:
+        return np.array([c.bitrate_mbps for c in self.chunks])
+
+    @property
+    def playback_s(self) -> float:
+        return len(self.chunks) * self.video.chunk_s
+
+    def qoe(self) -> QoeMetrics:
+        """QoE summary (§6 metrics)."""
+        stalls = np.array([c.stall_s for c in self.chunks])
+        return QoeMetrics.from_session(
+            quality_levels=self.quality_levels,
+            chunk_bitrates_mbps=self.chunk_bitrates_mbps,
+            max_bitrate_mbps=self.video.ladder.max_bitrate_mbps,
+            stall_events_s=stalls,
+            playback_s=self.playback_s,
+            startup_delay_s=self.startup_delay_s,
+        )
+
+
+@dataclass
+class StreamingSession:
+    """A DASH client session.
+
+    Parameters
+    ----------
+    video:
+        The content (duration, chunk length, ladder).
+    abr:
+        The adaptation algorithm.
+    capacity_mbps:
+        Link capacity series (application-visible PHY throughput).
+    capacity_bin_s:
+        Time granularity of the capacity series.
+    buffer_capacity_s:
+        Client forward-buffer limit.
+    startup_chunks:
+        Chunks buffered before playback starts.
+    protocol_efficiency:
+        PHY→application haircut applied to the capacity series.
+    estimator_alpha:
+        EWMA weight of the per-chunk throughput estimator.
+    insufficient_buffer_guard:
+        dash.js's InsufficientBufferRule: when the buffer is below half
+        its target, cap the quality so the chunk's expected download
+        time fits the buffer.  Applied on top of any ABR algorithm,
+        exactly like the dash.js rule stack.
+    """
+
+    video: Video
+    abr: AbrAlgorithm
+    capacity_mbps: np.ndarray
+    capacity_bin_s: float = 0.05
+    buffer_capacity_s: float = 30.0
+    startup_chunks: int = 1
+    protocol_efficiency: float = DEFAULT_PROTOCOL_EFFICIENCY
+    estimator_alpha: float = 0.3
+    insufficient_buffer_guard: bool = True
+
+    def __post_init__(self) -> None:
+        self.capacity_mbps = np.asarray(self.capacity_mbps, dtype=float)
+        if self.capacity_mbps.size == 0:
+            raise ValueError("capacity series must be non-empty")
+        if self.capacity_bin_s <= 0:
+            raise ValueError("capacity_bin_s must be positive")
+        if self.startup_chunks < 1:
+            raise ValueError("startup_chunks must be at least 1")
+
+    # ------------------------------------------------------------------ #
+    # Capacity integration
+    # ------------------------------------------------------------------ #
+    def _capacity_at(self, bin_index: int) -> float:
+        """Capacity of a bin in Mbps; the series repeats if exhausted."""
+        return float(self.capacity_mbps[bin_index % self.capacity_mbps.size])
+
+    def _download(
+        self,
+        start_s: float,
+        bits: float,
+        abandon_deadline_s: float | None = None,
+        abandon_min_fraction: float = 0.8,
+    ) -> tuple[float, bool]:
+        """Advance a ``bits``-sized transfer; returns ``(end_s, abandoned)``.
+
+        With ``abandon_deadline_s`` set, the transfer is abandoned once
+        the elapsed time exceeds the deadline while less than
+        ``abandon_min_fraction`` of the chunk has arrived (the BOLA-E /
+        dash.js abandonment rule: a collapsing link should not hold the
+        buffer hostage to an oversized request).
+        """
+        total = bits / self.protocol_efficiency  # pre-haircut PHY bits
+        remaining = total
+        t = start_s
+        bin_index = int(t / self.capacity_bin_s)
+        bin_end = (bin_index + 1) * self.capacity_bin_s
+        while remaining > 0:
+            rate_bps = self._capacity_at(bin_index) * 1e6
+            window = bin_end - t
+            can_move = rate_bps * window
+            if can_move >= remaining and rate_bps > 0:
+                return t + remaining / rate_bps, False
+            remaining -= can_move
+            t = bin_end
+            bin_index += 1
+            bin_end += self.capacity_bin_s
+            if abandon_deadline_s is not None and t - start_s > abandon_deadline_s \
+                    and (total - remaining) / total < abandon_min_fraction:
+                return t, True
+            if t > start_s + 600.0:
+                # Pathological outage guard: declare the chunk done after
+                # 10 minutes of wall time rather than looping forever.
+                return t, False
+        return t, False
+
+    # ------------------------------------------------------------------ #
+    # Session loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> SessionResult:
+        """Play the whole video; returns the session outcome."""
+        self.abr.reset()
+        buffer = PlaybackBuffer(capacity_s=self.buffer_capacity_s)
+        records: list[ChunkRecord] = []
+        estimate: float | None = None
+        t = 0.0
+        playing = False
+        startup_delay = 0.0
+        timeline: list[float] = []
+        next_sample_s = 0.0
+
+        stalled_since_last = False
+        for index in range(self.video.n_chunks):
+            context = AbrContext(
+                buffer_level_s=buffer.level_s,
+                buffer_capacity_s=self.buffer_capacity_s,
+                chunk_s=self.video.chunk_s,
+                throughput_estimate_mbps=estimate if estimate is not None else self.video.ladder.min_bitrate_mbps,
+                last_level=records[-1].level if records else 0,
+                chunk_index=index,
+                stalled_since_last=stalled_since_last,
+                now_s=t,
+            )
+            level = self.abr.choose(context)
+            if self.insufficient_buffer_guard and estimate is not None and playing \
+                    and buffer.level_s < 0.5 * self.buffer_capacity_s:
+                budget_s = max(0.8 * buffer.level_s, 0.5 * self.video.chunk_s)
+                while level > 0 and self.video.chunk_bits(level) / 1e6 / max(estimate, 1e-9) > budget_s:
+                    level -= 1
+            quality = self.video.ladder[level]
+            bits = self.video.chunk_bits(level)
+
+            # Respect the forward-buffer cap: idle until there is room.
+            if playing and buffer.would_overflow(self.video.chunk_s):
+                idle = buffer.level_s + self.video.chunk_s - self.buffer_capacity_s
+                buffer.drain(idle)  # buffer is full; no stall possible
+                t, next_sample_s = self._advance_timeline(t, idle, buffer, timeline, next_sample_s)
+
+            start = t
+            stall_before = buffer.total_stall_s
+            deadline = None
+            if self.abr.supports_abandonment and playing and level > 0:
+                # Abandon once the chunk has taken a full buffer's worth
+                # of wall time without nearing completion.
+                deadline = max(self.video.chunk_s, buffer.level_s)
+            finish, abandoned = self._download(start, bits, abandon_deadline_s=deadline)
+            if abandoned:
+                # Re-request at the lowest quality; the wasted wall time
+                # still drains the buffer.
+                level = 0
+                quality = self.video.ladder[0]
+                bits = self.video.chunk_bits(0)
+                finish, _ = self._download(finish, bits)
+            dt = finish - start
+            if playing:
+                buffer.drain(dt)
+            else:
+                startup_delay += dt
+            t, next_sample_s = self._advance_timeline(start, dt, buffer, timeline, next_sample_s)
+            buffer.append(self.video.chunk_s)
+            if not playing and len(records) + 1 >= self.startup_chunks:
+                playing = True
+
+            sample_mbps = bits / 1e6 / max(dt, 1e-9)
+            if estimate is None:
+                estimate = sample_mbps
+            else:
+                estimate = (1.0 - self.estimator_alpha) * estimate + self.estimator_alpha * sample_mbps
+
+            stall_this_chunk = buffer.total_stall_s - stall_before
+            stalled_since_last = stall_this_chunk > 0
+            records.append(ChunkRecord(
+                index=index,
+                level=level,
+                bitrate_mbps=quality.bitrate_mbps,
+                request_time_s=start,
+                finish_time_s=finish,
+                stall_s=stall_this_chunk,
+                buffer_after_s=buffer.level_s,
+            ))
+
+        return SessionResult(
+            video=self.video,
+            chunks=records,
+            startup_delay_s=startup_delay,
+            buffer_timeline_s=np.array(timeline),
+            total_stall_s=buffer.total_stall_s,
+            n_stalls=buffer.n_stalls,
+        )
+
+    @staticmethod
+    def _advance_timeline(
+        start: float,
+        dt: float,
+        buffer: PlaybackBuffer,
+        timeline: list[float],
+        next_sample_s: float,
+    ) -> tuple[float, float]:
+        """Advance wall time, sampling the buffer level once per second."""
+        end = start + dt
+        while next_sample_s <= end:
+            timeline.append(buffer.level_s)
+            next_sample_s += 1.0
+        return end, next_sample_s

@@ -1,0 +1,41 @@
+"""Radio channel models.
+
+Replaces the physical environments of the measurement campaign (Madrid,
+Paris, Rome, Munich, Chicago) with the standard 3GPP emulation stack:
+
+- deterministic distance-dependent path loss (:mod:`repro.channel.pathloss`),
+- spatially correlated log-normal shadowing (:mod:`repro.channel.shadowing`),
+- AR(1) fast fading (:mod:`repro.channel.fading`),
+- UE mobility traces (:mod:`repro.channel.mobility`),
+- mmWave blockage/outage dynamics (:mod:`repro.channel.blockage`),
+- a composite per-slot SINR engine (:mod:`repro.channel.model`).
+"""
+
+from repro.channel.pathloss import PathLossModel, UMA, UMI, FreeSpace
+from repro.channel.shadowing import CorrelatedShadowing
+from repro.channel.fading import Ar1Fading
+from repro.channel.mobility import MobilityModel, Stationary, Walking, Driving, RouteTrace
+from repro.channel.blockage import BlockageProcess, NO_BLOCKAGE
+from repro.channel.mobility import Position
+from repro.channel.model import ChannelModel, ChannelRealization, GnbSite, SyntheticChannel
+
+__all__ = [
+    "Position",
+    "GnbSite",
+    "SyntheticChannel",
+    "NO_BLOCKAGE",
+    "PathLossModel",
+    "UMA",
+    "UMI",
+    "FreeSpace",
+    "CorrelatedShadowing",
+    "Ar1Fading",
+    "MobilityModel",
+    "Stationary",
+    "Walking",
+    "Driving",
+    "RouteTrace",
+    "BlockageProcess",
+    "ChannelModel",
+    "ChannelRealization",
+]

@@ -1,0 +1,127 @@
+"""Handover (mobility management) between cells of a deployment.
+
+The geometric channel engine's default serving-cell rule is an ideal
+per-sample argmax of RSRP.  Real networks run the A3 event machinery:
+a handover fires only after a neighbour stays ``hysteresis_db`` better
+than the serving cell for ``time_to_trigger_s`` — which is why walking
+routes show sticky serving cells, occasional ping-pongs, and short
+degraded stretches before each switch (the Fig. 7 route behaviour).
+
+:class:`A3Handover` converts per-sample per-site received powers into a
+serving-cell series under that rule and reports the handover events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class HandoverEvent:
+    """One completed handover."""
+
+    sample_index: int
+    source_cell: int
+    target_cell: int
+
+
+@dataclass(frozen=True)
+class HandoverResult:
+    """Outcome of applying the A3 rule to a route."""
+
+    serving: np.ndarray            # serving cell per sample
+    events: tuple[HandoverEvent, ...]
+
+    @property
+    def n_handovers(self) -> int:
+        return len(self.events)
+
+    def ping_pong_count(self, window_samples: int) -> int:
+        """Handovers that return to the previous cell within a window."""
+        count = 0
+        for i in range(1, len(self.events)):
+            previous, current = self.events[i - 1], self.events[i]
+            if (current.target_cell == previous.source_cell
+                    and current.sample_index - previous.sample_index <= window_samples):
+                count += 1
+        return count
+
+
+@dataclass(frozen=True)
+class A3Handover:
+    """The A3-event handover rule.
+
+    Parameters
+    ----------
+    hysteresis_db:
+        How much better a neighbour must measure than the serving cell.
+    time_to_trigger_s:
+        How long the condition must hold before the handover executes.
+    sample_interval_s:
+        Time between consecutive rows of the RSRP matrix.
+    """
+
+    hysteresis_db: float = 3.0
+    time_to_trigger_s: float = 0.32
+    sample_interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.hysteresis_db < 0:
+            raise ValueError("hysteresis must be non-negative")
+        if self.time_to_trigger_s < 0:
+            raise ValueError("time_to_trigger must be non-negative")
+        if self.sample_interval_s <= 0:
+            raise ValueError("sample_interval must be positive")
+
+    @property
+    def trigger_samples(self) -> int:
+        """Consecutive samples the A3 condition must hold."""
+        return max(1, int(round(self.time_to_trigger_s / self.sample_interval_s)))
+
+    def apply(self, rx_dbm: np.ndarray, initial_cell: int | None = None) -> HandoverResult:
+        """Run the rule over an ``(n_samples, n_cells)`` RSRP matrix."""
+        rx_dbm = np.asarray(rx_dbm, dtype=float)
+        if rx_dbm.ndim != 2 or rx_dbm.shape[1] < 1:
+            raise ValueError("rx_dbm must be (n_samples, n_cells)")
+        n_samples, n_cells = rx_dbm.shape
+        serving = np.empty(n_samples, dtype=np.int64)
+        current = int(np.argmax(rx_dbm[0])) if initial_cell is None else initial_cell
+        if not 0 <= current < n_cells:
+            raise ValueError("initial_cell out of range")
+        events: list[HandoverEvent] = []
+        candidate = -1
+        held = 0
+        for i in range(n_samples):
+            best = int(np.argmax(rx_dbm[i]))
+            a3 = (best != current
+                  and rx_dbm[i, best] >= rx_dbm[i, current] + self.hysteresis_db)
+            if a3:
+                if best == candidate:
+                    held += 1
+                else:
+                    candidate, held = best, 1
+                if held >= self.trigger_samples:
+                    events.append(HandoverEvent(i, current, best))
+                    current = best
+                    candidate, held = -1, 0
+            else:
+                candidate, held = -1, 0
+            serving[i] = current
+        return HandoverResult(serving=serving, events=tuple(events))
+
+
+def handover_interruption_mask(result: HandoverResult, n_samples: int,
+                               interruption_samples: int) -> np.ndarray:
+    """Boolean mask of samples lost to handover interruption.
+
+    NSA handovers interrupt the user plane for tens of ms; the mask can
+    be multiplied into a throughput series to account for it.
+    """
+    if interruption_samples < 0:
+        raise ValueError("interruption_samples must be non-negative")
+    mask = np.zeros(n_samples, dtype=bool)
+    for event in result.events:
+        mask[event.sample_index:event.sample_index + interruption_samples] = True
+    return mask

@@ -1,0 +1,153 @@
+"""UE mobility models: stationary, walking, driving, explicit routes.
+
+The campaign measured stationary UEs (on flat surfaces), walking routes
+(Fig. 7's RSRQ map) and driving (§7's mid-band vs mmWave comparison).
+A mobility model produces the UE position sampled on an arbitrary time
+grid; the channel engine converts positions to gNB distances.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Position:
+    """A 2-D position in meters (local ENU-style coordinates)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+class MobilityModel(abc.ABC):
+    """Interface: positions at given times."""
+
+    @abc.abstractmethod
+    def positions_at(self, times_s: np.ndarray) -> np.ndarray:
+        """Array of shape ``(len(times_s), 2)`` with (x, y) in meters."""
+
+    @property
+    @abc.abstractmethod
+    def speed_mps(self) -> float:
+        """Nominal speed (drives the fading coherence time)."""
+
+    def displacements(self, times_s: np.ndarray) -> np.ndarray:
+        """Per-step displacement magnitudes (first entry 0)."""
+        pos = self.positions_at(np.asarray(times_s, dtype=float))
+        deltas = np.diff(pos, axis=0)
+        steps = np.hypot(deltas[:, 0], deltas[:, 1])
+        return np.concatenate([[0.0], steps])
+
+
+@dataclass(frozen=True)
+class Stationary(MobilityModel):
+    """A UE fixed at one position (phones on flat surfaces, §2 step 4)."""
+
+    position: Position = field(default_factory=lambda: Position(0.0, 0.0))
+
+    def positions_at(self, times_s: np.ndarray) -> np.ndarray:
+        times = np.asarray(times_s, dtype=float)
+        out = np.empty((times.size, 2))
+        out[:, 0] = self.position.x
+        out[:, 1] = self.position.y
+        return out
+
+    @property
+    def speed_mps(self) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class _ConstantVelocity(MobilityModel):
+    """Straight-line constant-velocity motion."""
+
+    start: Position = field(default_factory=lambda: Position(0.0, 0.0))
+    heading_deg: float = 0.0
+    _speed_mps: float = 1.4
+
+    def positions_at(self, times_s: np.ndarray) -> np.ndarray:
+        times = np.asarray(times_s, dtype=float)
+        heading = math.radians(self.heading_deg)
+        dx = self._speed_mps * math.cos(heading)
+        dy = self._speed_mps * math.sin(heading)
+        out = np.empty((times.size, 2))
+        out[:, 0] = self.start.x + dx * times
+        out[:, 1] = self.start.y + dy * times
+        return out
+
+    @property
+    def speed_mps(self) -> float:
+        return self._speed_mps
+
+
+def Walking(start: Position | None = None, heading_deg: float = 0.0, speed_mps: float = 1.4) -> _ConstantVelocity:
+    """Pedestrian motion (default 1.4 m/s ~ 5 km/h)."""
+    if speed_mps <= 0:
+        raise ValueError("walking speed must be positive")
+    return _ConstantVelocity(start or Position(0.0, 0.0), heading_deg, speed_mps)
+
+
+def Driving(start: Position | None = None, heading_deg: float = 0.0, speed_mps: float = 11.0) -> _ConstantVelocity:
+    """Vehicular motion (default 11 m/s ~ 40 km/h urban driving)."""
+    if speed_mps <= 0:
+        raise ValueError("driving speed must be positive")
+    return _ConstantVelocity(start or Position(0.0, 0.0), heading_deg, speed_mps)
+
+
+@dataclass(frozen=True)
+class RouteTrace(MobilityModel):
+    """Piecewise-linear motion through waypoints at constant speed.
+
+    Used for the Fig. 7 walking-route experiment where the UE walks the
+    same street route under two different deployments.
+    """
+
+    waypoints: tuple[Position, ...]
+    _speed_mps: float = 1.4
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) < 2:
+            raise ValueError("a route needs at least two waypoints")
+        if self._speed_mps <= 0:
+            raise ValueError("speed must be positive")
+
+    @property
+    def speed_mps(self) -> float:
+        return self._speed_mps
+
+    @property
+    def segment_lengths(self) -> np.ndarray:
+        points = np.array([(p.x, p.y) for p in self.waypoints])
+        deltas = np.diff(points, axis=0)
+        return np.hypot(deltas[:, 0], deltas[:, 1])
+
+    @property
+    def total_length_m(self) -> float:
+        return float(self.segment_lengths.sum())
+
+    @property
+    def duration_s(self) -> float:
+        """Time to traverse the whole route."""
+        return self.total_length_m / self._speed_mps
+
+    def positions_at(self, times_s: np.ndarray) -> np.ndarray:
+        times = np.asarray(times_s, dtype=float)
+        points = np.array([(p.x, p.y) for p in self.waypoints])
+        lengths = self.segment_lengths
+        cumulative = np.concatenate([[0.0], np.cumsum(lengths)])
+        # Distance along the route, clamped at the endpoint (UE stops).
+        s = np.clip(times * self._speed_mps, 0.0, cumulative[-1])
+        seg = np.clip(np.searchsorted(cumulative, s, side="right") - 1, 0, len(lengths) - 1)
+        seg_start = cumulative[seg]
+        seg_len = np.where(lengths[seg] > 0, lengths[seg], 1.0)
+        frac = (s - seg_start) / seg_len
+        start_points = points[seg]
+        end_points = points[seg + 1]
+        return start_points + (end_points - start_points) * frac[:, None]

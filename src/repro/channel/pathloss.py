@@ -1,0 +1,112 @@
+"""Distance-dependent path loss (3GPP TR 38.901 §7.4.1).
+
+Implements the urban-macro (UMa) and urban-micro street-canyon (UMi)
+models used to emulate the paper's city environments, plus free space as
+a reference.  All models return path loss in dB for a 3-D distance and a
+carrier frequency; LOS/NLOS variants are separate methods so the
+composite channel can mix them along a route.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+def _as_array(x) -> np.ndarray:
+    return np.asarray(x, dtype=float)
+
+
+class PathLossModel(abc.ABC):
+    """Interface: path loss in dB at 3-D distance ``d`` (m), frequency ``f`` (GHz)."""
+
+    @abc.abstractmethod
+    def loss_db(self, distance_m, frequency_ghz: float, los: bool = True):
+        """Path loss in dB (vectorized over distance)."""
+
+    def __call__(self, distance_m, frequency_ghz: float, los: bool = True):
+        return self.loss_db(distance_m, frequency_ghz, los)
+
+
+@dataclass(frozen=True)
+class FreeSpace(PathLossModel):
+    """Free-space path loss: ``20 log10(4 pi d f / c)``."""
+
+    def loss_db(self, distance_m, frequency_ghz: float, los: bool = True):
+        d = np.maximum(_as_array(distance_m), 1.0)
+        f_hz = frequency_ghz * 1e9
+        return 20.0 * np.log10(4.0 * math.pi * d * f_hz / SPEED_OF_LIGHT)
+
+
+@dataclass(frozen=True)
+class UMA(PathLossModel):
+    """TR 38.901 urban macro (UMa) path loss.
+
+    Simplified to the d < d_BP regime (PL1) which covers the paper's
+    measurement distances (tens to a few hundred meters):
+
+    - LOS:  ``28.0 + 22 log10(d) + 20 log10(f)``
+    - NLOS: ``max(LOS, 13.54 + 39.08 log10(d) + 20 log10(f) - 0.6 (h_ut - 1.5))``
+    """
+
+    ue_height_m: float = 1.5
+
+    def loss_db(self, distance_m, frequency_ghz: float, los: bool = True):
+        d = np.maximum(_as_array(distance_m), 1.0)
+        log_d = np.log10(d)
+        log_f = math.log10(frequency_ghz)
+        pl_los = 28.0 + 22.0 * log_d + 20.0 * log_f
+        if los:
+            return pl_los
+        pl_nlos = 13.54 + 39.08 * log_d + 20.0 * log_f - 0.6 * (self.ue_height_m - 1.5)
+        return np.maximum(pl_los, pl_nlos)
+
+
+@dataclass(frozen=True)
+class UMI(PathLossModel):
+    """TR 38.901 urban micro street canyon (UMi) path loss (d < d_BP).
+
+    - LOS:  ``32.4 + 21 log10(d) + 20 log10(f)``
+    - NLOS: ``max(LOS, 22.4 + 35.3 log10(d) + 21.3 log10(f) - 0.3 (h_ut - 1.5))``
+    """
+
+    ue_height_m: float = 1.5
+
+    def loss_db(self, distance_m, frequency_ghz: float, los: bool = True):
+        d = np.maximum(_as_array(distance_m), 1.0)
+        log_d = np.log10(d)
+        log_f = math.log10(frequency_ghz)
+        pl_los = 32.4 + 21.0 * log_d + 20.0 * log_f
+        if los:
+            return pl_los
+        pl_nlos = 22.4 + 35.3 * log_d + 21.3 * log_f - 0.3 * (self.ue_height_m - 1.5)
+        return np.maximum(pl_los, pl_nlos)
+
+
+def los_probability_uma(distance_m) -> np.ndarray:
+    """TR 38.901 UMa LOS probability for UE height <= 13 m."""
+    d = _as_array(distance_m)
+    d2d = np.maximum(d, 1e-9)
+    prob = np.where(
+        d2d <= 18.0,
+        1.0,
+        (18.0 / d2d + np.exp(-d2d / 63.0) * (1.0 - 18.0 / d2d)),
+    )
+    return np.clip(prob, 0.0, 1.0)
+
+
+def los_probability_umi(distance_m) -> np.ndarray:
+    """TR 38.901 UMi LOS probability."""
+    d = _as_array(distance_m)
+    d2d = np.maximum(d, 1e-9)
+    prob = np.where(
+        d2d <= 18.0,
+        1.0,
+        (18.0 / d2d + np.exp(-d2d / 36.0) * (1.0 - 18.0 / d2d)),
+    )
+    return np.clip(prob, 0.0, 1.0)

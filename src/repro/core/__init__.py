@@ -1,0 +1,50 @@
+"""Analysis core — the paper's measurement-analysis pipeline.
+
+- :mod:`repro.core.variability` — the scaled variability metric V(t) of
+  §5 eq. (1) and multi-time-scale profiles (Fig. 12, Fig. 18),
+- :mod:`repro.core.timeseries` — KPI series container and resampling,
+- :mod:`repro.core.stats` — CDFs, summary statistics, bootstrap CIs,
+- :mod:`repro.core.throughput` — the 3GPP TS 38.306 maximum-throughput
+  formula of §3.2,
+- :mod:`repro.core.latency` — the PHY user-plane latency decomposition
+  of §4.3 (TDD alignment + HARQ),
+- :mod:`repro.core.qoe` — video QoE metrics (§6).
+"""
+
+from repro.core.variability import scaled_variability, variability_profile, joint_variability
+from repro.core.timeseries import KpiSeries
+from repro.core.stats import empirical_cdf, summarize, bootstrap_mean_ci
+from repro.core.throughput import max_throughput_mbps, CarrierSpec, OVERHEAD_FR1_DL, OVERHEAD_FR1_UL
+from repro.core.latency import UserPlaneLatencyModel, LatencyBreakdown
+from repro.core.qoe import QoeMetrics, normalized_bitrate, stall_percentage
+from repro.core.e2e import E2eLatencyModel, ServerPlacement, placement_sweep
+from repro.core.plotting import bar_chart, cdf_plot, line_plot, sparkline
+from repro.core.prediction import ThroughputPredictor, extract_features
+
+__all__ = [
+    "scaled_variability",
+    "variability_profile",
+    "joint_variability",
+    "KpiSeries",
+    "empirical_cdf",
+    "summarize",
+    "bootstrap_mean_ci",
+    "max_throughput_mbps",
+    "CarrierSpec",
+    "OVERHEAD_FR1_DL",
+    "OVERHEAD_FR1_UL",
+    "UserPlaneLatencyModel",
+    "LatencyBreakdown",
+    "QoeMetrics",
+    "normalized_bitrate",
+    "stall_percentage",
+    "E2eLatencyModel",
+    "ServerPlacement",
+    "placement_sweep",
+    "bar_chart",
+    "cdf_plot",
+    "line_plot",
+    "sparkline",
+    "ThroughputPredictor",
+    "extract_features",
+]

@@ -1,0 +1,103 @@
+"""End-to-end latency decomposition: server placement matters (§2, §9).
+
+The campaign deployed servers at three depths — Ookla-style edge servers
+"if not within the cellular core network, the closest edge servers to
+the cellular core" (plus AWS Wavelength inside operator networks), local
+cloud zones, and regular cloud regions — precisely so PHY latency could
+be isolated from transport latency.  The conclusion turns that into
+guidance for "server placement".
+
+This module composes the §4.3 PHY user-plane latency with the
+post-RAN components into an end-to-end RTT:
+
+    RTT = PHY user-plane delay (DL+UL)   [UserPlaneLatencyModel]
+        + RAN processing / backhaul
+        + core-network traversal
+        + transport to the server        [depends on placement]
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.latency import UserPlaneLatencyModel
+
+
+class ServerPlacement(enum.Enum):
+    """Where the measurement/application server sits."""
+
+    WAVELENGTH = "wavelength"   # inside the operator network (AWS Wavelength)
+    EDGE = "edge"               # Ookla-style edge, adjacent to the core
+    METRO_CLOUD = "metro"       # local cloud zone in the same metro
+    REGIONAL_CLOUD = "regional" # cloud region, hundreds of km away
+
+
+#: One-way transport latency (ms) from the core network to the server.
+TRANSPORT_ONE_WAY_MS = {
+    ServerPlacement.WAVELENGTH: 0.3,
+    ServerPlacement.EDGE: 1.0,
+    ServerPlacement.METRO_CLOUD: 3.0,
+    ServerPlacement.REGIONAL_CLOUD: 9.0,
+}
+
+
+@dataclass(frozen=True)
+class E2eLatencyModel:
+    """End-to-end RTT model on top of a PHY latency model.
+
+    Parameters
+    ----------
+    phy:
+        The §4.3 user-plane model (already covers DL+UL PHY latency).
+    ran_processing_ms:
+        gNB-internal and backhaul one-way delay (per direction).
+    core_ms:
+        Core-network (UPF) traversal, one way.
+    placement:
+        Server placement tier.
+    """
+
+    phy: UserPlaneLatencyModel
+    ran_processing_ms: float = 1.0
+    core_ms: float = 0.75
+    placement: ServerPlacement = ServerPlacement.EDGE
+
+    def __post_init__(self) -> None:
+        if self.ran_processing_ms < 0 or self.core_ms < 0:
+            raise ValueError("delays must be non-negative")
+
+    @property
+    def transport_one_way_ms(self) -> float:
+        return TRANSPORT_ONE_WAY_MS[self.placement]
+
+    def mean_rtt_ms(self, bler_positive: bool = False) -> float:
+        """Mean end-to-end round-trip time in ms.
+
+        The PHY model already spans both directions (DL+UL user-plane
+        delay); RAN/core/transport components count once per direction.
+        """
+        beyond_ran = 2.0 * (self.ran_processing_ms + self.core_ms + self.transport_one_way_ms)
+        return self.phy.mean_latency_ms(bler_positive=bler_positive) + beyond_ran
+
+    def sample_rtt_ms(self, n: int, rng: np.random.Generator | None = None,
+                      retx_probability: float = 0.0,
+                      transport_jitter_ms: float = 0.3) -> np.ndarray:
+        """Sample end-to-end RTTs (PHY Monte Carlo + jittered transport)."""
+        if transport_jitter_ms < 0:
+            raise ValueError("jitter must be non-negative")
+        rng = rng or np.random.default_rng()
+        phy = self.phy.sample(n, rng=rng, retx_probability=retx_probability)
+        beyond = 2.0 * (self.ran_processing_ms + self.core_ms + self.transport_one_way_ms)
+        jitter = rng.exponential(transport_jitter_ms, size=n) if transport_jitter_ms > 0 else 0.0
+        return phy + beyond + jitter
+
+
+def placement_sweep(phy: UserPlaneLatencyModel) -> dict[str, float]:
+    """Mean RTT per placement tier — the server-placement guidance table."""
+    return {
+        placement.value: E2eLatencyModel(phy=phy, placement=placement).mean_rtt_ms()
+        for placement in ServerPlacement
+    }

@@ -1,0 +1,118 @@
+"""Terminal (ASCII) rendering of the paper's chart types.
+
+The experiment harness prints its results as text; these helpers render
+the three chart shapes the paper uses — bar comparisons (Figs. 1, 9,
+11), line series over time or scale (Figs. 12, 13, 16), and CDFs
+(Fig. 3) — as compact ASCII blocks, so `python -m repro run fig12
+--plot`-style output works with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Eighth-block characters for smooth horizontal bars.
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def bar_chart(values: dict[str, float], width: int = 40, unit: str = "") -> str:
+    """Horizontal bar chart: one labeled row per entry."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    if width < 4:
+        raise ValueError("width must be at least 4")
+    maximum = max(values.values())
+    scale = width / maximum if maximum > 0 else 0.0
+    label_width = max(len(label) for label in values)
+    rows = []
+    for label, value in values.items():
+        length = value * scale
+        whole = int(length)
+        frac = int((length - whole) * 8)
+        bar = "█" * whole + (_BLOCKS[frac] if frac else "")
+        rows.append(f"{label:>{label_width}s} | {bar:<{width + 1}s} {value:,.1f}{unit}")
+    return "\n".join(rows)
+
+
+def line_plot(x: np.ndarray, y: np.ndarray, height: int = 10, width: int = 60,
+              x_label: str = "", y_label: str = "") -> str:
+    """A braille-free scatter/line plot on a character grid."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("x and y must be equal-length with at least two points")
+    if height < 2 or width < 8:
+        raise ValueError("grid too small")
+    finite = np.isfinite(x) & np.isfinite(y)
+    x, y = x[finite], y[finite]
+    grid = [[" "] * width for _ in range(height)]
+    x_span = x.max() - x.min() or 1.0
+    y_span = y.max() - y.min() or 1.0
+    # Resample along x so long series do not overdraw.
+    for xi, yi in zip(x, y):
+        col = int((xi - x.min()) / x_span * (width - 1))
+        row = height - 1 - int((yi - y.min()) / y_span * (height - 1))
+        grid[row][col] = "•"
+    top = f"{y.max():10.1f} ┤"
+    bottom = f"{y.min():10.1f} ┤"
+    lines = []
+    for i, row in enumerate(grid):
+        prefix = top if i == 0 else (bottom if i == height - 1 else " " * 11 + "│")
+        lines.append(prefix + "".join(row))
+    axis = " " * 11 + "└" + "─" * width
+    footer = f"{'':11s} {x.min():<12.1f}{x_label:^{max(0, width - 24)}s}{x.max():>12.1f}"
+    if y_label:
+        lines.insert(0, f"{y_label}")
+    lines.append(axis)
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def cdf_plot(samples: np.ndarray, width: int = 60, height: int = 10,
+             label: str = "") -> str:
+    """Render the empirical CDF of a sample."""
+    samples = np.asarray(samples, dtype=float)
+    samples = samples[np.isfinite(samples)]
+    if samples.size < 2:
+        raise ValueError("need at least two samples")
+    ordered = np.sort(samples)
+    probabilities = np.arange(1, ordered.size + 1) / ordered.size
+    return line_plot(ordered, probabilities, height=height, width=width,
+                     x_label=label, y_label="CDF")
+
+
+def sparkline(values: np.ndarray, width: int | None = None) -> str:
+    """A one-line sparkline (resampled to ``width`` if given)."""
+    ticks = "▁▂▃▄▅▆▇█"
+    values = np.asarray(values, dtype=float)
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        raise ValueError("values must be non-empty")
+    if width is not None and values.size > width:
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array([values[a:b].mean() if b > a else values[min(a, values.size - 1)]
+                           for a, b in zip(edges[:-1], edges[1:])])
+    span = values.max() - values.min()
+    if span == 0:
+        return ticks[0] * values.size
+    indices = ((values - values.min()) / span * (len(ticks) - 1)).round().astype(int)
+    return "".join(ticks[i] for i in indices)
+
+
+def side_by_side(blocks: list[str], gap: int = 3) -> str:
+    """Join several multi-line blocks horizontally."""
+    if not blocks:
+        raise ValueError("blocks must be non-empty")
+    split = [block.splitlines() for block in blocks]
+    heights = max(len(lines) for lines in split)
+    widths = [max((len(line) for line in lines), default=0) for lines in split]
+    rows = []
+    for i in range(heights):
+        parts = []
+        for lines, width in zip(split, widths):
+            line = lines[i] if i < len(lines) else ""
+            parts.append(line.ljust(width))
+        rows.append((" " * gap).join(parts).rstrip())
+    return "\n".join(rows)

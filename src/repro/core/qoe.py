@@ -1,0 +1,96 @@
+"""Video streaming QoE metrics (§6 of the paper).
+
+The paper evaluates client buffer level, *normalized bitrate* and
+*stall time*; Fig. 15/16 report the average normalized bitrate and the
+stall-time percentage of each run, plus the mean quality level
+("Avg Quality = 5.41" in Fig. 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def normalized_bitrate(chunk_bitrates_mbps: np.ndarray, max_bitrate_mbps: float) -> float:
+    """Average chunk bitrate normalized by the ladder's top bitrate."""
+    if max_bitrate_mbps <= 0:
+        raise ValueError("max_bitrate_mbps must be positive")
+    chunks = np.asarray(chunk_bitrates_mbps, dtype=float)
+    if chunks.size == 0:
+        return 0.0
+    return float(chunks.mean() / max_bitrate_mbps)
+
+
+def stall_percentage(total_stall_s: float, playback_s: float) -> float:
+    """Stall time as a percentage of total session time."""
+    if playback_s < 0 or total_stall_s < 0:
+        raise ValueError("durations must be non-negative")
+    session = playback_s + total_stall_s
+    if session == 0:
+        return 0.0
+    return min(100.0, 100.0 * total_stall_s / session)
+
+
+def bitrate_smoothness(chunk_bitrates_mbps: np.ndarray) -> float:
+    """Mean absolute bitrate change between consecutive chunks.
+
+    This is V(t) at the chunk time scale — the paper notes (§5 footnote)
+    that video "smoothness" is exactly the scaled variability metric at
+    a fixed chunk-length scale.
+    """
+    chunks = np.asarray(chunk_bitrates_mbps, dtype=float)
+    if chunks.size < 2:
+        return 0.0
+    return float(np.mean(np.abs(np.diff(chunks))))
+
+
+@dataclass(frozen=True)
+class QoeMetrics:
+    """QoE summary of one streaming session."""
+
+    mean_quality_level: float
+    normalized_bitrate: float
+    mean_bitrate_mbps: float
+    stall_time_s: float
+    stall_percentage: float
+    n_stalls: int
+    n_chunks: int
+    smoothness_mbps: float
+    startup_delay_s: float = 0.0
+
+    def row(self) -> str:
+        """One printable harness row."""
+        return (
+            f"quality={self.mean_quality_level:5.2f}  norm_bitrate={self.normalized_bitrate:5.3f}  "
+            f"bitrate={self.mean_bitrate_mbps:8.1f} Mbps  stall={self.stall_percentage:6.2f}%  "
+            f"stalls={self.n_stalls:3d}  chunks={self.n_chunks:4d}"
+        )
+
+    @classmethod
+    def from_session(
+        cls,
+        quality_levels: np.ndarray,
+        chunk_bitrates_mbps: np.ndarray,
+        max_bitrate_mbps: float,
+        stall_events_s: np.ndarray,
+        playback_s: float,
+        startup_delay_s: float = 0.0,
+    ) -> "QoeMetrics":
+        """Build the summary from raw per-chunk session data."""
+        quality_levels = np.asarray(quality_levels, dtype=float)
+        chunk_bitrates = np.asarray(chunk_bitrates_mbps, dtype=float)
+        stalls = np.asarray(stall_events_s, dtype=float)
+        total_stall = float(stalls.sum())
+        return cls(
+            mean_quality_level=float(quality_levels.mean()) if quality_levels.size else 0.0,
+            normalized_bitrate=normalized_bitrate(chunk_bitrates, max_bitrate_mbps),
+            mean_bitrate_mbps=float(chunk_bitrates.mean()) if chunk_bitrates.size else 0.0,
+            stall_time_s=total_stall,
+            stall_percentage=stall_percentage(total_stall, playback_s),
+            n_stalls=int((stalls > 0).sum()),
+            n_chunks=int(chunk_bitrates.size),
+            smoothness_mbps=bitrate_smoothness(chunk_bitrates),
+            startup_delay_s=startup_delay_s,
+        )

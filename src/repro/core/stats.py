@@ -1,0 +1,103 @@
+"""Distribution utilities: empirical CDFs, summaries, bootstrap CIs.
+
+The paper reports means annotated on box plots (Figs. 1, 2, 9-11),
+CDFs of RE allocations (Fig. 3), and mean ± std annotations (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    def row(self) -> str:
+        """One printable row (harness output)."""
+        return (
+            f"n={self.n:>7d}  mean={self.mean:10.2f}  std={self.std:9.2f}  "
+            f"min={self.minimum:9.2f}  p25={self.p25:9.2f}  p50={self.median:9.2f}  "
+            f"p75={self.p75:9.2f}  max={self.maximum:9.2f}"
+        )
+
+
+def summarize(samples: np.ndarray) -> Summary:
+    """Summary statistics of a sample (nan-safe)."""
+    samples = np.asarray(samples, dtype=float)
+    samples = samples[~np.isnan(samples)]
+    if samples.size == 0:
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan, nan, nan)
+    return Summary(
+        n=int(samples.size),
+        mean=float(samples.mean()),
+        std=float(samples.std(ddof=1)) if samples.size > 1 else 0.0,
+        minimum=float(samples.min()),
+        p25=float(np.percentile(samples, 25)),
+        median=float(np.percentile(samples, 50)),
+        p75=float(np.percentile(samples, 75)),
+        maximum=float(samples.max()),
+    )
+
+
+def empirical_cdf(samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns ``(sorted_values, probabilities)``.
+
+    Probabilities are ``i/n`` at the i-th order statistic, so
+    ``probabilities[-1] == 1.0``.
+    """
+    samples = np.asarray(samples, dtype=float)
+    samples = samples[~np.isnan(samples)]
+    if samples.size == 0:
+        return np.array([]), np.array([])
+    ordered = np.sort(samples)
+    probabilities = np.arange(1, ordered.size + 1) / ordered.size
+    return ordered, probabilities
+
+
+def cdf_at(samples: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Evaluate the empirical CDF of ``samples`` at given ``values``."""
+    ordered, _ = empirical_cdf(samples)
+    if ordered.size == 0:
+        return np.full(np.asarray(values, dtype=float).shape, np.nan)
+    ranks = np.searchsorted(ordered, np.asarray(values, dtype=float), side="right")
+    return ranks / ordered.size
+
+
+def bootstrap_mean_ci(
+    samples: np.ndarray,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie in (0, 1)")
+    samples = np.asarray(samples, dtype=float)
+    samples = samples[~np.isnan(samples)]
+    if samples.size == 0:
+        return float("nan"), float("nan")
+    rng = rng or np.random.default_rng()
+    idx = rng.integers(0, samples.size, size=(n_resamples, samples.size))
+    means = samples[idx].mean(axis=1)
+    lower = (1.0 - confidence) / 2.0 * 100.0
+    return float(np.percentile(means, lower)), float(np.percentile(means, 100.0 - lower))
+
+
+def relative_difference(a: float, b: float) -> float:
+    """Relative difference ``(a - b) / b`` (paper-vs-measured checks)."""
+    if b == 0:
+        return float("inf") if a != 0 else 0.0
+    return (a - b) / b

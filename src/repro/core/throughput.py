@@ -1,0 +1,109 @@
+"""3GPP maximum-throughput formula (TS 38.306 §4.1.2) — §3.2 of the paper.
+
+::
+
+    Max_Tput (Mbps) = 1e-6 * sum_j [ v_layers(j) * Q_MCS(j) * f(j) * R_max
+                        * 12 * N_RB(j) / T_s^mu * (1 - OH(j)) ]
+
+with per-component-carrier MIMO layers ``v``, modulation order ``Q``,
+scaling factor ``f``, maximum code rate ``R_max = 948/1024``, RB budget
+``N_RB``, average symbol duration ``T_s^mu`` and overhead ``OH`` (0.14
+DL / 0.08 UL in FR1).
+
+The paper quotes 1213.44 Mbps (90 MHz) and 1352.12 Mbps (100 MHz); those
+values correspond to evaluating the formula with 2 MIMO layers and zero
+overhead (their ratio is exactly 273/245, the N_RB ratio).  We expose
+the standard evaluation and note the discrepancy in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nr.grid import max_rb
+from repro.nr.mcs import Modulation
+from repro.nr.numerology import Numerology, symbol_duration_s
+
+#: FR1 overheads from TS 38.306 (the paper quotes the same values).
+OVERHEAD_FR1_DL = 0.14
+OVERHEAD_FR1_UL = 0.08
+OVERHEAD_FR2_DL = 0.18
+OVERHEAD_FR2_UL = 0.10
+
+#: Maximum LDPC code rate.
+R_MAX = 948.0 / 1024.0
+
+#: Allowed values of the scaling factor f(j) (TS 38.306).
+ALLOWED_SCALING_FACTORS = (1.0, 0.8, 0.75, 0.4)
+
+
+@dataclass(frozen=True)
+class CarrierSpec:
+    """One component carrier's inputs to the throughput formula."""
+
+    bandwidth_mhz: int
+    scs_khz: int = 30
+    layers: int = 4
+    max_modulation: Modulation = Modulation.QAM256
+    scaling_factor: float = 1.0
+    overhead: float = OVERHEAD_FR1_DL
+    fr2: bool = False
+    n_rb_override: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.layers <= 8:
+            raise ValueError("layers must lie in [1, 8]")
+        if self.scaling_factor not in ALLOWED_SCALING_FACTORS:
+            raise ValueError(f"scaling factor must be one of {ALLOWED_SCALING_FACTORS}")
+        if not 0.0 <= self.overhead < 1.0:
+            raise ValueError("overhead must lie in [0, 1)")
+
+    @property
+    def n_rb(self) -> int:
+        if self.n_rb_override is not None:
+            return self.n_rb_override
+        return max_rb(self.bandwidth_mhz, self.scs_khz, fr2=self.fr2)
+
+    @property
+    def mu(self) -> Numerology:
+        return Numerology.from_scs_khz(self.scs_khz)
+
+    def throughput_mbps(self, r_max: float = R_MAX) -> float:
+        """This carrier's contribution in Mbps."""
+        t_s = symbol_duration_s(self.mu)
+        q_m = self.max_modulation.bits_per_symbol
+        rate_bps = (
+            self.layers * q_m * self.scaling_factor * r_max
+            * 12 * self.n_rb / t_s * (1.0 - self.overhead)
+        )
+        return rate_bps * 1e-6
+
+
+def max_throughput_mbps(carriers: list[CarrierSpec] | CarrierSpec, r_max: float = R_MAX) -> float:
+    """Aggregate theoretical maximum PHY throughput in Mbps.
+
+    Accepts a single carrier or a CA list (the J-carrier sum).
+    """
+    if isinstance(carriers, CarrierSpec):
+        carriers = [carriers]
+    if not carriers:
+        raise ValueError("need at least one carrier")
+    return sum(c.throughput_mbps(r_max) for c in carriers)
+
+
+def tdd_adjusted_throughput_mbps(
+    carrier: CarrierSpec,
+    dl_symbol_fraction: float,
+    r_max: float = R_MAX,
+) -> float:
+    """Formula value scaled by the TDD DL symbol share.
+
+    The plain TS 38.306 value assumes every symbol is available in the
+    computed direction; on a TDD channel the pattern reserves slots for
+    the other direction, so the *attainable* figure is the formula times
+    the direction's symbol fraction.  This is the ceiling the measured
+    means in Fig. 1 should be compared against.
+    """
+    if not 0.0 < dl_symbol_fraction <= 1.0:
+        raise ValueError("dl_symbol_fraction must lie in (0, 1]")
+    return carrier.throughput_mbps(r_max) * dl_symbol_fraction

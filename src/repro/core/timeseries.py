@@ -1,0 +1,135 @@
+"""KPI time-series container with resampling.
+
+A thin numpy-backed series abstraction: values on a uniform time grid,
+resampled by block averaging (for rates and indices) or block summing
+(for bit counts).  The analysis figures plot KPIs at many granularities
+(60 ms in Fig. 13, 150 ms in Fig. 15, dyadic scales in Fig. 12); this
+container centralizes those conversions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.variability import block_averages, scaled_variability, variability_profile
+
+
+@dataclass(frozen=True)
+class KpiSeries:
+    """A uniformly sampled KPI series.
+
+    Attributes
+    ----------
+    values:
+        Sample values.
+    interval_ms:
+        Time between consecutive samples.
+    name:
+        KPI label (used in printed summaries).
+    """
+
+    values: np.ndarray
+    interval_ms: float
+    name: str = "kpi"
+
+    def __post_init__(self) -> None:
+        if self.interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        object.__setattr__(self, "values", np.asarray(self.values, dtype=float))
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def duration_s(self) -> float:
+        return len(self) * self.interval_ms * 1e-3
+
+    def times_ms(self) -> np.ndarray:
+        """Start time of each sample."""
+        return np.arange(len(self)) * self.interval_ms
+
+    # ------------------------------------------------------------------ #
+    # Resampling
+    # ------------------------------------------------------------------ #
+    def _block_for(self, target_ms: float) -> int:
+        if target_ms < self.interval_ms:
+            raise ValueError(
+                f"cannot resample {self.name} from {self.interval_ms} ms up to finer {target_ms} ms"
+            )
+        block = int(round(target_ms / self.interval_ms))
+        if abs(block * self.interval_ms - target_ms) > 1e-9 * max(1.0, target_ms):
+            raise ValueError(
+                f"target {target_ms} ms is not an integer multiple of {self.interval_ms} ms"
+            )
+        return block
+
+    def resample_mean(self, target_ms: float) -> "KpiSeries":
+        """Block-average to a coarser granularity (rates, MCS, layers)."""
+        block = self._block_for(target_ms)
+        return KpiSeries(block_averages(self.values, block), target_ms, self.name)
+
+    def resample_sum(self, target_ms: float) -> "KpiSeries":
+        """Block-sum to a coarser granularity (bit counts)."""
+        block = self._block_for(target_ms)
+        m = len(self) // block
+        if m == 0:
+            return KpiSeries(np.array([]), target_ms, self.name)
+        summed = self.values[: m * block].reshape(m, block).sum(axis=1)
+        return KpiSeries(summed, target_ms, self.name)
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean()) if len(self) else float("nan")
+
+    @property
+    def std(self) -> float:
+        return float(self.values.std(ddof=1)) if len(self) > 1 else float("nan")
+
+    def percentile(self, q: float) -> float:
+        if len(self) == 0:
+            return float("nan")
+        return float(np.percentile(self.values, q))
+
+    def variability(self, scale_ms: float) -> float:
+        """V(t) of this series at a coarser time scale."""
+        return scaled_variability(self.values, self._block_for(scale_ms))
+
+    def variability_profile(self, max_scale_ms: float = 2000.0) -> tuple[np.ndarray, np.ndarray]:
+        """Dyadic V(t) profile starting at this series' granularity."""
+        return variability_profile(self.values, self.interval_ms, max_scale_ms)
+
+    # ------------------------------------------------------------------ #
+    # Construction from traces
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def throughput_from_trace(cls, trace, bin_ms: float) -> "KpiSeries":
+        """Throughput series (Mbps) from a :class:`SlotTrace`."""
+        return cls(trace.throughput_mbps(bin_ms), bin_ms, name="throughput_mbps")
+
+    @classmethod
+    def from_trace_column(cls, trace, column: str, bin_ms: float | None = None,
+                          scheduled_only: bool = True) -> "KpiSeries":
+        """A (optionally bin-averaged) series of a trace column.
+
+        With ``scheduled_only`` unscheduled slots are excluded *before*
+        averaging by carrying the last scheduled value forward — KPIs
+        like MCS or layers are undefined in idle slots.
+        """
+        values = trace.column(column).astype(float)
+        if scheduled_only:
+            sched = trace.scheduled.astype(bool)
+            if sched.any():
+                idx = np.where(sched, np.arange(len(values)), 0)
+                np.maximum.accumulate(idx, out=idx)
+                values = values[idx]
+                first = int(np.argmax(sched))
+                values[: first] = values[first]
+        series = cls(values, trace.slot_duration_ms, name=column)
+        if bin_ms is not None:
+            series = series.resample_mean(bin_ms)
+        return series

@@ -1,0 +1,146 @@
+"""Scaled variability metrics — §5 eq. (1) of the paper.
+
+Given samples ``x_1 .. x_n`` at base granularity ``tau`` (slot level,
+0.5 ms), the variability at time scale ``t = 2^k * tau`` is::
+
+    V(t) = 1/(m-1) * sum_{j=1}^{m-1} |X_{j+1} - X_j|
+
+where ``X_j`` is the average of the samples falling in the j-th window
+of length ``t`` and ``m = T / t`` is the number of windows.  V(t) is the
+mean absolute first difference of the t-averaged series — inspired by
+bounded variation; larger V(t) means the series moves more at scale t.
+
+The paper evaluates V(t) for throughput, MCS and MIMO-layer series from
+0.5 ms to 2 s (Fig. 12), and uses a joint MCS+MIMO variability as the
+channel-instability proxy driving QoE (Fig. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def block_averages(samples: np.ndarray, block: int) -> np.ndarray:
+    """Averages of consecutive non-overlapping blocks of length ``block``.
+
+    The trailing partial block is dropped (each window must cover a full
+    ``t`` interval).
+    """
+    samples = np.asarray(samples, dtype=float)
+    if block < 1:
+        raise ValueError("block must be a positive number of samples")
+    m = samples.size // block
+    if m == 0:
+        return np.array([])
+    return samples[: m * block].reshape(m, block).mean(axis=1)
+
+
+def scaled_variability(samples: np.ndarray, block: int) -> float:
+    """V(t) for time scale ``t = block * tau`` (eq. 1).
+
+    Returns ``nan`` when fewer than two full windows exist (the metric
+    is undefined).
+    """
+    averaged = block_averages(samples, block)
+    if averaged.size < 2:
+        return float("nan")
+    return float(np.mean(np.abs(np.diff(averaged))))
+
+
+def variability_profile(
+    samples: np.ndarray,
+    base_interval_ms: float,
+    max_scale_ms: float = 2000.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """V(t) across dyadic time scales ``t = 2^k * tau`` (Fig. 12).
+
+    Returns ``(scales_ms, v)``; scales run from the base interval up to
+    ``max_scale_ms`` (inclusive when it is a power-of-two multiple).
+    Scales with fewer than two full windows are omitted.
+    """
+    if base_interval_ms <= 0:
+        raise ValueError("base_interval_ms must be positive")
+    samples = np.asarray(samples, dtype=float)
+    scales: list[float] = []
+    values: list[float] = []
+    block = 1
+    while block * base_interval_ms <= max_scale_ms:
+        v = scaled_variability(samples, block)
+        if not np.isnan(v):
+            scales.append(block * base_interval_ms)
+            values.append(v)
+        block *= 2
+    return np.array(scales), np.array(values)
+
+
+def segment_variability(
+    samples: np.ndarray,
+    block: int,
+    segment: int,
+) -> np.ndarray:
+    """V(t) of consecutive sub-sequences of ``segment`` samples each.
+
+    §5: "We can also segment a long sequence into multiple
+    sub-sequences, and quantify the variability of the sub-sequences."
+    Used to attach error bars (mean ± std) to the Fig. 12 profiles.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if segment < 2 * block:
+        raise ValueError("segment must hold at least two windows of the target scale")
+    n_segments = samples.size // segment
+    return np.array([
+        scaled_variability(samples[i * segment : (i + 1) * segment], block)
+        for i in range(n_segments)
+    ])
+
+
+@dataclass(frozen=True)
+class JointVariability:
+    """Joint (MCS, MIMO) variability point, the Fig. 15 x/y pair."""
+
+    mcs: float
+    mimo: float
+
+    @property
+    def magnitude(self) -> float:
+        """Euclidean norm — a scalar channel-instability score."""
+        return float(np.hypot(self.mcs, self.mimo))
+
+
+def joint_variability(
+    mcs_series: np.ndarray,
+    mimo_series: np.ndarray,
+    block: int,
+) -> JointVariability:
+    """Joint MCS/MIMO-layer variability at one time scale (Figs. 14, 15)."""
+    return JointVariability(
+        mcs=scaled_variability(mcs_series, block),
+        mimo=scaled_variability(mimo_series, block),
+    )
+
+
+def stabilization_scale_ms(
+    samples: np.ndarray,
+    base_interval_ms: float,
+    max_scale_ms: float = 2000.0,
+    tolerance: float = 0.05,
+) -> float:
+    """Smallest scale at which V(t) stops changing appreciably.
+
+    §5 observes throughput variability "stabilizes" around 0.2-0.5 s;
+    this finds the first dyadic scale whose V changes by less than
+    ``tolerance`` (relative, in absolute value) from the previous scale.
+    Measured throughput profiles decrease toward that plateau; smooth
+    processes (e.g. an AR(1) SINR) first *rise* to their coherence scale
+    — the flatness criterion handles both shapes.
+    Returns ``nan`` when the profile never stabilizes in range.
+    """
+    scales, values = variability_profile(samples, base_interval_ms, max_scale_ms)
+    for k in range(1, scales.size):
+        if values[k - 1] <= 0:
+            return float(scales[k - 1])
+        if abs(values[k] - values[k - 1]) / values[k - 1] < tolerance:
+            return float(scales[k])
+    return float("nan")

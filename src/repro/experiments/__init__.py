@@ -1,0 +1,67 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment module exposes ``run(seed=..., quick=...) ->
+ExperimentResult``; the registry maps experiment ids (``"fig01"``,
+``"table2"``, ``"eq32"``, ...) to those callables.  ``quick=True``
+shortens simulation durations for CI; the printed rows are the same
+quantities the paper reports.
+
+Usage::
+
+    from repro.experiments import run_experiment, EXPERIMENT_IDS
+    result = run_experiment("fig02")
+    print(result.render())
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.experiments.base import ExperimentResult
+
+#: Experiment id -> implementing module (lazy-imported).
+_MODULES = {
+    "table1": "repro.experiments.table1",
+    "table2": "repro.experiments.table2_table3",
+    "table3": "repro.experiments.table2_table3",
+    "fig01": "repro.experiments.fig01_dl_throughput",
+    "fig02": "repro.experiments.fig02_spain_cqi12",
+    "fig03": "repro.experiments.fig03_re_cdf",
+    "fig04": "repro.experiments.fig04_max_rbs",
+    "fig05": "repro.experiments.fig05_mcs_ratios",
+    "fig06": "repro.experiments.fig06_mimo_layers",
+    "fig07": "repro.experiments.fig07_rsrq_route",
+    "fig08": "repro.experiments.fig08_spider",
+    "fig09": "repro.experiments.fig09_ul_eu",
+    "fig10": "repro.experiments.fig10_ul_us",
+    "fig11": "repro.experiments.fig11_latency",
+    "fig12": "repro.experiments.fig12_variability",
+    "fig13": "repro.experiments.fig13_timeseries",
+    "fig14": "repro.experiments.fig14_multiuser",
+    "fig15": "repro.experiments.fig15_variability_qoe",
+    "fig16": "repro.experiments.fig16_streaming_trace",
+    "fig17": "repro.experiments.fig17_chunk_length",
+    "fig18": "repro.experiments.fig18_mmwave_variability",
+    "fig19": "repro.experiments.fig19_mmwave_qoe",
+    "fig23": "repro.experiments.fig23_ca_benefit",
+    "fig24": "repro.experiments.fig24_abr_comparison",
+    "eq32": "repro.experiments.eq32_max_throughput",
+    "ext_aware": "repro.experiments.ext_network_aware",
+    "ext_predict": "repro.experiments.ext_prediction",
+    "ext_e2e": "repro.experiments.ext_e2e_latency",
+}
+
+EXPERIMENT_IDS = tuple(sorted(set(_MODULES)))
+
+
+def run_experiment(experiment_id: str, seed: int = 2024, quick: bool = True) -> ExperimentResult:
+    """Run one experiment by id."""
+    if experiment_id not in _MODULES:
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {EXPERIMENT_IDS}")
+    module = importlib.import_module(_MODULES[experiment_id])
+    if experiment_id in ("table2", "table3"):
+        return module.run(seed=seed, quick=quick, which=experiment_id)
+    return module.run(seed=seed, quick=quick)
+
+
+__all__ = ["ExperimentResult", "EXPERIMENT_IDS", "run_experiment"]

@@ -1,0 +1,59 @@
+"""§3.2 — the 3GPP TS 38.306 maximum-throughput formula.
+
+Evaluates the formula for every operator configuration and for the two
+Spanish bandwidths the paper quotes (1213.44 / 1352.12 Mbps).  The
+paper's quoted pair corresponds to a 2-layer, zero-overhead evaluation
+(their ratio is exactly 273/245 = the N_RB ratio); we report the
+standard 4-layer evaluation alongside, and the TDD-adjusted attainable
+ceiling the measured means should be compared to.
+"""
+
+from __future__ import annotations
+
+from repro import papertargets as targets
+from repro.core.throughput import CarrierSpec, max_throughput_mbps, tdd_adjusted_throughput_mbps
+from repro.experiments.base import ExperimentResult
+from repro.nr.mcs import Modulation
+from repro.operators.profiles import ALL_PROFILES
+
+
+def run(seed: int = 2024, quick: bool = True) -> ExperimentResult:
+    rows: list[str] = []
+    data: dict = {}
+
+    # The paper's quoted values: 2 layers, zero overhead.
+    for label, bandwidth in (("V_Sp_90MHz", 90), ("O_Sp_100MHz", 100)):
+        paper_value = targets.EQ32_PAPER_VALUES_MBPS[label]
+        two_layer = max_throughput_mbps(
+            CarrierSpec(bandwidth, layers=2, max_modulation=Modulation.QAM256, overhead=0.0))
+        four_layer = max_throughput_mbps(
+            CarrierSpec(bandwidth, layers=4, max_modulation=Modulation.QAM256))
+        data[label] = {"paper": paper_value, "two_layer_no_oh": two_layer, "four_layer": four_layer}
+        rows.append(
+            f"{label:12s} paper {paper_value:8.2f}  2-layer/no-OH {two_layer:8.2f} "
+            f"({100 * (two_layer / paper_value - 1):+4.1f}%)  standard 4-layer {four_layer:8.2f} Mbps"
+        )
+    ratio = data["O_Sp_100MHz"]["two_layer_no_oh"] / data["V_Sp_90MHz"]["two_layer_no_oh"]
+    rows.append(f"100/90 MHz ratio: formula {ratio:.4f}  N_RB ratio 273/245 = {273 / 245:.4f}  "
+                f"paper pair {targets.EQ32_PAPER_VALUES_MBPS['O_Sp_100MHz'] / targets.EQ32_PAPER_VALUES_MBPS['V_Sp_90MHz']:.4f}")
+    data["ratio"] = ratio
+
+    rows.append("-- per-operator theoretical maxima (standard evaluation) --")
+    data["operators"] = {}
+    for key, profile in ALL_PROFILES.items():
+        specs = [
+            CarrierSpec(
+                cell.bandwidth_mhz, scs_khz=cell.scs_khz, layers=cell.max_layers,
+                max_modulation=cell.max_modulation, fr2=cell.fr2,
+                n_rb_override=cell.n_rb_override,
+            )
+            for cell in profile.cells
+        ]
+        total = max_throughput_mbps(specs)
+        primary = profile.primary_cell
+        attainable = tdd_adjusted_throughput_mbps(specs[0], primary.dl_slot_fraction()) \
+            if primary.tdd is not None else specs[0].throughput_mbps()
+        data["operators"][key] = {"formula_mbps": total, "primary_tdd_adjusted_mbps": attainable}
+        rows.append(f"{key:10s} formula {total:8.1f} Mbps "
+                    f"(primary CC TDD-adjusted ceiling {attainable:8.1f} Mbps)")
+    return ExperimentResult("eq32", "TS 38.306 maximum-throughput formula (§3.2)", rows, data)

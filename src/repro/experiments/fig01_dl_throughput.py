@@ -1,0 +1,39 @@
+"""Fig. 1 — PHY DL throughput of European and U.S. operators.
+
+European operators run a single mid-band carrier; the U.S. operators
+aggregate carriers (CA), which is what pushes them beyond 1 Gbps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import papertargets as targets
+from repro.experiments.base import ExperimentResult, dl_trace, paper_vs_measured_row
+from repro.operators.profiles import EU_PROFILES, US_PROFILES
+
+
+def run(seed: int = 2024, quick: bool = True) -> ExperimentResult:
+    duration = 8.0 if quick else 30.0
+    rows: list[str] = ["-- Europe (single carrier, Mbps) --"]
+    data: dict = {"eu": {}, "us": {}}
+
+    for key, paper_mbps in targets.FIG1_EU_DL_MBPS.items():
+        trace = dl_trace(EU_PROFILES[key], duration, seed)
+        measured = trace.mean_throughput_mbps
+        data["eu"][key] = measured
+        rows.append(paper_vs_measured_row(key, paper_mbps, measured, " Mbps"))
+
+    rows.append("-- United States (carrier aggregation, Gbps) --")
+    for key, paper_gbps in targets.FIG1_US_DL_GBPS.items():
+        profile = US_PROFILES[key]
+        rng = np.random.default_rng(seed + 17)
+        result = profile.carrier_aggregation().simulate_downlink(
+            profile.dl_channel(), duration, rng=rng,
+            params=profile.sim_params(), operator=profile.operator,
+        )
+        measured = result.mean_throughput_mbps / 1000.0
+        data["us"][key] = measured
+        rows.append(paper_vs_measured_row(key, paper_gbps, measured, " Gbps"))
+
+    return ExperimentResult("fig01", "PHY DL throughput, EU and U.S. (Fig. 1)", rows, data)

@@ -1,0 +1,38 @@
+"""Fig. 3 — CDF of resource elements allocated to the UE (Spain).
+
+The wider 100 MHz channel allocates *more* REs than either 90 MHz
+channel — ruling radio-resource allocation out as the cause of its
+lower throughput (the allocation would predict the opposite).
+REs here are frequency-domain (12 per allocated PRB), matching the
+figure's 0-4x10^3 axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.stats import empirical_cdf
+from repro.experiments.base import ExperimentResult, dl_trace
+from repro.operators.profiles import EU_PROFILES
+
+SPAIN_KEYS = ("O_Sp_100", "O_Sp_90", "V_Sp")
+
+
+def run(seed: int = 2024, quick: bool = True) -> ExperimentResult:
+    duration = 8.0 if quick else 30.0
+    rows: list[str] = []
+    data: dict = {}
+    for key in SPAIN_KEYS:
+        trace = dl_trace(EU_PROFILES[key], duration, seed).scheduled_view()
+        res = trace.n_re
+        values, probs = empirical_cdf(res)
+        quantiles = {q: float(np.percentile(res, q)) for q in (10, 50, 90)}
+        data[key] = {"mean_re": float(res.mean()), "quantiles": quantiles,
+                     "cdf": (values[:: max(1, values.size // 200)],
+                             probs[:: max(1, probs.size // 200)])}
+        rows.append(
+            f"{key:10s} REs: mean {res.mean():7.0f}  p10 {quantiles[10]:7.0f}  "
+            f"p50 {quantiles[50]:7.0f}  p90 {quantiles[90]:7.0f}"
+        )
+    rows.append("expected ordering (paper): O_Sp_100 allocates the most REs, the 90 MHz carriers fewer")
+    return ExperimentResult("fig03", "RE-allocation CDFs, Spain (Fig. 3)", rows, data)

@@ -1,0 +1,40 @@
+"""Fig. 9 — European PHY UL throughput with CQI >= 12.
+
+All well below 120 Mbps: the TDD frame structures reserve far fewer
+symbols for UL than DL, and channel bandwidth shows little correlation
+with the UL outcome (§4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import papertargets as targets
+from repro.experiments.base import ExperimentResult, paper_vs_measured_row, ul_trace
+from repro.operators.profiles import EU_PROFILES
+
+#: Figure x-axis order: bandwidth ascending.
+FIG9_ORDER = ("V_It", "S_Fr", "V_Ge", "T_Ge", "O_Fr", "V_Sp", "O_Sp_90", "O_Sp_100")
+
+
+def run(seed: int = 2024, quick: bool = True) -> ExperimentResult:
+    duration = 8.0 if quick else 30.0
+    rows: list[str] = []
+    data: dict = {}
+    for key in FIG9_ORDER:
+        profile = EU_PROFILES[key]
+        trace = ul_trace(profile, duration, seed)
+        measured = trace.mean_throughput_mbps
+        data[key] = {"ul_mbps": measured, "bandwidth_mhz": profile.primary_cell.bandwidth_mhz,
+                     "ul_symbol_fraction": profile.primary_cell.ul_slot_fraction()}
+        rows.append(
+            paper_vs_measured_row(key, targets.FIG9_EU_UL_MBPS[key], measured, " Mbps")
+            + f"  [BW {profile.primary_cell.bandwidth_mhz} MHz, UL symbols "
+            + f"{100 * profile.primary_cell.ul_slot_fraction():4.1f}%]"
+        )
+    bandwidths = np.array([data[k]["bandwidth_mhz"] for k in FIG9_ORDER], dtype=float)
+    uls = np.array([data[k]["ul_mbps"] for k in FIG9_ORDER])
+    corr = float(np.corrcoef(bandwidths, uls)[0, 1])
+    rows.append(f"bandwidth-vs-UL-throughput correlation: {corr:+.2f} (paper: 'little correlation')")
+    data["bandwidth_correlation"] = corr
+    return ExperimentResult("fig09", "EU PHY UL throughput, CQI >= 12 (Fig. 9)", rows, data)

@@ -1,0 +1,61 @@
+"""Fig. 13 — time-series dissection of V_Sp at 60 ms granularity.
+
+A ~4.4 minute trace plotted at 60 ms: lower MCS/MIMO lead to lower
+throughput, and MCS/MIMO fluctuations drive throughput fluctuations,
+while RB allocation stays near the maximum and contributes little.
+The experiment reports the correlations and relative variabilities that
+the figure shows visually.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.timeseries import KpiSeries
+from repro.core.variability import scaled_variability
+from repro.experiments.base import ExperimentResult, dl_trace, qoe_channel
+from repro.operators.profiles import EU_PROFILES
+from repro.ran.simulator import simulate_downlink
+
+BIN_MS = 60.0
+
+
+def run(seed: int = 2024, quick: bool = True) -> ExperimentResult:
+    duration = 60.0 if quick else 264.0  # the paper's trace is 264 s
+    profile = EU_PROFILES["V_Sp"]
+    cell = profile.primary_cell
+    rng = np.random.default_rng(seed)
+    # Streaming-scenario channel: pronounced slow swings like the figure.
+    channel = qoe_channel(profile, swing_db=4.0, swing_period_s=40.0).realize(
+        duration, mu=cell.mu, rng=rng)
+    trace = simulate_downlink(cell, channel, rng=rng, params=profile.sim_params())
+
+    tput = KpiSeries(trace.throughput_mbps(BIN_MS), BIN_MS, "throughput")
+    mcs = KpiSeries.from_trace_column(trace, "mcs_index", bin_ms=BIN_MS)
+    mimo = KpiSeries.from_trace_column(trace, "layers", bin_ms=BIN_MS)
+    rbs = KpiSeries.from_trace_column(trace, "n_prb", bin_ms=BIN_MS)
+
+    n = min(len(tput), len(mcs), len(mimo), len(rbs))
+    corr_mcs = float(np.corrcoef(tput.values[:n], mcs.values[:n])[0, 1])
+    corr_mimo = float(np.corrcoef(tput.values[:n], mimo.values[:n])[0, 1])
+    rb_cv = rbs.std / rbs.mean if rbs.mean else float("nan")
+    mcs_cv = mcs.std / mcs.mean if mcs.mean else float("nan")
+
+    rows = [
+        f"trace: {duration:.0f} s of V_Sp at {BIN_MS:.0f} ms bins "
+        f"(mean tput {tput.mean:6.1f} Mbps, std {tput.std:6.1f})",
+        f"corr(throughput, MCS)  = {corr_mcs:+.2f}   (paper: strongly positive)",
+        f"corr(throughput, MIMO) = {corr_mimo:+.2f}   (paper: strongly positive)",
+        f"coefficient of variation: RBs {rb_cv:.3f} vs MCS {mcs_cv:.3f} "
+        "(paper: RB allocation contributes far less variability)",
+        f"V(60 ms): tput {scaled_variability(tput.values, 1):7.2f}  "
+        f"mcs {scaled_variability(mcs.values, 1):5.2f}  "
+        f"mimo {scaled_variability(mimo.values, 1):5.3f}  "
+        f"rbs {scaled_variability(rbs.values, 1):5.2f}",
+    ]
+    data = {
+        "tput": tput.values, "mcs": mcs.values, "mimo": mimo.values, "rbs": rbs.values,
+        "corr_mcs": corr_mcs, "corr_mimo": corr_mimo,
+        "rb_cv": rb_cv, "mcs_cv": mcs_cv,
+    }
+    return ExperimentResult("fig13", "V_Sp time-series dissection at 60 ms (Fig. 13)", rows, data)

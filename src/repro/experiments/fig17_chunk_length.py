@@ -1,0 +1,68 @@
+"""Fig. 17 / §6.2 — smaller video chunks improve QoE over 5G.
+
+Re-runs the same sessions with 4 s and 1 s chunks on O_Fr and V_Ge:
+the shorter chunk lets BOLA react at a faster time scale, improving
+average bitrate by up to ~40% and cutting stall percentage by ~50%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.video import Bola, PAPER_LADDER_MIDBAND, StreamingSession, Video
+from repro.experiments.base import ExperimentResult, qoe_channel
+from repro.operators.profiles import EU_PROFILES
+from repro.ran.simulator import simulate_downlink
+
+KEYS = ("O_Fr", "V_Ge")
+CHUNK_LENGTHS_S = (4.0, 1.0)
+N_RUNS_QUICK = 2
+N_RUNS_FULL = 5
+
+
+def run(seed: int = 2024, quick: bool = True) -> ExperimentResult:
+    duration = 70.0 if quick else 180.0
+    n_runs = N_RUNS_QUICK if quick else N_RUNS_FULL
+    rows: list[str] = []
+    data: dict = {}
+    for key in KEYS:
+        profile = EU_PROFILES[key]
+        cell = profile.primary_cell
+        results: dict[float, dict[str, list[float]]] = {
+            c: {"bitrate": [], "stall": []} for c in CHUNK_LENGTHS_S
+        }
+        for run_idx in range(n_runs):
+            rng = np.random.default_rng(seed + 31 * run_idx)
+            channel = qoe_channel(profile, swing_db=5.0, swing_period_s=40.0,
+                                  mean_offset_db=1.0, event_rate_hz=0.045,
+                                  event_depth_db=18.0).realize(duration, mu=cell.mu, rng=rng)
+            trace = simulate_downlink(cell, channel, rng=rng, params=profile.sim_params())
+            capacity = trace.throughput_mbps(50.0)
+            for chunk_s in CHUNK_LENGTHS_S:
+                video = Video(duration_s=duration - 5.0, chunk_s=chunk_s,
+                              ladder=PAPER_LADDER_MIDBAND)
+                session = StreamingSession(video=video, abr=Bola(video.ladder),
+                                           capacity_mbps=capacity,
+                                           buffer_capacity_s=12.0).run()
+                qoe = session.qoe()
+                results[chunk_s]["bitrate"].append(qoe.normalized_bitrate)
+                results[chunk_s]["stall"].append(qoe.stall_percentage)
+        summary = {
+            chunk_s: {
+                "norm_bitrate": float(np.mean(r["bitrate"])),
+                "stall_pct": float(np.mean(r["stall"])),
+            }
+            for chunk_s, r in results.items()
+        }
+        data[key] = summary
+        gain = (summary[1.0]["norm_bitrate"] / max(summary[4.0]["norm_bitrate"], 1e-9)) - 1.0
+        stall_cut = 1.0 - summary[1.0]["stall_pct"] / max(summary[4.0]["stall_pct"], 1e-9)
+        data[key]["bitrate_gain"] = gain
+        data[key]["stall_reduction"] = stall_cut
+        rows.append(
+            f"{key:6s} 4s: bitrate {summary[4.0]['norm_bitrate']:5.3f} stall {summary[4.0]['stall_pct']:5.2f}%   "
+            f"1s: bitrate {summary[1.0]['norm_bitrate']:5.3f} stall {summary[1.0]['stall_pct']:5.2f}%   "
+            f"gain {100 * gain:+5.1f}% bitrate, {100 * stall_cut:+5.1f}% stall cut"
+        )
+    rows.append("paper: bitrate up to +40% (V_Ge 0.55 -> 0.9) and stall percentage roughly halved")
+    return ExperimentResult("fig17", "chunk length 4 s vs 1 s (Fig. 17)", rows, data)

@@ -1,0 +1,96 @@
+"""ASCII renderings of experiment results (``python -m repro run --plot``).
+
+Maps experiment ids to chart renderings built from their ``data``
+payloads with :mod:`repro.core.plotting` — bar charts for the
+per-operator comparisons, CDFs for Fig. 3, V(t) line plots for Fig. 12,
+sparklines for the time-series figures.  Experiments without a
+registered rendering return an empty string.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.plotting import bar_chart, line_plot, side_by_side, sparkline
+from repro.experiments.base import ExperimentResult
+
+
+def _plot_fig01(result: ExperimentResult) -> str:
+    eu = {key: value for key, value in result.data["eu"].items()}
+    us = {key: value * 1000.0 for key, value in result.data["us"].items()}
+    return "EU DL throughput (Mbps)\n" + bar_chart(eu, unit=" Mbps") + \
+        "\n\nUS DL throughput with CA (Mbps)\n" + bar_chart(us, unit=" Mbps")
+
+
+def _plot_fig02(result: ExperimentResult) -> str:
+    values = {key: row["cqi12_mbps"] for key, row in result.data.items()
+              if isinstance(row, dict)}
+    return "Spain DL throughput, CQI >= 12 (Mbps)\n" + bar_chart(values, unit=" Mbps")
+
+
+def _plot_fig03(result: ExperimentResult) -> str:
+    blocks = []
+    for key, row in result.data.items():
+        values, probs = row["cdf"]
+        if len(values) >= 2:
+            blocks.append(f"{key}\n" + line_plot(np.asarray(values), np.asarray(probs),
+                                                 height=8, width=30, x_label="REs"))
+    return side_by_side(blocks) if blocks else ""
+
+
+def _plot_fig09(result: ExperimentResult) -> str:
+    values = {key: row["ul_mbps"] for key, row in result.data.items()
+              if isinstance(row, dict)}
+    return "EU UL throughput, CQI >= 12 (Mbps)\n" + bar_chart(values, unit=" Mbps")
+
+
+def _plot_fig11(result: ExperimentResult) -> str:
+    values = {f"{key} ({row['pattern']})": row["bler0_ms"]
+              for key, row in result.data.items()}
+    return "PHY user-plane latency, BLER = 0 (ms)\n" + bar_chart(values, unit=" ms")
+
+
+def _plot_fig12(result: ExperimentResult) -> str:
+    blocks = []
+    for key in ("O_Sp_100", "V_It"):
+        profile = result.data[key]["throughput"]
+        blocks.append(f"{key}: V(t) of throughput\n" + line_plot(
+            np.log2(profile["scales_ms"]), profile["v"],
+            height=8, width=34, x_label="log2(t ms)"))
+    return side_by_side(blocks)
+
+
+def _plot_fig13(result: ExperimentResult) -> str:
+    rows = []
+    for name in ("tput", "mcs", "mimo", "rbs"):
+        rows.append(f"{name:>5s} {sparkline(result.data[name], width=70)}")
+    return "V_Sp at 60 ms (throughput / MCS / MIMO / RBs)\n" + "\n".join(rows)
+
+
+def _plot_fig16(result: ExperimentResult) -> str:
+    rows = [
+        "tput  " + sparkline(result.data["tput_60ms"], width=70),
+        "level " + sparkline(result.data["levels"].astype(float), width=70),
+        "buffer" + sparkline(result.data["buffer_timeline"], width=70),
+    ]
+    return "BOLA session over V_Sp (throughput / quality / buffer)\n" + "\n".join(rows)
+
+
+_RENDERERS = {
+    "fig01": _plot_fig01,
+    "fig02": _plot_fig02,
+    "fig03": _plot_fig03,
+    "fig09": _plot_fig09,
+    "fig11": _plot_fig11,
+    "fig12": _plot_fig12,
+    "fig13": _plot_fig13,
+    "fig16": _plot_fig16,
+}
+
+
+def render_plots(result: ExperimentResult) -> str:
+    """ASCII figure for a result, or "" if no rendering is registered."""
+    renderer = _RENDERERS.get(result.experiment_id)
+    if renderer is None:
+        return ""
+    return renderer(result)

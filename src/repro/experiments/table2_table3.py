@@ -1,0 +1,53 @@
+"""Tables 2 & 3 — network configuration dumps.
+
+These tables are configuration, not measurement: the experiment prints
+each profile's 3GPP parameters exactly as encoded (band, SCS, duplexing,
+bandwidth, N_RB, CA) so they can be eyeballed against the paper's
+tables; the bench asserts the N_RB values match TS 38.101-1 Table
+5.3.2-1 and the table rows verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.nr.bands import Duplexing
+from repro.operators.profiles import EU_PROFILES, US_PROFILES
+
+#: Expected (bandwidth MHz -> N_RB) pairs from row 7 of Tables 2/3.
+EXPECTED_NRB = {100: 273, 90: 245, 80: 217, 60: 162, 40: 106, 20: 51, 5: 11, 10: 52}
+
+
+def _profile_rows(profiles: dict) -> list[str]:
+    rows = []
+    for key, profile in profiles.items():
+        for cell in profile.cells:
+            duplexing = cell.band.duplexing.value
+            tdd = cell.tdd.pattern if cell.tdd is not None else "-"
+            rows.append(
+                f"{key:10s} {cell.band_name:5s} {duplexing:4s} "
+                f"SCS={cell.scs_khz:3d}kHz  BW={cell.bandwidth_mhz:4d}MHz  "
+                f"N_RB={cell.n_rb:4d}  maxmod={cell.max_modulation.name:7s}  TDD={tdd}  "
+                f"CA={'yes' if profile.uses_ca else 'no'}"
+            )
+    return rows
+
+
+def run(seed: int = 2024, quick: bool = True, which: str = "table2") -> ExperimentResult:
+    profiles = EU_PROFILES if which == "table2" else US_PROFILES
+    rows = _profile_rows(profiles)
+    data = {}
+    for key, profile in profiles.items():
+        data[key] = [
+            {
+                "band": c.band_name,
+                "scs_khz": c.scs_khz,
+                "bandwidth_mhz": c.bandwidth_mhz,
+                "n_rb": c.n_rb,
+                "duplexing": c.band.duplexing.value,
+                "max_modulation": c.max_modulation.name,
+                "ca": profile.uses_ca,
+            }
+            for c in profile.cells
+        ]
+    title = "EU network configs (Table 2)" if which == "table2" else "U.S. network configs (Table 3)"
+    return ExperimentResult(which, title, rows, data)

@@ -1,0 +1,134 @@
+"""NR operating bands and ARFCN arithmetic (TS 38.101-1/2, TS 38.104).
+
+The catalog covers every band that appears in the paper: the European
+workhorse n78, its superset n77 (C-band, used by AT&T and Verizon),
+T-Mobile's n41 (2.5 GHz TDD) and n25 (1.9 GHz FDD), plus the FR2 mmWave
+bands n260/n261 used for the §7 comparison.
+
+NR-ARFCN (Absolute Radio Frequency Channel Number) maps channel numbers
+to RF frequencies through a piecewise-linear global frequency raster
+(TS 38.104 Table 5.4.2.1-1):
+
+    0      <= N <  600000 : F = 0        + 5   kHz * N
+    600000 <= N < 2016667 : F = 3000 MHz + 15  kHz * (N - 600000)
+    2016667<= N < 3279166 : F = 24250.08 MHz + 60 kHz * (N - 2016667)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Duplexing(enum.Enum):
+    """Duplexing mode of an NR band."""
+
+    TDD = "TDD"
+    FDD = "FDD"
+
+
+class FrequencyRange(enum.Enum):
+    """3GPP frequency range: FR1 (sub-6 GHz) or FR2 (mmWave)."""
+
+    FR1 = "FR1"
+    FR2 = "FR2"
+
+
+@dataclass(frozen=True)
+class Band:
+    """An NR operating band.
+
+    Attributes
+    ----------
+    name:
+        3GPP band designator, e.g. ``"n78"``.
+    f_low_mhz, f_high_mhz:
+        Downlink band edges in MHz.
+    duplexing:
+        TDD or FDD.
+    fr:
+        Frequency range (FR1 or FR2).
+    ul_low_mhz, ul_high_mhz:
+        Uplink band edges; equal to the DL edges for TDD bands.
+    """
+
+    name: str
+    f_low_mhz: float
+    f_high_mhz: float
+    duplexing: Duplexing
+    fr: FrequencyRange
+    ul_low_mhz: float | None = None
+    ul_high_mhz: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.f_high_mhz <= self.f_low_mhz:
+            raise ValueError(f"band {self.name}: f_high must exceed f_low")
+        if self.duplexing is Duplexing.FDD and self.ul_low_mhz is None:
+            raise ValueError(f"band {self.name}: FDD bands need uplink edges")
+
+    @property
+    def width_mhz(self) -> float:
+        """Total downlink band width in MHz."""
+        return self.f_high_mhz - self.f_low_mhz
+
+    @property
+    def center_mhz(self) -> float:
+        """Band center frequency in MHz."""
+        return (self.f_low_mhz + self.f_high_mhz) / 2.0
+
+    def contains(self, frequency_mhz: float) -> bool:
+        """True if ``frequency_mhz`` lies inside the downlink band."""
+        return self.f_low_mhz <= frequency_mhz <= self.f_high_mhz
+
+    @property
+    def is_mid_band(self) -> bool:
+        """True if the band lies in the 1-6 GHz mid-band range (§1)."""
+        return 1000.0 <= self.f_low_mhz and self.f_high_mhz <= 6000.0
+
+
+#: Bands used in the paper (plus n1 as an LTE-anchor stand-in for NSA UL).
+BAND_CATALOG: dict[str, Band] = {
+    "n25": Band("n25", 1930.0, 1995.0, Duplexing.FDD, FrequencyRange.FR1, ul_low_mhz=1850.0, ul_high_mhz=1915.0),
+    "n41": Band("n41", 2496.0, 2690.0, Duplexing.TDD, FrequencyRange.FR1),
+    "n77": Band("n77", 3300.0, 4200.0, Duplexing.TDD, FrequencyRange.FR1),
+    "n78": Band("n78", 3300.0, 3800.0, Duplexing.TDD, FrequencyRange.FR1),
+    "n260": Band("n260", 37000.0, 40000.0, Duplexing.TDD, FrequencyRange.FR2),
+    "n261": Band("n261", 27500.0, 28350.0, Duplexing.TDD, FrequencyRange.FR2),
+    # 4G LTE band 1 re-used as the NSA anchor carrier abstraction.
+    "b1": Band("b1", 2110.0, 2170.0, Duplexing.FDD, FrequencyRange.FR1, ul_low_mhz=1920.0, ul_high_mhz=1980.0),
+}
+
+# Global frequency raster breakpoints (TS 38.104 Table 5.4.2.1-1).
+_RASTER = (
+    # (n_low, n_high, f_offset_mhz, delta_khz, n_offset)
+    (0, 600000, 0.0, 5, 0),
+    (600000, 2016667, 3000.0, 15, 600000),
+    (2016667, 3279166, 24250.08, 60, 2016667),
+)
+
+
+def arfcn_to_frequency_mhz(arfcn: int) -> float:
+    """Convert an NR-ARFCN to its RF reference frequency in MHz."""
+    for n_low, n_high, f_offset, delta_khz, n_offset in _RASTER:
+        if n_low <= arfcn < n_high:
+            return f_offset + delta_khz * 1e-3 * (arfcn - n_offset)
+    raise ValueError(f"ARFCN {arfcn} outside the global raster [0, 3279166)")
+
+
+def frequency_mhz_to_arfcn(frequency_mhz: float) -> int:
+    """Convert an RF frequency in MHz to the nearest NR-ARFCN."""
+    if frequency_mhz < 0:
+        raise ValueError("frequency must be non-negative")
+    if frequency_mhz < 3000.0:
+        return round(frequency_mhz * 1e3 / 5)
+    if frequency_mhz < 24250.08:
+        return 600000 + round((frequency_mhz - 3000.0) * 1e3 / 15)
+    arfcn = 2016667 + round((frequency_mhz - 24250.08) * 1e3 / 60)
+    if arfcn >= 3279166:
+        raise ValueError(f"frequency {frequency_mhz} MHz outside the global raster")
+    return arfcn
+
+
+def bands_containing(frequency_mhz: float) -> list[Band]:
+    """All catalog bands whose DL range contains ``frequency_mhz``."""
+    return [band for band in BAND_CATALOG.values() if band.contains(frequency_mhz)]

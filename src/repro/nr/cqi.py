@@ -1,0 +1,152 @@
+"""CQI tables and vendor CQI-to-MCS mapping (TS 38.214 §5.2.2.1).
+
+The UE periodically feeds back a CQI (channel quality indicator) in
+``[1, 15]``; 15 is the best channel.  3GPP standardizes the CQI tables but
+deliberately leaves the CQI→MCS mapping to vendor implementation — the
+paper (§3.1) calls this out as a source of cross-operator performance
+differences, and our ablation bench quantifies it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.nr.mcs import McsTable, Modulation
+
+CQI_MIN = 1
+CQI_MAX = 15
+CQI_OUT_OF_RANGE = 0  # CQI 0 signals "out of range" in 3GPP
+
+
+@dataclass(frozen=True)
+class CqiEntry:
+    """One row of a CQI table."""
+
+    cqi: int
+    modulation: Modulation
+    code_rate_x1024: float
+
+    @property
+    def spectral_efficiency(self) -> float:
+        return self.modulation.bits_per_symbol * self.code_rate_x1024 / 1024.0
+
+
+class CqiTable:
+    """A CQI table (index 1..15); index 0 means out-of-range."""
+
+    def __init__(self, name: str, entries: list[CqiEntry]):
+        if len(entries) != CQI_MAX:
+            raise ValueError(f"a CQI table has {CQI_MAX} rows, got {len(entries)}")
+        self.name = name
+        self.entries = tuple(entries)
+
+    def __getitem__(self, cqi: int) -> CqiEntry:
+        if not CQI_MIN <= cqi <= CQI_MAX:
+            raise IndexError(f"CQI {cqi} outside [{CQI_MIN}, {CQI_MAX}]")
+        return self.entries[cqi - 1]
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    @cached_property
+    def efficiencies(self) -> np.ndarray:
+        """Spectral efficiency per CQI (index 0 of the array is CQI 1)."""
+        return np.array([e.spectral_efficiency for e in self.entries])
+
+    def cqi_for_efficiency(self, efficiency: float) -> int:
+        """Largest CQI whose efficiency does not exceed ``efficiency``.
+
+        Returns :data:`CQI_OUT_OF_RANGE` when even CQI 1 is unsustainable.
+        """
+        idx = int(np.searchsorted(self.efficiencies, efficiency, side="right"))
+        return idx  # 0 -> out of range, else CQI == idx
+
+
+def _build(name: str, rows: list[tuple[int, float]]) -> CqiTable:
+    entries = [
+        CqiEntry(cqi=i + 1, modulation=Modulation.from_order(q_m), code_rate_x1024=rate)
+        for i, (q_m, rate) in enumerate(rows)
+    ]
+    return CqiTable(name, entries)
+
+
+#: TS 38.214 Table 5.2.2.1-2 — up to 64QAM.
+CQI_TABLE_1 = _build(
+    "cqi-table-1",
+    [
+        (2, 78), (2, 120), (2, 193), (2, 308), (2, 449), (2, 602),
+        (4, 378), (4, 490), (4, 616),
+        (6, 466), (6, 567), (6, 666), (6, 772), (6, 873), (6, 948),
+    ],
+)
+
+#: TS 38.214 Table 5.2.2.1-3 — up to 256QAM.
+CQI_TABLE_2 = _build(
+    "cqi-table-2",
+    [
+        (2, 78), (2, 193), (2, 449),
+        (4, 378), (4, 490), (4, 616),
+        (6, 466), (6, 567), (6, 666), (6, 772), (6, 873),
+        (8, 711), (8, 797), (8, 885), (8, 948),
+    ],
+)
+
+
+def cqi_table_for(max_modulation: Modulation) -> CqiTable:
+    """CQI table an operator configures for a given modulation ceiling."""
+    return CQI_TABLE_2 if max_modulation is Modulation.QAM256 else CQI_TABLE_1
+
+
+class MappingPolicy(enum.Enum):
+    """Vendor CQI→MCS aggressiveness (3GPP leaves this open)."""
+
+    CONSERVATIVE = "conservative"  # one MCS notch below the efficiency match
+    MATCHED = "matched"            # highest MCS at or below the CQI efficiency
+    AGGRESSIVE = "aggressive"      # one MCS notch above the efficiency match
+
+
+class CqiMcsMapper:
+    """Maps reported CQI to a transmit MCS index, vendor-style.
+
+    The mapping matches spectral efficiencies: for each CQI we find the
+    highest MCS whose efficiency does not exceed the CQI's, then shift by
+    the policy offset.  An additional (signed) OLLA offset from the outer
+    loop (see :mod:`repro.ran.amc`) is applied at lookup time.
+    """
+
+    def __init__(
+        self,
+        cqi_table: CqiTable,
+        mcs_table: McsTable,
+        policy: MappingPolicy = MappingPolicy.MATCHED,
+    ):
+        self.cqi_table = cqi_table
+        self.mcs_table = mcs_table
+        self.policy = policy
+        offset = {MappingPolicy.CONSERVATIVE: -1, MappingPolicy.MATCHED: 0, MappingPolicy.AGGRESSIVE: 1}[policy]
+        base = [
+            mcs_table.highest_index_below(entry.spectral_efficiency) + offset
+            for entry in cqi_table
+        ]
+        self._lookup = np.clip(np.array(base, dtype=np.int64), 0, mcs_table.max_index)
+
+    def mcs_for_cqi(self, cqi: int, olla_offset: int = 0) -> int:
+        """MCS index for a CQI report (CQI 0 degrades to MCS 0)."""
+        if cqi <= CQI_OUT_OF_RANGE:
+            return 0
+        if cqi > CQI_MAX:
+            raise ValueError(f"CQI {cqi} outside [0, {CQI_MAX}]")
+        idx = int(self._lookup[cqi - 1]) + olla_offset
+        return int(np.clip(idx, 0, self.mcs_table.max_index))
+
+    def mcs_for_cqi_array(self, cqi: np.ndarray, olla_offset: np.ndarray | int = 0) -> np.ndarray:
+        """Vectorized CQI→MCS lookup for the slot-level simulator."""
+        cqi = np.asarray(cqi)
+        safe = np.clip(cqi, CQI_MIN, CQI_MAX) - 1
+        mcs = self._lookup[safe] + olla_offset
+        mcs = np.clip(mcs, 0, self.mcs_table.max_index)
+        return np.where(cqi <= CQI_OUT_OF_RANGE, 0, mcs)

@@ -1,0 +1,116 @@
+"""CSI feedback and DCI scheduling exchange — appendix 10.2.
+
+The UE periodically reports channel state information (CSI) containing
+RI (rank indicator), PMI (precoding matrix indicator), CQI (channel
+quality indicator) and LI (layer indicator); the gNB combines the
+report with load and scheduling policy to build each slot's DCI (RBs,
+MCS, layers), and the UE's ACK/NACK feedback closes the loop (Fig. 21).
+
+This module provides the typed report/feedback structures plus a
+reference report generator from a measured SINR — the same mapping the
+slot simulator applies, exposed as a reusable component so external
+tools can produce or consume CSI streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nr.cqi import CQI_MAX, CqiTable
+from repro.nr.signal import sinr_to_cqi
+from repro.ran.amc import RankAdapter
+
+
+@dataclass(frozen=True)
+class CsiReport:
+    """One CSI report (appendix 10.2's RI/PMI/CQI/LI quadruple)."""
+
+    slot: int
+    rank_indicator: int
+    precoding_matrix_indicator: int
+    channel_quality_indicator: int
+    layer_indicator: int
+
+    def __post_init__(self) -> None:
+        if self.rank_indicator < 1:
+            raise ValueError("RI is at least 1")
+        if not 0 <= self.channel_quality_indicator <= CQI_MAX:
+            raise ValueError(f"CQI outside [0, {CQI_MAX}]")
+        if self.precoding_matrix_indicator < 0:
+            raise ValueError("PMI must be non-negative")
+        if not 0 <= self.layer_indicator < self.rank_indicator:
+            raise ValueError("LI indexes a layer within the reported rank")
+
+
+@dataclass(frozen=True)
+class HarqFeedback:
+    """ACK/NACK for one transport block (the loop-closing message)."""
+
+    slot: int
+    harq_id: int
+    ack: bool
+
+
+class CsiReporter:
+    """Generates the periodic CSI stream a UE would send.
+
+    Parameters
+    ----------
+    cqi_table:
+        CQI table configured for the cell (64QAM or 256QAM family).
+    rank_adapter:
+        Rank policy (thresholds + hysteresis) producing the RI.
+    period_slots:
+        Report periodicity ("10's of ms time scales" per the paper —
+        20 slots = 10 ms at 30 kHz SCS).
+    cqi_alpha:
+        Efficiency factor of the UE's CQI estimate.
+    n_precoders:
+        Size of the PMI codebook being indexed.
+    """
+
+    def __init__(self, cqi_table: CqiTable, rank_adapter: RankAdapter | None = None,
+                 period_slots: int = 20, cqi_alpha: float = 0.9, n_precoders: int = 16):
+        if period_slots < 1:
+            raise ValueError("period_slots must be positive")
+        if n_precoders < 1:
+            raise ValueError("n_precoders must be positive")
+        self.cqi_table = cqi_table
+        self.rank_adapter = rank_adapter or RankAdapter()
+        self.period_slots = period_slots
+        self.cqi_alpha = cqi_alpha
+        self.n_precoders = n_precoders
+        self._previous_rank = 1
+
+    def reset(self) -> None:
+        """Clear the rank-hysteresis state."""
+        self._previous_rank = 1
+
+    def report(self, slot: int, measured_sinr_db: float,
+               rng: np.random.Generator | None = None) -> CsiReport:
+        """Build the CSI report for a measurement at ``slot``."""
+        rank = self.rank_adapter.rank_for_sinr(measured_sinr_db, self._previous_rank)
+        self._previous_rank = rank
+        cqi = int(sinr_to_cqi(measured_sinr_db, self.cqi_table, alpha=self.cqi_alpha))
+        rng = rng or np.random.default_rng(abs(slot) + 1)
+        pmi = int(rng.integers(0, self.n_precoders))
+        li = int(rng.integers(0, rank))
+        return CsiReport(
+            slot=slot,
+            rank_indicator=rank,
+            precoding_matrix_indicator=pmi,
+            channel_quality_indicator=min(cqi, CQI_MAX),
+            layer_indicator=li,
+        )
+
+    def report_series(self, sinr_db: np.ndarray,
+                      rng: np.random.Generator | None = None) -> list[CsiReport]:
+        """Periodic reports over a per-slot SINR series."""
+        sinr_db = np.asarray(sinr_db, dtype=float)
+        rng = rng or np.random.default_rng(0)
+        return [
+            self.report(slot, float(sinr_db[slot]), rng)
+            for slot in range(0, sinr_db.size, self.period_slots)
+        ]

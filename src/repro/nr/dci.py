@@ -1,0 +1,97 @@
+"""Downlink control information (DCI) — TS 38.212 formats 1_0 and 1_1.
+
+Each scheduled slot carries a DCI describing the grant: which RBs were
+allocated, the MCS index, and the number of layers.  The paper extracts
+exactly these fields from XCAL captures; our simulator emits the same
+structure so the analysis pipeline is agnostic to the data's origin.
+
+Format semantics relevant to the study (§3.1):
+
+- **1_1** addresses the 256QAM MCS table (used under good conditions),
+- **1_0** is the fallback format addressing the 64QAM table (used, e.g.,
+  when channel conditions worsen).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.nr.mcs import MCS_TABLE_64QAM, MCS_TABLE_256QAM, McsEntry, McsTable, Modulation
+
+
+class DciFormat(enum.Enum):
+    """DL scheduling DCI format."""
+
+    FORMAT_1_0 = "1_0"
+    FORMAT_1_1 = "1_1"
+
+    @property
+    def mcs_table(self) -> McsTable:
+        """MCS table this format addresses (given a 256QAM-capable cell)."""
+        return MCS_TABLE_256QAM if self is DciFormat.FORMAT_1_1 else MCS_TABLE_64QAM
+
+
+def format_for_conditions(cell_max_modulation: Modulation, good_conditions: bool) -> DciFormat:
+    """Which DCI format a gNB uses given cell capability and channel state.
+
+    A 64QAM-only cell always schedules with 1_0; a 256QAM cell falls back
+    to 1_0 when conditions degrade (§3.1).
+    """
+    if cell_max_modulation is not Modulation.QAM256:
+        return DciFormat.FORMAT_1_0
+    return DciFormat.FORMAT_1_1 if good_conditions else DciFormat.FORMAT_1_0
+
+
+@dataclass(frozen=True)
+class DownlinkGrant:
+    """A decoded per-slot DL grant, as XCAL would report it.
+
+    Attributes
+    ----------
+    slot:
+        Absolute slot index of the grant.
+    n_prb:
+        Number of allocated PRBs.
+    mcs_index:
+        MCS index within the table addressed by ``dci_format``.
+    layers:
+        Number of MIMO layers.
+    dci_format:
+        DCI format used (determines the MCS table).
+    ndi:
+        New-data indicator: ``True`` for an initial transmission, ``False``
+        for a HARQ retransmission.
+    harq_id:
+        HARQ process the grant belongs to.
+    """
+
+    slot: int
+    n_prb: int
+    mcs_index: int
+    layers: int
+    dci_format: DciFormat = DciFormat.FORMAT_1_1
+    ndi: bool = True
+    harq_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_prb < 0:
+            raise ValueError("n_prb must be non-negative")
+        if not 1 <= self.layers <= 8:
+            raise ValueError("layers must lie in [1, 8]")
+        table = self.dci_format.mcs_table
+        if not 0 <= self.mcs_index <= table.max_index:
+            raise ValueError(
+                f"MCS {self.mcs_index} invalid for DCI format {self.dci_format.value} "
+                f"(table {table.name}, max {table.max_index})"
+            )
+
+    @property
+    def mcs(self) -> McsEntry:
+        """Resolved MCS entry."""
+        return self.dci_format.mcs_table[self.mcs_index]
+
+    @property
+    def modulation(self) -> Modulation:
+        """Modulation order the grant uses."""
+        return self.mcs.modulation

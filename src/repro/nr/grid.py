@@ -1,0 +1,105 @@
+"""Maximum transmission bandwidth configuration (TS 38.101-1/2 Table 5.3.2-1).
+
+A channel's bandwidth together with its sub-carrier spacing determines the
+maximum number of resource blocks ``N_RB`` the gNB may allocate — row 7 of
+the paper's Tables 2 and 3 (e.g. 273 RBs for a 100 MHz / 30 kHz channel and
+245 RBs for 90 MHz).  One resource block spans 12 sub-carriers; a slot is 14
+OFDM symbols, so one RB-slot holds ``12 * 14 = 168`` resource elements.
+"""
+
+from __future__ import annotations
+
+from repro.nr.numerology import SYMBOLS_PER_SLOT, Numerology
+
+SUBCARRIERS_PER_RB = 12
+
+#: FR1 N_RB per (SCS kHz, channel bandwidth MHz) — TS 38.101-1 Table 5.3.2-1.
+_FR1_NRB: dict[int, dict[int, int]] = {
+    15: {5: 25, 10: 52, 15: 79, 20: 106, 25: 133, 30: 160, 40: 216, 50: 270},
+    30: {
+        5: 11, 10: 24, 15: 38, 20: 51, 25: 65, 30: 78, 40: 106, 50: 133,
+        60: 162, 70: 189, 80: 217, 90: 245, 100: 273,
+    },
+    60: {
+        10: 11, 15: 18, 20: 24, 25: 31, 30: 38, 40: 51, 50: 65,
+        60: 79, 70: 93, 80: 107, 90: 121, 100: 135,
+    },
+}
+
+#: FR2 N_RB per (SCS kHz, channel bandwidth MHz) — TS 38.101-2 Table 5.3.2-1.
+_FR2_NRB: dict[int, dict[int, int]] = {
+    60: {50: 66, 100: 132, 200: 264},
+    120: {50: 32, 100: 66, 200: 132, 400: 264},
+}
+
+
+def max_rb(bandwidth_mhz: int, scs_khz: int, fr2: bool = False) -> int:
+    """Maximum transmission bandwidth ``N_RB`` for a channel.
+
+    Parameters
+    ----------
+    bandwidth_mhz:
+        Channel bandwidth in MHz (an entry of Table 5.3.2-1).
+    scs_khz:
+        Sub-carrier spacing in kHz.
+    fr2:
+        Use the FR2 (mmWave) table instead of FR1.
+
+    Raises
+    ------
+    ValueError
+        If the (bandwidth, SCS) combination is not defined by 3GPP.
+    """
+    table = _FR2_NRB if fr2 else _FR1_NRB
+    by_scs = table.get(scs_khz)
+    if by_scs is None:
+        fr_name = "FR2" if fr2 else "FR1"
+        raise ValueError(f"SCS {scs_khz} kHz not defined for {fr_name}")
+    nrb = by_scs.get(bandwidth_mhz)
+    if nrb is None:
+        raise ValueError(
+            f"bandwidth {bandwidth_mhz} MHz not defined at SCS {scs_khz} kHz; "
+            f"valid: {sorted(by_scs)}"
+        )
+    return nrb
+
+
+def transmission_bandwidth_mhz(n_rb: int, scs_khz: int) -> float:
+    """Occupied bandwidth of ``n_rb`` resource blocks in MHz.
+
+    This excludes the guard bands at the channel edges, which is why it is
+    always strictly smaller than the nominal channel bandwidth
+    (cf. Fig. 20 in the paper's appendix).
+    """
+    if n_rb <= 0:
+        raise ValueError("n_rb must be positive")
+    return n_rb * SUBCARRIERS_PER_RB * scs_khz * 1e-3
+
+
+def guard_band_mhz(bandwidth_mhz: int, scs_khz: int, fr2: bool = False) -> float:
+    """Total guard band (both edges) of a configured channel in MHz."""
+    n_rb = max_rb(bandwidth_mhz, scs_khz, fr2=fr2)
+    return bandwidth_mhz - transmission_bandwidth_mhz(n_rb, scs_khz)
+
+
+def re_per_slot(n_rb: int, symbols: int = SYMBOLS_PER_SLOT) -> int:
+    """Resource elements carried by ``n_rb`` RBs over ``symbols`` symbols."""
+    if n_rb < 0:
+        raise ValueError("n_rb must be non-negative")
+    if not 0 <= symbols <= SYMBOLS_PER_SLOT:
+        raise ValueError(f"symbols must lie in [0, {SYMBOLS_PER_SLOT}]")
+    return n_rb * SUBCARRIERS_PER_RB * symbols
+
+
+def spectral_efficiency_ceiling(scs_khz: int, bandwidth_mhz: int, fr2: bool = False) -> float:
+    """Fraction of the nominal channel usable for data (RB occupancy)."""
+    return transmission_bandwidth_mhz(max_rb(bandwidth_mhz, scs_khz, fr2=fr2), scs_khz) / bandwidth_mhz
+
+
+def valid_bandwidths_mhz(scs_khz: int, fr2: bool = False) -> list[int]:
+    """Channel bandwidths defined by 3GPP for a given SCS."""
+    table = _FR2_NRB if fr2 else _FR1_NRB
+    by_scs = table.get(scs_khz)
+    if by_scs is None:
+        return []
+    return sorted(by_scs)

@@ -1,0 +1,157 @@
+"""Initial access and channel identification — appendix 10.1.
+
+The paper extracts each operator's mid-band channel from the MIB/SIB
+signaling captured during initial access: *absoluteFrequencyPointA*,
+*offsetToCarrier* and *carrierBandwidth* identify the frequency channel,
+and *carrierBandwidth* indexes the TS 38.101-1 Table 5.3.2-1 row that
+yields the channel bandwidth.  This module models that procedure: a
+gNB-side broadcast configuration, the UE-side decode, and the channel
+identification math the paper's appendix spells out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nr.bands import BAND_CATALOG, Band, arfcn_to_frequency_mhz, bands_containing, frequency_mhz_to_arfcn
+from repro.nr.grid import max_rb, transmission_bandwidth_mhz, valid_bandwidths_mhz
+from repro.nr.numerology import Numerology
+
+#: Sub-carriers per resource block (frequency-domain step of offsets).
+_SC_PER_RB = 12
+
+
+@dataclass(frozen=True)
+class MasterInformationBlock:
+    """The MIB fields the paper's appendix mentions.
+
+    ``controlResourceSetZero`` / ``searchSpaceZero`` index the TS 38.213
+    tables that locate the SIB1 CORESET; the system frame number anchors
+    the frame timing.
+    """
+
+    system_frame_number: int
+    control_resource_set_zero: int = 0
+    search_space_zero: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.system_frame_number < 1024:
+            raise ValueError("SFN is a 10-bit counter (0..1023)")
+        if not 0 <= self.control_resource_set_zero <= 15:
+            raise ValueError("controlResourceSetZero indexes a 4-bit table row")
+        if not 0 <= self.search_space_zero <= 15:
+            raise ValueError("searchSpaceZero indexes a 4-bit table row")
+
+
+@dataclass(frozen=True)
+class SystemInformationBlock1:
+    """The SIB1 carrier description (appendix 10.1 fields).
+
+    Attributes
+    ----------
+    absolute_frequency_point_a:
+        NR-ARFCN of "point A", the common reference subcarrier 0.
+    offset_to_carrier:
+        Offset from point A to the carrier's first usable subcarrier,
+        in resource blocks.
+    carrier_bandwidth:
+        The carrier's transmission bandwidth in resource blocks (the
+        Table 5.3.2-1 value).
+    scs_khz:
+        Sub-carrier spacing of the carrier.
+    """
+
+    absolute_frequency_point_a: int
+    offset_to_carrier: int
+    carrier_bandwidth: int
+    scs_khz: int = 30
+
+    def __post_init__(self) -> None:
+        if self.absolute_frequency_point_a < 0:
+            raise ValueError("ARFCN must be non-negative")
+        if self.offset_to_carrier < 0:
+            raise ValueError("offsetToCarrier is a non-negative RB count")
+        if self.carrier_bandwidth <= 0:
+            raise ValueError("carrierBandwidth must be positive")
+        Numerology.from_scs_khz(self.scs_khz)  # validates
+
+
+@dataclass(frozen=True)
+class IdentifiedChannel:
+    """Outcome of the appendix-10.1 identification procedure."""
+
+    band: Band
+    center_frequency_mhz: float
+    channel_bandwidth_mhz: int
+    n_rb: int
+    scs_khz: int
+
+    @property
+    def occupied_bandwidth_mhz(self) -> float:
+        """Transmission bandwidth actually occupied by the N_RB grid."""
+        return transmission_bandwidth_mhz(self.n_rb, self.scs_khz)
+
+
+def channel_bandwidth_from_carrier_rb(carrier_bandwidth_rb: int, scs_khz: int,
+                                      fr2: bool = False) -> int:
+    """Invert Table 5.3.2-1: RB count -> nominal channel bandwidth (MHz).
+
+    This is the lookup the appendix describes ("carrierBandwidth
+    retrieves channel bandwidth from the lookup table 5.3.2-1").
+    """
+    for bandwidth in valid_bandwidths_mhz(scs_khz, fr2=fr2):
+        if max_rb(bandwidth, scs_khz, fr2=fr2) == carrier_bandwidth_rb:
+            return bandwidth
+    raise ValueError(
+        f"{carrier_bandwidth_rb} RBs at {scs_khz} kHz is not a Table 5.3.2-1 row"
+    )
+
+
+def identify_channel(sib1: SystemInformationBlock1, fr2: bool = False) -> IdentifiedChannel:
+    """Identify the operating channel from a decoded SIB1.
+
+    Replicates the paper's extraction: point A plus the RB offset and
+    half the carrier's RB span give the center frequency; the RB count
+    gives the nominal channel bandwidth; the center frequency selects
+    the 3GPP band.
+    """
+    point_a_mhz = arfcn_to_frequency_mhz(sib1.absolute_frequency_point_a)
+    rb_khz = _SC_PER_RB * sib1.scs_khz
+    first_usable_mhz = point_a_mhz + sib1.offset_to_carrier * rb_khz * 1e-3
+    center_mhz = first_usable_mhz + sib1.carrier_bandwidth * rb_khz * 1e-3 / 2.0
+    bandwidth_mhz = channel_bandwidth_from_carrier_rb(sib1.carrier_bandwidth,
+                                                      sib1.scs_khz, fr2=fr2)
+    candidates = bands_containing(center_mhz)
+    if not candidates:
+        raise ValueError(f"no catalog band contains {center_mhz:.1f} MHz")
+    # Prefer the narrowest containing band (n78 inside n77, like the
+    # paper's attribution of AT&T/Verizon C-band channels).
+    band = min(candidates, key=lambda b: b.width_mhz)
+    return IdentifiedChannel(
+        band=band,
+        center_frequency_mhz=center_mhz,
+        channel_bandwidth_mhz=bandwidth_mhz,
+        n_rb=sib1.carrier_bandwidth,
+        scs_khz=sib1.scs_khz,
+    )
+
+
+def sib1_for_channel(center_frequency_mhz: float, bandwidth_mhz: int,
+                     scs_khz: int = 30, fr2: bool = False) -> SystemInformationBlock1:
+    """Build the SIB1 a gNB would broadcast for a given channel.
+
+    The inverse of :func:`identify_channel`, used by tests and by the
+    campaign generator to stamp realistic signaling onto traces.
+    """
+    n_rb = max_rb(bandwidth_mhz, scs_khz, fr2=fr2)
+    rb_mhz = _SC_PER_RB * scs_khz * 1e-3
+    first_usable_mhz = center_frequency_mhz - n_rb * rb_mhz / 2.0
+    # Put point A a small integer number of RBs below the carrier.
+    offset_to_carrier = 10
+    point_a_mhz = first_usable_mhz - offset_to_carrier * rb_mhz
+    return SystemInformationBlock1(
+        absolute_frequency_point_a=frequency_mhz_to_arfcn(point_a_mhz),
+        offset_to_carrier=offset_to_carrier,
+        carrier_bandwidth=n_rb,
+        scs_khz=scs_khz,
+    )

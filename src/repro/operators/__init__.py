@@ -1,0 +1,31 @@
+"""Operator deployment profiles (Tables 2 and 3 of the paper).
+
+Each :class:`~repro.operators.profiles.OperatorProfile` bundles the
+verbatim configuration the paper reports for one operator-channel —
+band, bandwidth, SCS, duplexing, TDD pattern, maximum modulation, CA
+combination — together with the calibrated radio-environment priors
+(mean SINR, variability components, rank bias, UL offsets) that stand in
+for the city deployments the team measured.
+"""
+
+from repro.operators.profiles import (
+    OperatorProfile,
+    EU_PROFILES,
+    US_PROFILES,
+    ALL_PROFILES,
+    get_profile,
+)
+from repro.operators.deployment import Deployment, spain_deployments
+from repro.operators.calibration import estimate_dl_throughput_mbps, calibrate_mean_sinr
+
+__all__ = [
+    "OperatorProfile",
+    "EU_PROFILES",
+    "US_PROFILES",
+    "ALL_PROFILES",
+    "get_profile",
+    "Deployment",
+    "spain_deployments",
+    "estimate_dl_throughput_mbps",
+    "calibrate_mean_sinr",
+]

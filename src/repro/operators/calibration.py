@@ -1,0 +1,120 @@
+"""Calibration utilities: analytic throughput estimates and SINR fitting.
+
+The operator profiles' radio priors were derived in two steps:
+
+1. an analytic first guess from the attenuated-Shannon chain
+   (:func:`estimate_dl_throughput_mbps` inverted by
+   :func:`sinr_for_target_throughput`),
+2. a short-simulation bisection (:func:`calibrate_mean_sinr`) to absorb
+   the quantization/OLLA/HARQ effects the analytic chain ignores.
+
+These helpers are exposed so users adding their own operators can
+calibrate against their own measurement targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.nr.signal import DEFAULT_ALPHA, shannon_efficiency
+from repro.ran.config import CellConfig
+from repro.ran.simulator import SimParams, simulate_downlink
+
+#: Net efficiency of the HARQ/OLLA loop (10% BLER mostly recovered).
+HARQ_NET_EFFICIENCY = 0.95
+
+#: Data REs per PRB per full slot (TS 38.214 cap).
+RE_PER_PRB = 156
+
+
+def estimate_dl_throughput_mbps(
+    cell: CellConfig,
+    mean_sinr_db: float,
+    mean_layers: float,
+    alpha: float = DEFAULT_ALPHA,
+) -> float:
+    """Analytic mean DL throughput of a single carrier.
+
+    ``tput = net_eff * dl_symbol_fraction * RE_slot * eff(SINR) * layers / slot``
+    — the first-order chain behind the calibrated profile values.
+    """
+    if mean_layers < 1:
+        raise ValueError("mean_layers must be at least 1")
+    eff = float(shannon_efficiency(mean_sinr_db, alpha))
+    eff = min(eff, cell.mcs_table.entries[-1].spectral_efficiency)
+    re_slot = RE_PER_PRB * cell.grantable_rb
+    slots_per_s = 1000.0 / cell.slot_ms
+    bits_per_s = HARQ_NET_EFFICIENCY * cell.dl_slot_fraction() * re_slot * eff * mean_layers * slots_per_s
+    return bits_per_s * 1e-6
+
+
+def sinr_for_target_throughput(
+    cell: CellConfig,
+    target_mbps: float,
+    mean_layers: float,
+    alpha: float = DEFAULT_ALPHA,
+) -> float:
+    """Invert :func:`estimate_dl_throughput_mbps` for the mean SINR (dB)."""
+    if target_mbps <= 0:
+        raise ValueError("target must be positive")
+    re_slot = RE_PER_PRB * cell.grantable_rb
+    slots_per_s = 1000.0 / cell.slot_ms
+    denom = HARQ_NET_EFFICIENCY * cell.dl_slot_fraction() * re_slot * mean_layers * slots_per_s
+    eff_needed = target_mbps * 1e6 / denom
+    table_max = cell.mcs_table.entries[-1].spectral_efficiency
+    if eff_needed > table_max:
+        raise ValueError(
+            f"target {target_mbps} Mbps needs efficiency {eff_needed:.2f} > "
+            f"table maximum {table_max:.2f} at {mean_layers} layers"
+        )
+    return float(10.0 * np.log10(np.power(2.0, eff_needed / alpha) - 1.0))
+
+
+def simulated_mean_dl_mbps(
+    profile,
+    duration_s: float = 20.0,
+    seed: int = 7,
+    sinr_offset_db: float = 0.0,
+) -> float:
+    """Short-simulation mean DL throughput of a profile's primary carrier."""
+    rng = np.random.default_rng(seed)
+    channel = profile.dl_channel(sinr_offset_db).realize(duration_s, mu=profile.primary_cell.mu, rng=rng)
+    trace = simulate_downlink(profile.primary_cell, channel, rng=rng, params=profile.sim_params())
+    return trace.mean_throughput_mbps
+
+
+def calibrate_mean_sinr(
+    profile,
+    target_mbps: float,
+    duration_s: float = 20.0,
+    tolerance_mbps: float = 10.0,
+    max_iterations: int = 12,
+    seed: int = 7,
+) -> float:
+    """Bisection on the SINR offset so the simulated mean hits a target.
+
+    Returns the calibrated ``mean_sinr_db`` (profile value + fitted
+    offset).  The search brackets ±8 dB around the profile prior.
+    """
+    if target_mbps <= 0:
+        raise ValueError("target must be positive")
+    low, high = -8.0, 8.0
+    f_low = simulated_mean_dl_mbps(profile, duration_s, seed, low) - target_mbps
+    f_high = simulated_mean_dl_mbps(profile, duration_s, seed, high) - target_mbps
+    if f_low > 0:
+        return profile.mean_sinr_db + low
+    if f_high < 0:
+        return profile.mean_sinr_db + high
+    offset = 0.0
+    for _ in range(max_iterations):
+        offset = (low + high) / 2.0
+        error = simulated_mean_dl_mbps(profile, duration_s, seed, offset) - target_mbps
+        if abs(error) <= tolerance_mbps:
+            break
+        if error > 0:
+            high = offset
+        else:
+            low = offset
+    return profile.mean_sinr_db + offset

@@ -1,0 +1,41 @@
+"""Slot-level RAN simulator.
+
+Implements the network side of the measurement substrate: cells and
+their configuration (:mod:`repro.ran.config`), link adaptation with OLLA
+and rank adaptation (:mod:`repro.ran.amc`), RB schedulers
+(:mod:`repro.ran.scheduler`), carrier aggregation (:mod:`repro.ran.ca`),
+the LTE anchor and NSA dual connectivity used for uplink
+(:mod:`repro.ran.lte`, :mod:`repro.ran.nsa`), and the slot-clocked
+simulation entry points (:mod:`repro.ran.simulator`).
+"""
+
+from repro.ran.config import CellConfig
+from repro.ran.amc import BlerModel, Olla, RankAdapter, LinkAdapter
+from repro.ran.scheduler import RoundRobinScheduler, ProportionalFairScheduler
+from repro.ran.ue import UserEquipment
+from repro.ran.gnb import Gnb
+from repro.ran.simulator import simulate_downlink, simulate_downlink_multi, simulate_uplink
+from repro.ran.ca import CarrierAggregation, AggregatedResult
+from repro.ran.lte import LteCellConfig, simulate_lte_uplink
+from repro.ran.nsa import NsaUplink, NsaUplinkResult
+
+__all__ = [
+    "CellConfig",
+    "BlerModel",
+    "Olla",
+    "RankAdapter",
+    "LinkAdapter",
+    "RoundRobinScheduler",
+    "ProportionalFairScheduler",
+    "UserEquipment",
+    "Gnb",
+    "simulate_downlink",
+    "simulate_downlink_multi",
+    "simulate_uplink",
+    "CarrierAggregation",
+    "AggregatedResult",
+    "LteCellConfig",
+    "simulate_lte_uplink",
+    "NsaUplink",
+    "NsaUplinkResult",
+]

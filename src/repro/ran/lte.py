@@ -1,0 +1,94 @@
+"""Minimal 4G LTE anchor carrier (for NSA dual connectivity).
+
+In NSA deployments the UE keeps an LTE anchor; most operators route some
+or all uplink traffic over it (§4.2), and T-Mobile *prefers* the LTE
+leg — the paper's Fig. 10 shows the co-active LTE channel out-performing
+the 100 MHz NR channel for UL.  LTE differs from NR in the essentials
+modeled here: 15 kHz SCS with 1 ms subframes, 100 RBs at 20 MHz, UL
+limited to 16QAM/64QAM single-layer SC-FDMA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nr.signal import shannon_efficiency
+
+#: LTE RB table: bandwidth MHz -> N_RB (36.101).
+LTE_NRB = {1.4: 6, 3: 15, 5: 25, 10: 50, 15: 75, 20: 100}
+
+#: LTE resource elements per RB per subframe (12 subcarriers x 14 symbols).
+LTE_RE_PER_RB = 168
+
+#: UL overhead: DMRS occupies 2 of 14 SC-FDMA symbols.
+LTE_UL_OVERHEAD = 2.0 / 14.0
+
+
+@dataclass(frozen=True)
+class LteCellConfig:
+    """A simplified LTE carrier.
+
+    Parameters
+    ----------
+    bandwidth_mhz:
+        LTE channel bandwidth (20 MHz typical for the anchors observed).
+    ul_max_efficiency:
+        Spectral-efficiency cap of the UL (64QAM, rate ~0.85 single
+        layer ~ 5.1 b/s/Hz; practical caps are lower).
+    alpha:
+        Attenuated-Shannon implementation-loss factor (LTE receivers
+        are mature; slightly below NR's).
+    """
+
+    name: str = "LTE anchor"
+    bandwidth_mhz: float = 20.0
+    ul_max_efficiency: float = 4.3
+    alpha: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mhz not in LTE_NRB:
+            raise ValueError(f"LTE bandwidth must be one of {sorted(LTE_NRB)}")
+
+    @property
+    def n_rb(self) -> int:
+        return LTE_NRB[self.bandwidth_mhz]
+
+    def ul_rate_mbps(self, sinr_db: float | np.ndarray) -> np.ndarray:
+        """Instantaneous UL rate at a given SINR.
+
+        ``rate = eff * N_RB * 180 kHz * (1 - overhead)`` with ``eff``
+        capped by the modulation ceiling.  FDD: the full subframe stream
+        is available for UL.
+        """
+        eff = np.minimum(shannon_efficiency(sinr_db, self.alpha), self.ul_max_efficiency)
+        return eff * self.n_rb * 0.18 * (1.0 - LTE_UL_OVERHEAD)
+
+
+def simulate_lte_uplink(
+    config: LteCellConfig,
+    sinr_db: np.ndarray,
+    subframe_ms: float = 1.0,
+    rng: np.random.Generator | None = None,
+    bler_target: float = 0.1,
+) -> np.ndarray:
+    """UL throughput series (Mbps per subframe) over an SINR series.
+
+    HARQ is folded in statistically: a fraction ``bler_target`` of
+    subframes deliver nothing on the first attempt and are recovered by
+    a retransmission that displaces new data — the net long-run effect
+    is a ``(1 - bler_target/2)``-style efficiency loss, modeled here by
+    explicit per-subframe Bernoulli erasures followed by recovery at
+    half weight.
+    """
+    if subframe_ms <= 0:
+        raise ValueError("subframe_ms must be positive")
+    rng = rng or np.random.default_rng()
+    sinr_db = np.asarray(sinr_db, dtype=float)
+    rates = config.ul_rate_mbps(sinr_db)
+    errors = rng.random(sinr_db.size) < bler_target
+    # A failed subframe is re-sent: its bits arrive but one extra
+    # subframe of capacity is consumed, halving the pair's efficiency.
+    rates = np.where(errors, rates * 0.5, rates)
+    return rates

@@ -1,0 +1,114 @@
+"""NSA (non-stand-alone) dual connectivity for the uplink.
+
+§4.2: "in the non-stand-alone (NSA) mode, UL transmissions rely on both
+5G and 4G channels (dual-connectivity) to attain higher throughput, and
+sometimes exclusively use 4G channels due to their generally larger
+coverage and better channel quality."  The split policy is
+operator-specific; :class:`NsaUplink` models the three observed regimes:
+
+- ``nr_fraction = 1.0`` — UL on NR only,
+- ``0 < nr_fraction < 1`` — split bearer,
+- ``nr_fraction = 0.0`` — UL on LTE only (T-Mobile's observed
+  preference on the 100 MHz n41 channel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.model import ChannelRealization
+from repro.ran.config import CellConfig
+from repro.ran.lte import LteCellConfig, simulate_lte_uplink
+from repro.ran.simulator import SimParams, simulate_uplink
+from repro.xcal.records import SlotTrace
+
+
+@dataclass
+class NsaUplinkResult:
+    """Outcome of an NSA uplink run."""
+
+    nr_trace: SlotTrace | None
+    lte_mbps_series: np.ndarray
+    nr_fraction: float
+
+    @property
+    def nr_mean_mbps(self) -> float:
+        """Mean UL throughput of the NR leg (0 if unused)."""
+        if self.nr_trace is None:
+            return 0.0
+        return self.nr_trace.mean_throughput_mbps
+
+    @property
+    def lte_mean_mbps(self) -> float:
+        """Mean UL throughput of the LTE leg (0 if unused)."""
+        if self.lte_mbps_series.size == 0:
+            return 0.0
+        return float(self.lte_mbps_series.mean())
+
+    @property
+    def total_mean_mbps(self) -> float:
+        """Aggregate UL throughput across both legs."""
+        return self.nr_mean_mbps + self.lte_mean_mbps
+
+
+@dataclass
+class NsaUplink:
+    """An NSA uplink configuration.
+
+    Parameters
+    ----------
+    nr_cell:
+        The NR carrier.
+    lte_cell:
+        The LTE anchor.
+    nr_fraction:
+        Long-run fraction of UL traffic carried on the NR leg.
+    lte_sinr_offset_db:
+        LTE UL SINR relative to the NR UL SINR (LTE's lower band has a
+        better link budget; positive values mean LTE sees a better
+        channel, which is what the paper observes).
+    """
+
+    nr_cell: CellConfig
+    lte_cell: LteCellConfig = field(default_factory=LteCellConfig)
+    nr_fraction: float = 1.0
+    lte_sinr_offset_db: float = 6.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.nr_fraction <= 1.0:
+            raise ValueError("nr_fraction must lie in [0, 1]")
+
+    def simulate(
+        self,
+        ul_channel: ChannelRealization,
+        rng: np.random.Generator | None = None,
+        params: SimParams | None = None,
+    ) -> NsaUplinkResult:
+        """Run both legs against the UL channel realization.
+
+        The NR leg runs the slot-level UL simulation on its share of the
+        traffic; the LTE leg runs the subframe-level LTE model on the
+        (1 ms-downsampled) SINR series shifted by the LTE offset.  Each
+        leg's throughput is scaled by its traffic share.
+        """
+        rng = rng or np.random.default_rng()
+        nr_trace: SlotTrace | None = None
+        if self.nr_fraction > 0.0:
+            nr_trace = simulate_uplink(self.nr_cell, ul_channel, rng=rng, params=params)
+            # Scale delivered bits by the traffic share: a split bearer
+            # only offers this fraction of the backlog to the NR leg.
+            nr_trace.delivered_bits[:] = (nr_trace.delivered_bits * self.nr_fraction).astype(np.int64)
+            nr_trace.tbs_bits[:] = (nr_trace.tbs_bits * self.nr_fraction).astype(np.int64)
+        lte_series = np.array([])
+        if self.nr_fraction < 1.0:
+            # Downsample the slot-grid SINR to the LTE 1 ms subframe grid.
+            slots_per_subframe = max(1, int(round(1.0 / ul_channel.times_ms()[1] if ul_channel.n_slots > 1 else 1)))
+            sinr = ul_channel.sinr_db
+            n_sub = sinr.size // slots_per_subframe
+            sinr_sub = sinr[: n_sub * slots_per_subframe].reshape(n_sub, slots_per_subframe).mean(axis=1)
+            lte_series = simulate_lte_uplink(
+                self.lte_cell, sinr_sub + self.lte_sinr_offset_db, rng=rng
+            ) * (1.0 - self.nr_fraction)
+        return NsaUplinkResult(nr_trace=nr_trace, lte_mbps_series=lte_series, nr_fraction=self.nr_fraction)

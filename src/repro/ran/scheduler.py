@@ -1,0 +1,107 @@
+"""Downlink RB schedulers: round-robin and proportional fair.
+
+With a single backlogged UE (the paper's iPerf measurements) every
+scheduler allocates "close to the maximum RBs" (Fig. 4); the policies
+differ only under contention — §5.2 / Fig. 14 shows two simultaneous
+full-buffer UEs each receive roughly half the RBs and half the
+throughput, which both policies reproduce for symmetric demands.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SchedulingRequest:
+    """Per-slot scheduling input for one UE."""
+
+    ue_id: int
+    backlog_bits: int
+    instantaneous_rate: float  # achievable bits/slot at current MCS/rank
+    average_rate: float = 1.0  # EWMA throughput (PF denominator)
+
+
+class Scheduler(abc.ABC):
+    """Interface: split ``total_rb`` RBs among the requesting UEs."""
+
+    @abc.abstractmethod
+    def allocate(self, requests: list[SchedulingRequest], total_rb: int) -> dict[int, int]:
+        """Return ``{ue_id: n_rb}``; unallocated UEs are omitted."""
+
+    @staticmethod
+    def _active(requests: list[SchedulingRequest]) -> list[SchedulingRequest]:
+        return [r for r in requests if r.backlog_bits > 0]
+
+
+@dataclass
+class RoundRobinScheduler(Scheduler):
+    """Equal RB split with a rotating remainder.
+
+    RBs are divided evenly; the indivisible remainder rotates across
+    slots so long-run shares are exactly equal.
+    """
+
+    _turn: int = 0
+
+    def allocate(self, requests: list[SchedulingRequest], total_rb: int) -> dict[int, int]:
+        if total_rb < 0:
+            raise ValueError("total_rb must be non-negative")
+        active = self._active(requests)
+        if not active or total_rb == 0:
+            return {}
+        n = len(active)
+        base, remainder = divmod(total_rb, n)
+        allocation = {r.ue_id: base for r in active}
+        for k in range(remainder):
+            allocation[active[(self._turn + k) % n].ue_id] += 1
+        self._turn = (self._turn + remainder) % n
+        return {ue: rb for ue, rb in allocation.items() if rb > 0}
+
+
+@dataclass
+class ProportionalFairScheduler(Scheduler):
+    """Proportional-fair frequency-domain scheduling.
+
+    RBs are split proportionally to the PF metric
+    ``instantaneous_rate / average_rate``; with symmetric channels this
+    degenerates to an even split, and a UE in a fade yields RBs to peers.
+    The EWMA averages are maintained by the caller via :meth:`update_average`.
+    """
+
+    ewma_alpha: float = 0.05
+    averages: dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must lie in (0, 1]")
+
+    def allocate(self, requests: list[SchedulingRequest], total_rb: int) -> dict[int, int]:
+        if total_rb < 0:
+            raise ValueError("total_rb must be non-negative")
+        active = self._active(requests)
+        if not active or total_rb == 0:
+            return {}
+        metrics = np.array([
+            r.instantaneous_rate / max(self.averages.get(r.ue_id, r.average_rate), 1e-9)
+            for r in active
+        ])
+        if metrics.sum() <= 0:
+            metrics = np.ones(len(active))
+        shares = metrics / metrics.sum()
+        rbs = np.floor(shares * total_rb).astype(int)
+        # Distribute the rounding remainder to the largest fractional parts.
+        remainder = total_rb - int(rbs.sum())
+        if remainder > 0:
+            fractional = shares * total_rb - rbs
+            for idx in np.argsort(-fractional)[:remainder]:
+                rbs[idx] += 1
+        return {r.ue_id: int(n) for r, n in zip(active, rbs) if n > 0}
+
+    def update_average(self, ue_id: int, served_bits: float) -> None:
+        """Fold one slot's service into the UE's EWMA throughput."""
+        previous = self.averages.get(ue_id, max(served_bits, 1.0))
+        self.averages[ue_id] = (1.0 - self.ewma_alpha) * previous + self.ewma_alpha * served_bits

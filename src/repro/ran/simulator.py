@@ -1,0 +1,487 @@
+"""Slot-clocked link simulation.
+
+Entry points:
+
+- :func:`simulate_downlink` — one backlogged UE on one carrier (the
+  paper's iPerf DL scenario).  Link adaptation runs per CQI period;
+  per-slot decode outcomes, HARQ retransmissions and OLLA feedback run
+  on the slot clock.
+- :func:`simulate_uplink` — same machinery in the UL direction (fewer
+  usable slots per the TDD pattern, fewer layers, lower UE tx power).
+- :func:`simulate_downlink_multi` — several backlogged UEs sharing the
+  carrier through an RB scheduler (Fig. 14's simultaneous-UE study).
+
+All functions return :class:`~repro.xcal.records.SlotTrace` objects, the
+XCAL-equivalent artifact the analysis layer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.channel.model import ChannelRealization
+from repro.nr.cqi import CQI_MAX, CqiMcsMapper
+from repro.nr.mcs import MCS_TABLE_64QAM, Modulation
+from repro.nr.signal import sinr_to_cqi
+from repro.nr.tbs import tbs_lookup_matrix
+from repro.nr.tdd import SlotType
+from repro.ran.amc import BlerModel, Olla, RankAdapter
+from repro.ran.config import CellConfig
+from repro.ran.scheduler import Scheduler, SchedulingRequest
+from repro.xcal.records import SlotTrace, TraceMetadata
+
+#: Slot-type codes used in traces (match ``TddPattern.type_array``).
+SLOT_DL, SLOT_UL, SLOT_SPECIAL = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class SimParams:
+    """Tunable behaviour of the link simulation.
+
+    Parameters
+    ----------
+    harq_rtt_slots:
+        Slots between a NACK and the retransmission grant.
+    max_attempts:
+        HARQ attempts before the TB is dropped.
+    retx_error_scale:
+        Multiplier on the decode-failure probability of retransmissions
+        (chase combining gain).
+    olla_enabled:
+        Run outer-loop link adaptation (ablation switch).
+    bler:
+        Link-abstraction error model.
+    rank_adapter:
+        SINR→layers policy (per-deployment bias lives here).
+    cqi_delay_slots:
+        Age of the channel state behind each CQI report.
+    cqi_noise_db:
+        Gaussian error of the SINR estimate underlying CQI.
+    cqi_alpha:
+        Efficiency factor of the UE's CQI reporting.  UEs report
+        optimistically relative to what the link actually decodes
+        (outer-loop link adaptation exists precisely to correct this);
+        keeping ``cqi_alpha`` above the BLER model's ``alpha`` makes the
+        paper's CQI >= 12 conditioning match commercial reporting rates
+        while OLLA pulls the served MCS back to the true capacity.
+    rank_ewma_beta:
+        Smoothing of the SINR series feeding rank adaptation — RI
+        reports average over a much longer horizon than CQI, which is
+        why Fig. 12 shows MIMO-layer variability an order of magnitude
+        below MCS variability.
+    dci_fallback_cqi:
+        At or below this CQI a 256QAM cell falls back to DCI 1_0 /
+        the 64QAM table (§3.1).
+    background_rb_mean, background_rb_sigma:
+        Fraction of grantable RBs consumed by background traffic
+        (other bearers, SIBs, occasional other users), redrawn each CQI
+        period.  Keeps allocations "close to the maximum" (Fig. 4)
+        while producing the RE-allocation spread of Fig. 3.
+    """
+
+    harq_rtt_slots: int = 8
+    max_attempts: int = 4
+    retx_error_scale: float = 0.15
+    olla_enabled: bool = True
+    bler: BlerModel = field(default_factory=BlerModel)
+    rank_adapter: RankAdapter = field(default_factory=RankAdapter)
+    cqi_delay_slots: int = 8
+    cqi_noise_db: float = 0.3
+    cqi_alpha: float = 0.9
+    rank_ewma_beta: float = 0.15
+    dci_fallback_cqi: int = 4
+    background_rb_mean: float = 0.025
+    background_rb_sigma: float = 0.035
+
+    def __post_init__(self) -> None:
+        if self.harq_rtt_slots < 1:
+            raise ValueError("harq_rtt_slots must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+        if not 0.0 <= self.retx_error_scale <= 1.0:
+            raise ValueError("retx_error_scale must lie in [0, 1]")
+
+
+def _slot_types(cell: CellConfig, n_slots: int, direction: SlotType) -> np.ndarray:
+    """Per-slot type codes; FDD carriers are all-DL or all-UL."""
+    if cell.tdd is not None:
+        return cell.tdd.type_array(n_slots)
+    code = SLOT_DL if direction is SlotType.DL else SLOT_UL
+    return np.full(n_slots, code, dtype=np.int8)
+
+
+def _usable_symbols(cell: CellConfig, direction: SlotType) -> tuple[int, int]:
+    """(symbols in a full slot, symbols in a special slot) for a direction."""
+    if cell.tdd is None:
+        return 14, 0
+    if direction is SlotType.DL:
+        return 14, cell.tdd.special.dl_symbols
+    return 14, cell.tdd.special.ul_symbols
+
+
+def _mappers(cell: CellConfig) -> tuple[CqiMcsMapper, CqiMcsMapper]:
+    """(primary mapper, DCI 1_0 fallback mapper onto the 64QAM table)."""
+    primary = cell.mapper
+    if cell.max_modulation is Modulation.QAM256:
+        fallback = CqiMcsMapper(cell.cqi_table, MCS_TABLE_64QAM, cell.mapping_policy)
+    else:
+        fallback = primary
+    return primary, fallback
+
+
+#: RB quantum for the TBS matrix cache (bounds distinct grant sizes).
+_RB_QUANTUM = 4
+
+
+class _TbsCache:
+    """Lazily built TBS lookup matrices keyed by (table, n_prb)."""
+
+    def __init__(self, cell: CellConfig, max_layers: int, direction: SlotType):
+        self._cell = cell
+        self._max_layers = max_layers
+        self._full_sym, self._special_sym = _usable_symbols(cell, direction)
+        if cell.max_modulation is Modulation.QAM256:
+            self._tables = {"primary": cell.mcs_table, "fallback": MCS_TABLE_64QAM}
+        else:
+            self._tables = {"primary": cell.mcs_table, "fallback": cell.mcs_table}
+        self._cache: dict[tuple[str, int], tuple[np.ndarray, np.ndarray]] = {}
+
+    def quantize(self, n_prb: int) -> int:
+        """Snap a grant size to the cache quantum (at least one quantum)."""
+        return max(_RB_QUANTUM, _RB_QUANTUM * round(n_prb / _RB_QUANTUM))
+
+    def get(self, which: str, n_prb: int) -> tuple[np.ndarray, np.ndarray]:
+        """(full-slot, special-slot) TBS matrices for a grant size."""
+        key = (which, n_prb)
+        if key not in self._cache:
+            table = self._tables[which]
+            full = tbs_lookup_matrix(table, n_prb, self._max_layers, symbols=self._full_sym)
+            if self._special_sym > 0:
+                special = tbs_lookup_matrix(table, n_prb, self._max_layers, symbols=self._special_sym)
+            else:
+                special = np.zeros_like(full)
+            self._cache[key] = (full, special)
+        return self._cache[key]
+
+
+def _simulate_direction(
+    cell: CellConfig,
+    channel: ChannelRealization,
+    direction: SlotType,
+    rng: np.random.Generator,
+    params: SimParams,
+    max_layers: int,
+    n_prb: int,
+    metadata: TraceMetadata,
+) -> SlotTrace:
+    """Shared single-UE full-buffer simulation for one direction."""
+    n_slots = channel.n_slots
+    trace = SlotTrace.empty(n_slots, mu=channel.mu, metadata=metadata)
+    trace.sinr_db[:] = channel.sinr_db
+    trace.rsrp_dbm[:] = channel.rsrp_dbm
+    trace.rsrq_db[:] = channel.rsrq_db
+
+    slot_types = _slot_types(cell, n_slots, direction)
+    trace.slot_type[:] = slot_types
+    own_code = SLOT_DL if direction is SlotType.DL else SLOT_UL
+    usable = (slot_types == own_code) | (slot_types == SLOT_SPECIAL)
+    full_sym, special_sym = _usable_symbols(cell, direction)
+    if special_sym == 0:
+        usable &= slot_types != SLOT_SPECIAL
+
+    primary_mapper, fallback_mapper = _mappers(cell)
+    tbs_cache = _TbsCache(cell, max_layers, direction)
+
+    olla = Olla()
+    rank_adapter = params.rank_adapter
+    current_rank = 1
+    rank_sinr_ewma: float | None = None
+    period = cell.cqi_period_slots
+
+    # Pre-draw all randomness used on the slot clock.
+    n_periods_total = -(-n_slots // period) + 1
+    uniforms = rng.random(n_slots)
+    retx_uniforms = rng.random(n_slots)
+    noise = params.cqi_noise_db * rng.standard_normal(n_periods_total)
+    background = np.clip(
+        params.background_rb_mean + params.background_rb_sigma * rng.standard_normal(n_periods_total),
+        0.0, 0.35,
+    )
+
+    sinr = channel.sinr_db
+    pending: list[list] = []  # each: [due_slot, tbs_bits, attempts, p_hint]
+
+    n_periods = -(-n_slots // period)
+    for p in range(n_periods):
+        start = p * period
+        stop = min(n_slots, start + period)
+
+        # --- measurement report ------------------------------------------------
+        meas_idx = max(0, start - params.cqi_delay_slots)
+        measured = float(sinr[meas_idx]) + float(noise[p])
+        cqi = int(sinr_to_cqi(measured, cell.cqi_table, alpha=params.cqi_alpha))
+        cqi = min(cqi, CQI_MAX)
+        if rank_sinr_ewma is None:
+            rank_sinr_ewma = measured
+        else:
+            beta = params.rank_ewma_beta
+            rank_sinr_ewma = (1.0 - beta) * rank_sinr_ewma + beta * measured
+        current_rank = rank_adapter.rank_for_sinr(rank_sinr_ewma, current_rank)
+        layers = min(current_rank, max_layers)
+        use_fallback = cqi <= params.dci_fallback_cqi and cell.max_modulation is Modulation.QAM256
+        mapper = fallback_mapper if use_fallback else primary_mapper
+        offset = olla.offset if params.olla_enabled else 0
+        mcs = mapper.mcs_for_cqi(cqi, olla_offset=offset)
+        table = mapper.mcs_table
+        entry = table[mcs]
+        eff_mcs = entry.spectral_efficiency
+        period_prb = tbs_cache.quantize(int(round(n_prb * (1.0 - background[p]))))
+        period_prb = min(period_prb, n_prb)
+        tbs_full, tbs_special = tbs_cache.get("fallback" if use_fallback else "primary", period_prb)
+        dci_code = 0 if (use_fallback or cell.max_modulation is not Modulation.QAM256) else 1
+
+        # --- vectorized per-slot outcome for the period ------------------------
+        sl = slice(start, stop)
+        p_err = params.bler.error_probability(eff_mcs, sinr[sl])
+        usable_sl = usable[sl]
+        special_sl = slot_types[sl] == SLOT_SPECIAL
+        decoded_new = uniforms[sl] >= p_err
+
+        tbs_value_full = int(tbs_full[mcs, layers - 1])
+        tbs_value_special = int(tbs_special[mcs, layers - 1])
+
+        acks = 0
+        nacks = 0
+        for i in range(start, stop):
+            j = i - start
+            if not usable_sl[j]:
+                continue
+            is_special = bool(special_sl[j])
+            # Serve a due retransmission first — it displaces new data.
+            if pending and pending[0][0] <= i:
+                due = pending.pop(0)
+                p_retx = min(1.0, due[3] * params.retx_error_scale)
+                ok = retx_uniforms[i] >= p_retx
+                trace.scheduled[i] = True
+                trace.is_retx[i] = True
+                trace.n_prb[i] = period_prb
+                trace.n_re[i] = period_prb * 12
+                trace.mcs_index[i] = mcs
+                trace.modulation_order[i] = entry.modulation.bits_per_symbol
+                trace.layers[i] = layers
+                trace.tbs_bits[i] = due[1]
+                trace.cqi[i] = cqi
+                trace.dci_format[i] = dci_code
+                if ok:
+                    trace.delivered_bits[i] = due[1]
+                else:
+                    trace.error[i] = True
+                    if due[2] + 1 < params.max_attempts:
+                        pending.append([i + params.harq_rtt_slots, due[1], due[2] + 1, due[3]])
+                        pending.sort(key=lambda item: item[0])
+                continue
+            # New transmission.
+            tbs = tbs_value_special if is_special else tbs_value_full
+            if tbs <= 0:
+                continue
+            ok = bool(decoded_new[j])
+            trace.scheduled[i] = True
+            trace.n_prb[i] = period_prb
+            trace.n_re[i] = period_prb * 12
+            trace.mcs_index[i] = mcs
+            trace.modulation_order[i] = entry.modulation.bits_per_symbol
+            trace.layers[i] = layers
+            trace.tbs_bits[i] = tbs
+            trace.cqi[i] = cqi
+            trace.dci_format[i] = dci_code
+            if ok:
+                trace.delivered_bits[i] = tbs
+                acks += 1
+            else:
+                trace.error[i] = True
+                nacks += 1
+                pending.append([i + params.harq_rtt_slots, tbs, 1, float(p_err[j])])
+                pending.sort(key=lambda item: item[0])
+        if params.olla_enabled:
+            olla.update_batch(acks, nacks)
+
+    # Unscheduled slots still carry the CQI context for analysis: forward-fill.
+    _forward_fill_cqi(trace)
+    return trace
+
+
+def _forward_fill_cqi(trace: SlotTrace) -> None:
+    """Propagate the last reported CQI into unscheduled slots."""
+    cqi = trace.cqi
+    mask = cqi > 0
+    if not mask.any():
+        return
+    idx = np.where(mask, np.arange(cqi.size), 0)
+    np.maximum.accumulate(idx, out=idx)
+    filled = cqi[idx]
+    first = int(np.argmax(mask))
+    filled[:first] = cqi[first]
+    trace.cqi[:] = filled
+
+
+def simulate_downlink(
+    cell: CellConfig,
+    channel: ChannelRealization,
+    rng: np.random.Generator | None = None,
+    params: SimParams | None = None,
+    metadata: TraceMetadata | None = None,
+) -> SlotTrace:
+    """Single backlogged UE, downlink (iPerf DL equivalent)."""
+    rng = rng or np.random.default_rng()
+    params = params or SimParams()
+    metadata = metadata or TraceMetadata(
+        carrier_name=cell.name, direction="DL",
+        bandwidth_mhz=cell.bandwidth_mhz, scs_khz=cell.scs_khz,
+    )
+    return _simulate_direction(
+        cell, channel, SlotType.DL, rng, params,
+        max_layers=cell.max_layers, n_prb=cell.grantable_rb, metadata=metadata,
+    )
+
+
+def simulate_uplink(
+    cell: CellConfig,
+    channel: ChannelRealization,
+    rng: np.random.Generator | None = None,
+    params: SimParams | None = None,
+    max_layers: int = 2,
+    metadata: TraceMetadata | None = None,
+) -> SlotTrace:
+    """Single backlogged UE, uplink.
+
+    UL grants use at most ``max_layers`` (commercial mid-band UL runs 1-2
+    layers) and the UL symbols of the TDD pattern; the caller supplies a
+    channel realization reflecting the UL budget (UE tx power), typically
+    the DL realization shifted down by the operator's UL SINR offset.
+    """
+    rng = rng or np.random.default_rng()
+    params = params or SimParams()
+    metadata = metadata or TraceMetadata(
+        carrier_name=cell.name, direction="UL",
+        bandwidth_mhz=cell.bandwidth_mhz, scs_khz=cell.scs_khz,
+    )
+    # UL uses the 64QAM family in the studied deployments.
+    ul_cell = replace(cell, max_modulation=Modulation.QAM64) \
+        if cell.max_modulation is not Modulation.QAM64 else cell
+    return _simulate_direction(
+        ul_cell, channel, SlotType.UL, rng, params,
+        max_layers=min(max_layers, cell.max_layers), n_prb=cell.grantable_rb,
+        metadata=metadata,
+    )
+
+
+def simulate_downlink_multi(
+    cell: CellConfig,
+    channels: list[ChannelRealization],
+    scheduler: Scheduler,
+    rng: np.random.Generator | None = None,
+    params: SimParams | None = None,
+) -> list[SlotTrace]:
+    """Several backlogged UEs sharing the carrier through a scheduler.
+
+    Used for the §5.2 multi-user study (Fig. 14): per DL slot the
+    scheduler splits the grantable RBs among all UEs; each UE's MCS/rank
+    tracks its own CQI loop.  Per-UE HARQ is simplified to immediate
+    retransmission accounting (errors cost the slot's bits) — adequate
+    because Fig. 14 reports RB shares and mean throughput.
+    """
+    rng = rng or np.random.default_rng()
+    params = params or SimParams()
+    if not channels:
+        raise ValueError("need at least one UE channel")
+    n_slots = min(ch.n_slots for ch in channels)
+    n_ues = len(channels)
+
+    traces = [
+        SlotTrace.empty(n_slots, mu=channels[k].mu, metadata=TraceMetadata(
+            carrier_name=cell.name, direction="DL",
+            bandwidth_mhz=cell.bandwidth_mhz, scs_khz=cell.scs_khz,
+        ))
+        for k in range(n_ues)
+    ]
+    for k, trace in enumerate(traces):
+        trace.sinr_db[:] = channels[k].sinr_db[:n_slots]
+        trace.rsrp_dbm[:] = channels[k].rsrp_dbm[:n_slots]
+        trace.rsrq_db[:] = channels[k].rsrq_db[:n_slots]
+
+    slot_types = _slot_types(cell, n_slots, SlotType.DL)
+    for trace in traces:
+        trace.slot_type[:] = slot_types
+    full_sym, special_sym = _usable_symbols(cell, SlotType.DL)
+
+    primary_mapper, fallback_mapper = _mappers(cell)
+    period = cell.cqi_period_slots
+    # Per-UE adaptation state.
+    states = [
+        {"cqi": 7, "rank": 1, "mcs": 5, "table": cell.mcs_table, "olla": Olla(), "dci": 1}
+        for _ in range(n_ues)
+    ]
+    uniforms = rng.random((n_ues, n_slots))
+
+    from repro.nr.tbs import transport_block_size  # local: hot path helper
+
+    for i in range(n_slots):
+        if i % period == 0:
+            for k, state in enumerate(states):
+                meas_idx = max(0, i - params.cqi_delay_slots)
+                measured = float(channels[k].sinr_db[meas_idx]) + params.cqi_noise_db * float(rng.standard_normal())
+                cqi = min(int(sinr_to_cqi(measured, cell.cqi_table, alpha=params.cqi_alpha)), CQI_MAX)
+                state["cqi"] = cqi
+                ewma = state.get("rank_sinr")
+                ewma = measured if ewma is None else (1.0 - params.rank_ewma_beta) * ewma + params.rank_ewma_beta * measured
+                state["rank_sinr"] = ewma
+                state["rank"] = params.rank_adapter.rank_for_sinr(ewma, state["rank"])
+                use_fb = cqi <= params.dci_fallback_cqi and cell.max_modulation is Modulation.QAM256
+                mapper = fallback_mapper if use_fb else primary_mapper
+                state["mcs"] = mapper.mcs_for_cqi(cqi, olla_offset=state["olla"].offset if params.olla_enabled else 0)
+                state["table"] = mapper.mcs_table
+                state["dci"] = 0 if (use_fb or cell.max_modulation is not Modulation.QAM256) else 1
+        kind = slot_types[i]
+        if kind == SLOT_UL:
+            continue
+        symbols = special_sym if kind == SLOT_SPECIAL else full_sym
+        if symbols == 0:
+            continue
+        requests = []
+        for k, state in enumerate(states):
+            entry = state["table"][state["mcs"]]
+            rate = entry.spectral_efficiency * state["rank"] * 12 * symbols
+            requests.append(SchedulingRequest(ue_id=k, backlog_bits=1 << 30, instantaneous_rate=rate))
+        allocation = scheduler.allocate(requests, cell.grantable_rb)
+        for k, n_rb in allocation.items():
+            state = states[k]
+            entry = state["table"][state["mcs"]]
+            layers = min(state["rank"], cell.max_layers)
+            tbs = transport_block_size(n_rb, entry, layers, symbols=symbols)
+            if tbs <= 0:
+                continue
+            p = params.bler.error_probability(entry.spectral_efficiency, channels[k].sinr_db[i])
+            ok = uniforms[k, i] >= float(p)
+            trace = traces[k]
+            trace.scheduled[i] = True
+            trace.n_prb[i] = n_rb
+            trace.n_re[i] = n_rb * 12
+            trace.mcs_index[i] = state["mcs"]
+            trace.modulation_order[i] = entry.modulation.bits_per_symbol
+            trace.layers[i] = layers
+            trace.tbs_bits[i] = tbs
+            trace.cqi[i] = state["cqi"]
+            trace.dci_format[i] = state["dci"]
+            if ok:
+                trace.delivered_bits[i] = tbs
+            else:
+                trace.error[i] = True
+            if params.olla_enabled:
+                state["olla"].update(ok)
+            if hasattr(scheduler, "update_average"):
+                scheduler.update_average(k, float(tbs if ok else 0))
+    for trace in traces:
+        _forward_fill_cqi(trace)
+    return traces

@@ -1,0 +1,71 @@
+"""User equipment model.
+
+A UE owns a channel realization (its radio environment for the run),
+CQI-reporting behaviour, and link-adaptation state.  The campaign used
+Samsung Galaxy S21U phones, 4-layer 256QAM-capable devices — the
+defaults here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.model import ChannelRealization
+from repro.nr.cqi import CQI_MAX
+from repro.nr.mcs import Modulation
+from repro.nr.signal import sinr_to_cqi
+from repro.ran.amc import LinkAdapter
+
+
+@dataclass
+class UserEquipment:
+    """A measured UE attached to a cell.
+
+    Parameters
+    ----------
+    ue_id:
+        Identifier within the simulation.
+    channel:
+        Per-slot channel realization for the run.
+    max_layers:
+        Device MIMO capability (4 for the S21U).
+    max_modulation:
+        Device modulation capability.
+    cqi_delay_slots:
+        Age of the channel state a CQI report reflects (measurement +
+        processing + signaling delay); the paper's appendix 10.2 puts the
+        feedback loop at ~10 ms scales, i.e. tens of slots.
+    cqi_measurement_noise_db:
+        Gaussian error on the SINR estimate underlying each CQI report.
+    """
+
+    ue_id: int
+    channel: ChannelRealization
+    max_layers: int = 4
+    max_modulation: Modulation = Modulation.QAM256
+    cqi_delay_slots: int = 8
+    cqi_measurement_noise_db: float = 0.5
+    link: LinkAdapter | None = None
+
+    def __post_init__(self) -> None:
+        if self.cqi_delay_slots < 0:
+            raise ValueError("cqi_delay_slots must be non-negative")
+        if self.cqi_measurement_noise_db < 0:
+            raise ValueError("measurement noise must be non-negative")
+
+    def measured_sinr_db(self, slot: int, rng: np.random.Generator | None = None) -> float:
+        """SINR estimate available at ``slot`` (delayed, noisy)."""
+        idx = max(0, slot - self.cqi_delay_slots)
+        idx = min(idx, self.channel.n_slots - 1)
+        sinr = float(self.channel.sinr_db[idx])
+        if rng is not None and self.cqi_measurement_noise_db > 0:
+            sinr += self.cqi_measurement_noise_db * float(rng.standard_normal())
+        return sinr
+
+    def report_cqi(self, slot: int, cqi_table, rng: np.random.Generator | None = None) -> tuple[int, float]:
+        """CQI report at ``slot``: returns ``(cqi, measured_sinr_db)``."""
+        sinr = self.measured_sinr_db(slot, rng)
+        cqi = int(sinr_to_cqi(sinr, cqi_table))
+        return min(cqi, CQI_MAX), sinr

@@ -1,0 +1,37 @@
+"""XCAL-equivalent trace layer.
+
+The paper collected slot-level KPIs with the Accuver XCAL professional
+tool.  This package defines the equivalent artifact for our simulator —
+a struct-of-arrays :class:`~repro.xcal.records.SlotTrace` with one entry
+per slot — plus CSV/JSONL import/export and a measurement-campaign
+dataset generator mirroring §2.
+"""
+
+from repro.xcal.records import SlotTrace, TraceMetadata
+from repro.xcal.io import write_csv, read_csv, write_jsonl, read_jsonl
+from repro.xcal.kpis import TraceSummary, summarize_trace, compare_traces
+
+
+def __getattr__(name: str):
+    # Lazy: repro.xcal.dataset drives the RAN simulator, which itself
+    # depends on repro.xcal.records — a direct import here would cycle.
+    if name in ("CampaignSpec", "MeasurementCampaign", "generate_campaign"):
+        from repro.xcal import dataset
+
+        return getattr(dataset, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "SlotTrace",
+    "TraceMetadata",
+    "write_csv",
+    "read_csv",
+    "write_jsonl",
+    "read_jsonl",
+    "TraceSummary",
+    "summarize_trace",
+    "compare_traces",
+    "CampaignSpec",
+    "MeasurementCampaign",
+    "generate_campaign",
+]

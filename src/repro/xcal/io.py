@@ -1,0 +1,153 @@
+"""Trace serialization: CSV and JSONL.
+
+The released artifact repository ships per-section CSV extracts; these
+readers/writers round-trip our :class:`~repro.xcal.records.SlotTrace`
+through the same flat format so externally produced KPI extracts with
+matching columns load through the identical code path.
+
+CSV layout: a ``#`` metadata header (key=value lines), then a column
+header row, then one row per slot.  JSONL layout: first line is a
+metadata object, each following line one slot record.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import fields as dataclass_fields
+from pathlib import Path
+
+import numpy as np
+
+from repro.nr.numerology import Numerology
+from repro.xcal.records import TRACE_COLUMNS, SlotTrace, TraceMetadata, _BOOL_COLUMNS, _INT_COLUMNS
+
+
+def _metadata_pairs(trace: SlotTrace) -> dict:
+    pairs = {"mu": int(trace.mu)}
+    pairs.update(trace.metadata.as_dict())
+    return pairs
+
+
+def _parse_metadata(pairs: dict) -> tuple[Numerology, TraceMetadata]:
+    mu = Numerology(int(pairs.pop("mu", 1)))
+    known = {f.name for f in dataclass_fields(TraceMetadata)}
+    kwargs = {}
+    for key, value in pairs.items():
+        if key not in known:
+            continue
+        if key == "bandwidth_mhz":
+            kwargs[key] = float(value)
+        elif key in ("scs_khz",):
+            kwargs[key] = int(value)
+        elif key == "seed":
+            kwargs[key] = None if value in (None, "", "None") else int(value)
+        else:
+            kwargs[key] = value
+    return mu, TraceMetadata(**kwargs)
+
+
+def _columns_to_trace(columns: dict[str, list], mu: Numerology, metadata: TraceMetadata) -> SlotTrace:
+    arrays = {}
+    for name in TRACE_COLUMNS:
+        raw = columns.get(name, [])
+        if name in _BOOL_COLUMNS:
+            arrays[name] = np.array([str(v) in ("1", "True", "true") for v in raw], dtype=bool)
+        elif name in _INT_COLUMNS:
+            arrays[name] = np.array([int(float(v)) for v in raw], dtype=np.int64)
+        else:
+            arrays[name] = np.array([float(v) for v in raw], dtype=float)
+    return SlotTrace(mu=mu, metadata=metadata, **arrays)
+
+
+# ---------------------------------------------------------------------- #
+# CSV
+# ---------------------------------------------------------------------- #
+def write_csv(trace: SlotTrace, path: str | Path) -> Path:
+    """Write a trace to CSV; returns the path."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        for key, value in _metadata_pairs(trace).items():
+            handle.write(f"# {key}={value}\n")
+        writer = csv.writer(handle)
+        writer.writerow(TRACE_COLUMNS)
+        matrix = [trace.column(name) for name in TRACE_COLUMNS]
+        for row in zip(*matrix):
+            writer.writerow([int(v) if isinstance(v, (bool, np.bool_)) else v for v in row])
+    return path
+
+
+def read_csv(path: str | Path) -> SlotTrace:
+    """Read a trace written by :func:`write_csv` (or a compatible extract)."""
+    path = Path(path)
+    pairs: dict = {}
+    with path.open() as handle:
+        position = handle.tell()
+        line = handle.readline()
+        while line.startswith("#"):
+            body = line[1:].strip()
+            if "=" in body:
+                key, _, value = body.partition("=")
+                pairs[key.strip()] = value.strip()
+            position = handle.tell()
+            line = handle.readline()
+        handle.seek(position)
+        reader = csv.DictReader(handle)
+        columns: dict[str, list] = {name: [] for name in TRACE_COLUMNS}
+        for row in reader:
+            for name in TRACE_COLUMNS:
+                if name not in row or row[name] is None:
+                    raise ValueError(f"CSV {path} is missing trace column {name!r}")
+                columns[name].append(row[name])
+    mu, metadata = _parse_metadata(pairs)
+    return _columns_to_trace(columns, mu, metadata)
+
+
+# ---------------------------------------------------------------------- #
+# JSONL
+# ---------------------------------------------------------------------- #
+def write_jsonl(trace: SlotTrace, path: str | Path) -> Path:
+    """Write a trace to JSONL; first line holds the metadata object."""
+    path = Path(path)
+    with path.open("w") as handle:
+        handle.write(json.dumps({"_meta": _metadata_pairs(trace)}) + "\n")
+        matrix = {name: trace.column(name) for name in TRACE_COLUMNS}
+        for i in range(len(trace)):
+            record = {}
+            for name in TRACE_COLUMNS:
+                value = matrix[name][i]
+                if isinstance(value, (np.bool_,)):
+                    record[name] = bool(value)
+                elif isinstance(value, (np.integer,)):
+                    record[name] = int(value)
+                elif isinstance(value, (np.floating,)):
+                    record[name] = float(value)
+                else:
+                    record[name] = value
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> SlotTrace:
+    """Read a trace written by :func:`write_jsonl`."""
+    path = Path(path)
+    columns: dict[str, list] = {name: [] for name in TRACE_COLUMNS}
+    pairs: dict = {}
+    with path.open() as handle:
+        first = handle.readline()
+        if not first:
+            raise ValueError(f"{path} is empty")
+        head = json.loads(first)
+        if "_meta" in head:
+            pairs = head["_meta"]
+        else:  # headerless file: first line is a record
+            for name in TRACE_COLUMNS:
+                columns[name].append(head[name])
+        for line in handle:
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            for name in TRACE_COLUMNS:
+                columns[name].append(record[name])
+    mu, metadata = _parse_metadata(dict(pairs))
+    return _columns_to_trace(columns, mu, metadata)

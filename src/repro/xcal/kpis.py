@@ -1,0 +1,86 @@
+"""Per-trace KPI summaries — the one-stop dissection of a capture.
+
+Most of the paper's per-operator rows combine the same handful of
+aggregates: mean throughput, BLER, modulation shares, layer shares,
+conditional (CQI >= 12) means and multi-scale variability.
+:func:`summarize_trace` computes them all from one
+:class:`~repro.xcal.records.SlotTrace`, and
+:func:`compare_traces` lines several traces up side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.timeseries import KpiSeries
+from repro.core.variability import scaled_variability
+from repro.xcal.records import SlotTrace
+
+ORDER_NAMES = {2: "QPSK", 4: "16QAM", 6: "64QAM", 8: "256QAM"}
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """The paper-style KPI digest of one trace."""
+
+    label: str
+    duration_s: float
+    mean_tput_mbps: float
+    cqi12_tput_mbps: float
+    cqi12_share: float
+    bler: float
+    mean_mcs: float
+    mean_layers: float
+    modulation_shares: dict[str, float] = field(default_factory=dict)
+    layer_shares: dict[int, float] = field(default_factory=dict)
+    tput_variability_128ms: float = float("nan")
+    mean_rsrq_db: float = float("nan")
+    mean_sinr_db: float = float("nan")
+
+    def row(self) -> str:
+        """One printable comparison row."""
+        qam256 = self.modulation_shares.get("256QAM", 0.0)
+        four_layer = self.layer_shares.get(4, 0.0)
+        return (
+            f"{self.label:12s} tput {self.mean_tput_mbps:7.1f} Mbps "
+            f"(CQI>=12: {self.cqi12_tput_mbps:7.1f})  BLER {100 * self.bler:5.2f}%  "
+            f"MCS {self.mean_mcs:5.1f}  layers {self.mean_layers:4.2f}  "
+            f"4L {100 * four_layer:5.1f}%  256QAM {100 * qam256:5.2f}%  "
+            f"V(128ms) {self.tput_variability_128ms:7.2f}"
+        )
+
+
+def summarize_trace(trace: SlotTrace, label: str | None = None) -> TraceSummary:
+    """Compute the full KPI digest of a trace."""
+    label = label if label is not None else (trace.metadata.carrier_name or "trace")
+    scheduled = trace.scheduled_view()
+    cqi12 = trace.filter_cqi(minimum=12)
+    slot_tput = trace.throughput_mbps(trace.slot_duration_ms)
+    block_128ms = max(1, int(round(128.0 / trace.slot_duration_ms)))
+    mcs_series = KpiSeries.from_trace_column(trace, "mcs_index").values
+    layers_series = KpiSeries.from_trace_column(trace, "layers").values
+    return TraceSummary(
+        label=label,
+        duration_s=trace.duration_s,
+        mean_tput_mbps=trace.mean_throughput_mbps,
+        cqi12_tput_mbps=cqi12.mean_throughput_mbps if len(cqi12) else float("nan"),
+        cqi12_share=len(cqi12) / max(len(trace), 1),
+        bler=trace.bler,
+        mean_mcs=float(mcs_series.mean()) if mcs_series.size else float("nan"),
+        mean_layers=float(layers_series.mean()) if layers_series.size else float("nan"),
+        modulation_shares={ORDER_NAMES.get(order, str(order)): share
+                           for order, share in trace.modulation_shares().items()},
+        layer_shares=trace.layer_shares(),
+        tput_variability_128ms=scaled_variability(slot_tput, block_128ms),
+        mean_rsrq_db=float(trace.rsrq_db.mean()) if len(trace) else float("nan"),
+        mean_sinr_db=float(trace.sinr_db.mean()) if len(trace) else float("nan"),
+    )
+
+
+def compare_traces(traces: dict[str, SlotTrace]) -> list[str]:
+    """Side-by-side digest rows for several traces."""
+    if not traces:
+        raise ValueError("traces must be non-empty")
+    return [summarize_trace(trace, label).row() for label, trace in traces.items()]

@@ -1,0 +1,231 @@
+"""Slot-level KPI records — the XCAL-equivalent trace schema.
+
+One :class:`SlotTrace` holds the per-slot KPIs for a single carrier of a
+single run, as a struct of numpy arrays (fast to slice, trivially
+convertible to CSV rows).  Fields mirror what the paper extracts from
+XCAL captures: grant size (RBs/REs), MCS index and modulation order,
+MIMO layers, CQI, SINR/RSRP/RSRQ, BLER events, and delivered bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dataclass_fields
+
+import numpy as np
+
+from repro.nr.numerology import Numerology, slot_duration_ms
+
+#: Columns of a slot trace, in serialization order.
+TRACE_COLUMNS = (
+    "slot",
+    "time_ms",
+    "slot_type",       # 0=DL, 1=UL, 2=special
+    "scheduled",       # bool: UE received a grant this slot
+    "n_prb",
+    "n_re",
+    "mcs_index",
+    "modulation_order",
+    "layers",
+    "tbs_bits",
+    "delivered_bits",  # 0 when the TB failed decoding this slot
+    "is_retx",
+    "error",           # bool: decode failure this slot
+    "cqi",
+    "dci_format",      # 0 -> 1_0, 1 -> 1_1
+    "sinr_db",
+    "rsrp_dbm",
+    "rsrq_db",
+)
+
+_INT_COLUMNS = {
+    "slot", "slot_type", "n_prb", "n_re", "mcs_index", "modulation_order",
+    "layers", "tbs_bits", "delivered_bits", "cqi", "dci_format",
+}
+_BOOL_COLUMNS = {"scheduled", "is_retx", "error"}
+
+
+@dataclass(frozen=True)
+class TraceMetadata:
+    """Run-level metadata attached to a trace."""
+
+    operator: str = "unknown"
+    country: str = "unknown"
+    carrier_name: str = "cc0"
+    direction: str = "DL"
+    bandwidth_mhz: float = 0.0
+    scs_khz: int = 30
+    mobility: str = "stationary"
+    seed: int | None = None
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+
+
+@dataclass
+class SlotTrace:
+    """Struct-of-arrays slot-level KPI trace.
+
+    All arrays share the same length (one entry per slot, including slots
+    in which the UE was not scheduled — those carry zero grants, matching
+    how XCAL logs idle slots).
+    """
+
+    slot: np.ndarray
+    time_ms: np.ndarray
+    slot_type: np.ndarray
+    scheduled: np.ndarray
+    n_prb: np.ndarray
+    n_re: np.ndarray
+    mcs_index: np.ndarray
+    modulation_order: np.ndarray
+    layers: np.ndarray
+    tbs_bits: np.ndarray
+    delivered_bits: np.ndarray
+    is_retx: np.ndarray
+    error: np.ndarray
+    cqi: np.ndarray
+    dci_format: np.ndarray
+    sinr_db: np.ndarray
+    rsrp_dbm: np.ndarray
+    rsrq_db: np.ndarray
+    mu: Numerology = Numerology.MU_1
+    metadata: TraceMetadata = field(default_factory=TraceMetadata)
+
+    def __post_init__(self) -> None:
+        n = self.slot.size
+        for name in TRACE_COLUMNS:
+            if getattr(self, name).size != n:
+                raise ValueError(f"column {name!r} has length {getattr(self, name).size}, expected {n}")
+
+    # ------------------------------------------------------------------ #
+    # Basics
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self.slot.size)
+
+    @property
+    def slot_duration_ms(self) -> float:
+        return slot_duration_ms(self.mu)
+
+    @property
+    def duration_s(self) -> float:
+        """Trace duration in seconds."""
+        return len(self) * self.slot_duration_ms * 1e-3
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in TRACE_COLUMNS:
+            raise KeyError(f"unknown trace column {name!r}")
+        return getattr(self, name)
+
+    # ------------------------------------------------------------------ #
+    # Derived KPIs
+    # ------------------------------------------------------------------ #
+    @property
+    def total_bits(self) -> int:
+        """Total bits delivered to the MAC."""
+        return int(self.delivered_bits.sum())
+
+    @property
+    def mean_throughput_mbps(self) -> float:
+        """Average PHY throughput over the trace in Mbps."""
+        if len(self) == 0:
+            return 0.0
+        return self.total_bits / self.duration_s / 1e6
+
+    def throughput_mbps(self, bin_ms: float) -> np.ndarray:
+        """Throughput series at time-bin granularity ``bin_ms``.
+
+        Bins delivered bits into windows of ``bin_ms``; the trailing
+        partial bin is dropped so every point covers a full window.
+        """
+        if bin_ms <= 0:
+            raise ValueError("bin_ms must be positive")
+        per_bin = max(1, int(round(bin_ms / self.slot_duration_ms)))
+        n_bins = len(self) // per_bin
+        if n_bins == 0:
+            return np.array([])
+        bits = self.delivered_bits[: n_bins * per_bin].reshape(n_bins, per_bin).sum(axis=1)
+        return bits / (per_bin * self.slot_duration_ms * 1e-3) / 1e6
+
+    @property
+    def bler(self) -> float:
+        """Initial-transmission block error rate."""
+        initial = self.scheduled & ~self.is_retx
+        n_initial = int(initial.sum())
+        if n_initial == 0:
+            return 0.0
+        return float((initial & self.error).sum() / n_initial)
+
+    def scheduled_view(self) -> "SlotTrace":
+        """Sub-trace restricted to scheduled slots (grant dissection)."""
+        return self.mask(self.scheduled.astype(bool))
+
+    def mask(self, keep: np.ndarray) -> "SlotTrace":
+        """Sub-trace of slots where ``keep`` is True (lengths preserved
+        per column; metadata and numerology carried over)."""
+        keep = np.asarray(keep, dtype=bool)
+        if keep.size != len(self):
+            raise ValueError("mask length mismatch")
+        columns = {name: self.column(name)[keep] for name in TRACE_COLUMNS}
+        return SlotTrace(mu=self.mu, metadata=self.metadata, **columns)
+
+    def filter_cqi(self, minimum: int | None = None, maximum: int | None = None) -> "SlotTrace":
+        """Sub-trace conditioned on CQI (e.g. the paper's CQI >= 12 cut)."""
+        keep = np.ones(len(self), dtype=bool)
+        if minimum is not None:
+            keep &= self.cqi >= minimum
+        if maximum is not None:
+            keep &= self.cqi <= maximum
+        return self.mask(keep)
+
+    def modulation_shares(self) -> dict[int, float]:
+        """Fraction of scheduled slots per modulation order (Fig. 5)."""
+        sched = self.scheduled.astype(bool)
+        total = int(sched.sum())
+        if total == 0:
+            return {}
+        orders = self.modulation_order[sched]
+        values, counts = np.unique(orders, return_counts=True)
+        return {int(v): float(c) / total for v, c in zip(values, counts)}
+
+    def layer_shares(self) -> dict[int, float]:
+        """Fraction of scheduled slots per MIMO layer count (Fig. 6)."""
+        sched = self.scheduled.astype(bool)
+        total = int(sched.sum())
+        if total == 0:
+            return {}
+        values, counts = np.unique(self.layers[sched], return_counts=True)
+        return {int(v): float(c) / total for v, c in zip(values, counts)}
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, n_slots: int, mu: Numerology = Numerology.MU_1,
+              metadata: TraceMetadata | None = None) -> "SlotTrace":
+        """An all-zero trace of ``n_slots`` slots (simulator scratchpad)."""
+        if n_slots < 0:
+            raise ValueError("n_slots must be non-negative")
+        columns: dict[str, np.ndarray] = {}
+        for name in TRACE_COLUMNS:
+            if name in _BOOL_COLUMNS:
+                columns[name] = np.zeros(n_slots, dtype=bool)
+            elif name in _INT_COLUMNS:
+                columns[name] = np.zeros(n_slots, dtype=np.int64)
+            else:
+                columns[name] = np.zeros(n_slots, dtype=float)
+        columns["slot"] = np.arange(n_slots, dtype=np.int64)
+        columns["time_ms"] = columns["slot"] * slot_duration_ms(mu)
+        return cls(mu=mu, metadata=metadata or TraceMetadata(), **columns)
+
+    def concat(self, other: "SlotTrace") -> "SlotTrace":
+        """Concatenate two traces (slot indices are re-based)."""
+        if other.mu != self.mu:
+            raise ValueError("cannot concatenate traces with different numerologies")
+        columns = {
+            name: np.concatenate([self.column(name), other.column(name)])
+            for name in TRACE_COLUMNS
+        }
+        columns["slot"] = np.arange(len(self) + len(other), dtype=np.int64)
+        columns["time_ms"] = columns["slot"] * self.slot_duration_ms
+        return SlotTrace(mu=self.mu, metadata=self.metadata, **columns)

@@ -1,0 +1,120 @@
+"""Tests for repro.apps.video.abr_extra — the footnote-6 algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.apps.video.abr import AbrContext
+from repro.apps.video.abr_extra import L2A, LolPlus, project_to_simplex
+from repro.apps.video.content import PAPER_LADDER_MIDBAND
+
+
+def _context(buffer_s=15.0, estimate=500.0, last_level=3):
+    return AbrContext(
+        buffer_level_s=buffer_s, buffer_capacity_s=30.0, chunk_s=4.0,
+        throughput_estimate_mbps=estimate, last_level=last_level, chunk_index=5,
+    )
+
+
+class TestSimplexProjection:
+    def test_already_on_simplex(self):
+        w = np.array([0.2, 0.3, 0.5])
+        assert project_to_simplex(w) == pytest.approx(w)
+
+    def test_projection_properties(self):
+        for raw in ([2.0, -1.0, 0.5], [10.0, 10.0], [-5.0, -6.0, -7.0, 0.0]):
+            projected = project_to_simplex(np.array(raw))
+            assert projected.sum() == pytest.approx(1.0)
+            assert (projected >= 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            project_to_simplex(np.array([]))
+
+
+class TestL2A:
+    def test_choice_in_range(self):
+        abr = L2A(PAPER_LADDER_MIDBAND)
+        for estimate in (50.0, 400.0, 900.0):
+            level = abr.choose(_context(estimate=estimate))
+            assert 0 <= level <= 6
+
+    def test_weights_stay_on_simplex(self):
+        abr = L2A(PAPER_LADDER_MIDBAND)
+        for _ in range(30):
+            abr.choose(_context(estimate=300.0, buffer_s=6.0))
+            assert abr.weights.sum() == pytest.approx(1.0)
+            assert (abr.weights >= 0).all()
+
+    def test_learns_down_under_starvation(self):
+        abr = L2A(PAPER_LADDER_MIDBAND)
+        # Repeated low-throughput, low-buffer rounds push weights down.
+        for _ in range(20):
+            level = abr.choose(_context(estimate=40.0, buffer_s=1.0))
+        assert level <= 1
+
+    def test_learns_up_on_fast_link(self):
+        abr = L2A(PAPER_LADDER_MIDBAND)
+        for _ in range(30):
+            level = abr.choose(_context(estimate=2000.0, buffer_s=25.0))
+        assert level >= 4
+
+    def test_reset(self):
+        abr = L2A(PAPER_LADDER_MIDBAND)
+        for _ in range(10):
+            abr.choose(_context(estimate=40.0, buffer_s=1.0))
+        abr.reset()
+        assert abr.weights == pytest.approx(np.full(7, 1 / 7))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            L2A(PAPER_LADDER_MIDBAND, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            L2A(PAPER_LADDER_MIDBAND, target_buffer_s=0.0)
+
+
+class TestLolPlus:
+    def test_choice_in_range(self):
+        abr = LolPlus(PAPER_LADDER_MIDBAND)
+        for estimate in (50.0, 400.0, 3000.0):
+            assert 0 <= abr.choose(_context(estimate=estimate)) <= 6
+
+    def test_tracks_throughput(self):
+        abr = LolPlus(PAPER_LADDER_MIDBAND)
+        slow = abr.choose(_context(estimate=80.0))
+        fast = abr.choose(_context(estimate=900.0, last_level=5))
+        assert fast > slow
+
+    def test_switch_penalty_dampens_jumps(self):
+        smooth = LolPlus(PAPER_LADDER_MIDBAND, switch_weight=0.6,
+                         throughput_weight=0.3, buffer_weight=0.1)
+        jumpy = LolPlus(PAPER_LADDER_MIDBAND, switch_weight=0.0,
+                        throughput_weight=0.9, buffer_weight=0.1)
+        context = _context(estimate=900.0, last_level=0)
+        assert smooth.choose(context) <= jumpy.choose(context)
+
+    def test_low_buffer_conservative(self):
+        abr = LolPlus(PAPER_LADDER_MIDBAND)
+        starving = abr.choose(_context(estimate=700.0, buffer_s=0.5))
+        comfortable = abr.choose(_context(estimate=700.0, buffer_s=25.0))
+        assert starving <= comfortable
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LolPlus(PAPER_LADDER_MIDBAND, throughput_weight=0.0,
+                    buffer_weight=0.0, switch_weight=0.0)
+        with pytest.raises(ValueError):
+            LolPlus(PAPER_LADDER_MIDBAND, safety=0.0)
+
+
+class TestInPlayer:
+    def test_both_complete_sessions(self):
+        from repro.apps.video.content import Video
+        from repro.apps.video.player import StreamingSession
+
+        video = Video(duration_s=40.0, chunk_s=4.0)
+        capacity = np.full(2000, 500.0)
+        for abr_cls in (L2A, LolPlus):
+            session = StreamingSession(video=video, abr=abr_cls(video.ladder),
+                                       capacity_mbps=capacity).run()
+            assert len(session.chunks) == 10
+            assert session.qoe().mean_quality_level > 0

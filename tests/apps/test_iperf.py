@@ -1,0 +1,46 @@
+"""Tests for repro.apps.iperf."""
+
+import numpy as np
+import pytest
+
+from repro.apps.iperf import run_iperf_dl, run_iperf_ul
+
+
+class TestIperfDl:
+    def test_goodput_below_phy(self, cell_90mhz, good_channel, rng):
+        result = run_iperf_dl(cell_90mhz, good_channel, rng=rng)
+        assert result.mean_goodput_mbps < result.trace.mean_throughput_mbps
+
+    def test_goodput_scaling(self, cell_90mhz, good_channel, rng):
+        result = run_iperf_dl(cell_90mhz, good_channel, rng=rng, protocol_efficiency=0.9)
+        assert result.mean_goodput_mbps == pytest.approx(
+            0.9 * result.trace.mean_throughput_mbps)
+
+    def test_interval_rows(self, cell_90mhz, good_channel, rng):
+        result = run_iperf_dl(cell_90mhz, good_channel, rng=rng, interval_s=1.0)
+        assert result.goodput_mbps.shape == (3,)
+        rows = result.report_rows()
+        assert len(rows) == 4  # 3 intervals + total
+        assert "total" in rows[-1]
+
+    def test_transferred_bytes(self, cell_90mhz, good_channel, rng):
+        result = run_iperf_dl(cell_90mhz, good_channel, rng=rng)
+        expected = result.trace.total_bits * result.protocol_efficiency / 8e6
+        assert result.transferred_mbytes == pytest.approx(expected)
+
+    def test_validation(self, cell_90mhz, good_channel, rng):
+        with pytest.raises(ValueError):
+            run_iperf_dl(cell_90mhz, good_channel, rng=rng, interval_s=0.0)
+        with pytest.raises(ValueError):
+            run_iperf_dl(cell_90mhz, good_channel, rng=rng, protocol_efficiency=0.0)
+
+
+class TestIperfUl:
+    def test_ul_slower(self, cell_90mhz, good_channel):
+        dl = run_iperf_dl(cell_90mhz, good_channel, rng=np.random.default_rng(1))
+        ul = run_iperf_ul(cell_90mhz, good_channel, rng=np.random.default_rng(1))
+        assert ul.mean_goodput_mbps < dl.mean_goodput_mbps
+
+    def test_ul_validation(self, cell_90mhz, good_channel, rng):
+        with pytest.raises(ValueError):
+            run_iperf_ul(cell_90mhz, good_channel, rng=rng, interval_s=-1.0)

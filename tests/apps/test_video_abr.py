@@ -1,0 +1,138 @@
+"""Tests for repro.apps.video.abr — BOLA, throughput-based, dynamic."""
+
+import pytest
+
+from repro.apps.video.abr import AbrContext, Bola, DynamicAbr, ThroughputBased
+from repro.apps.video.content import PAPER_LADDER_MIDBAND
+
+
+def _context(buffer_s=20.0, estimate=500.0, chunk_s=4.0, capacity_s=30.0,
+             index=10, stalled=False):
+    return AbrContext(
+        buffer_level_s=buffer_s,
+        buffer_capacity_s=capacity_s,
+        chunk_s=chunk_s,
+        throughput_estimate_mbps=estimate,
+        last_level=0,
+        chunk_index=index,
+        stalled_since_last=stalled,
+    )
+
+
+def _steady_bola(**kwargs):
+    """A BOLA instance past its startup phase."""
+    bola = Bola(PAPER_LADDER_MIDBAND, **kwargs)
+    bola._in_startup = False
+    return bola
+
+
+class TestBola:
+    def test_quality_monotone_in_buffer(self):
+        bola = _steady_bola()
+        levels = [bola.choose(_context(buffer_s=b)) for b in (1.0, 6.0, 12.0, 20.0, 28.0)]
+        assert levels == sorted(levels)
+
+    def test_empty_buffer_lowest(self):
+        assert _steady_bola().choose(_context(buffer_s=0.0)) == 0
+
+    def test_full_buffer_highest(self):
+        assert _steady_bola().choose(_context(buffer_s=29.0)) == 6
+
+    def test_control_parameter_scales_with_buffer(self):
+        bola = Bola(PAPER_LADDER_MIDBAND)
+        assert bola.control_parameter(30.0, 4.0) > bola.control_parameter(12.0, 4.0)
+
+    def test_smaller_chunks_raise_top_threshold(self):
+        # dash.js seconds-form: 1 s chunks need more buffered seconds
+        # before the top rung than 4 s chunks (the §6.2 conservatism).
+        bola = Bola(PAPER_LADDER_MIDBAND)
+        v4 = bola.control_parameter(12.0, 4.0)
+        v1 = bola.control_parameter(12.0, 1.0)
+        assert v1 > v4
+
+    def test_startup_rides_throughput(self):
+        bola = Bola(PAPER_LADDER_MIDBAND)
+        level = bola.choose(_context(buffer_s=1.0, estimate=900.0, index=1))
+        assert level == 6  # 0.9 * 900 > 750
+
+    def test_startup_exits_on_buffer(self):
+        bola = Bola(PAPER_LADDER_MIDBAND)
+        bola.choose(_context(buffer_s=20.0))
+        assert not bola._in_startup
+
+    def test_stall_reenters_startup(self):
+        bola = Bola(PAPER_LADDER_MIDBAND)
+        bola._in_startup = False
+        # Post-stall with a collapsed estimate: conservative recovery.
+        level = bola.choose(_context(buffer_s=2.0, estimate=40.0, stalled=True))
+        assert level == 0
+
+    def test_reset(self):
+        bola = Bola(PAPER_LADDER_MIDBAND)
+        bola._in_startup = False
+        bola.reset()
+        assert bola._in_startup
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Bola(PAPER_LADDER_MIDBAND, gamma_p=0.0)
+        with pytest.raises(ValueError):
+            Bola(PAPER_LADDER_MIDBAND, startup_safety=0.0)
+
+    def test_supports_abandonment(self):
+        assert Bola(PAPER_LADDER_MIDBAND).supports_abandonment
+        assert not ThroughputBased(PAPER_LADDER_MIDBAND).supports_abandonment
+
+
+class TestThroughputBased:
+    def test_follows_estimate(self):
+        abr = ThroughputBased(PAPER_LADDER_MIDBAND, safety=1.0)
+        assert abr.choose(_context(estimate=750.0)) == 6
+        assert abr.choose(_context(estimate=90.0)) == 2
+
+    def test_safety_margin(self):
+        abr = ThroughputBased(PAPER_LADDER_MIDBAND, safety=0.9)
+        # 0.9 * 800 = 720 < 750 -> level 5.
+        assert abr.choose(_context(estimate=800.0)) == 5
+
+    def test_ignores_buffer(self):
+        abr = ThroughputBased(PAPER_LADDER_MIDBAND)
+        assert abr.choose(_context(buffer_s=0.0, estimate=500.0)) == \
+            abr.choose(_context(buffer_s=29.0, estimate=500.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThroughputBased(PAPER_LADDER_MIDBAND, safety=1.5)
+
+
+class TestDynamic:
+    def test_low_buffer_uses_throughput(self):
+        abr = DynamicAbr(PAPER_LADDER_MIDBAND, switch_buffer_s=10.0)
+        level = abr.choose(_context(buffer_s=2.0, estimate=500.0))
+        expected = ThroughputBased(PAPER_LADDER_MIDBAND).choose(_context(buffer_s=2.0, estimate=500.0))
+        assert level == expected
+
+    def test_high_buffer_uses_bola(self):
+        abr = DynamicAbr(PAPER_LADDER_MIDBAND, switch_buffer_s=10.0)
+        bola = _steady_bola()
+        context = _context(buffer_s=28.0, estimate=100.0)
+        assert abr.choose(context) == bola.choose(context)
+
+    def test_hysteresis(self):
+        abr = DynamicAbr(PAPER_LADDER_MIDBAND, switch_buffer_s=10.0)
+        abr.choose(_context(buffer_s=12.0))   # enters BOLA mode
+        assert abr._using_bola
+        abr.choose(_context(buffer_s=7.0))    # above half threshold: stays
+        assert abr._using_bola
+        abr.choose(_context(buffer_s=4.0))    # below half: falls back
+        assert not abr._using_bola
+
+    def test_reset(self):
+        abr = DynamicAbr(PAPER_LADDER_MIDBAND)
+        abr._using_bola = True
+        abr.reset()
+        assert not abr._using_bola
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicAbr(PAPER_LADDER_MIDBAND, switch_buffer_s=0.0)

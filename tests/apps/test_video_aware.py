@@ -1,0 +1,86 @@
+"""Tests for repro.apps.video.aware — the 5G-network-aware ABR extension."""
+
+import numpy as np
+import pytest
+
+from repro.apps.video.abr import AbrContext
+from repro.apps.video.aware import NetworkAwareBola, phy_instability_series
+from repro.apps.video.content import PAPER_LADDER_MIDBAND
+
+
+def _context(buffer_s=20.0, estimate=800.0, now_s=0.0, last_level=0):
+    return AbrContext(
+        buffer_level_s=buffer_s, buffer_capacity_s=30.0, chunk_s=4.0,
+        throughput_estimate_mbps=estimate, last_level=last_level,
+        chunk_index=5, now_s=now_s,
+    )
+
+
+class TestInstabilitySeries:
+    def test_stable_trace_low_score(self, short_dl_trace):
+        scores = phy_instability_series(short_dl_trace, window_s=1.0)
+        assert scores.shape[0] >= 1
+        assert np.all((0.0 <= scores) & (scores <= 1.0))
+
+    def test_variable_channel_scores_higher(self, cell_90mhz, rng):
+        from repro.channel.model import SyntheticChannel
+        from repro.ran.simulator import simulate_downlink
+
+        quiet = SyntheticChannel(mean_sinr_db=22.0, fast_sigma_db=0.5,
+                                 slow_sigma_db=0.3).realize(5.0, rng=np.random.default_rng(1))
+        noisy = SyntheticChannel(mean_sinr_db=22.0, fast_sigma_db=4.0,
+                                 slow_sigma_db=3.0).realize(5.0, rng=np.random.default_rng(1))
+        quiet_trace = simulate_downlink(cell_90mhz, quiet, rng=np.random.default_rng(2))
+        noisy_trace = simulate_downlink(cell_90mhz, noisy, rng=np.random.default_rng(2))
+        assert phy_instability_series(noisy_trace).mean() > \
+            phy_instability_series(quiet_trace).mean()
+
+    def test_window_validation(self, short_dl_trace):
+        with pytest.raises(ValueError):
+            phy_instability_series(short_dl_trace, window_s=0.0)
+
+
+class TestNetworkAwareBola:
+    def _aware(self, scores):
+        abr = NetworkAwareBola(PAPER_LADDER_MIDBAND, np.asarray(scores, dtype=float))
+        abr._in_startup = False
+        return abr
+
+    def test_quiet_channel_matches_bola(self):
+        from repro.apps.video.abr import Bola
+
+        aware = self._aware([0.0, 0.0])
+        bola = Bola(PAPER_LADDER_MIDBAND)
+        bola._in_startup = False
+        context = _context()
+        assert aware.choose(context) == bola.choose(context)
+
+    def test_instability_discounts_estimate_in_startup(self):
+        calm = NetworkAwareBola(PAPER_LADDER_MIDBAND, np.array([0.0]))
+        shaky = NetworkAwareBola(PAPER_LADDER_MIDBAND, np.array([1.0]))
+        # Startup picks by throughput: the discount lowers the rung.
+        context = _context(buffer_s=1.0, estimate=900.0)
+        assert shaky.choose(context) < calm.choose(context)
+
+    def test_upswitch_capped_when_unstable(self):
+        aware = self._aware([1.0])
+        level = aware.choose(_context(buffer_s=29.0, last_level=1))
+        assert level == 2  # one rung at a time, not a jump to 6
+
+    def test_upswitch_free_when_stable(self):
+        aware = self._aware([0.0])
+        assert aware.choose(_context(buffer_s=29.0, last_level=1)) == 6
+
+    def test_instability_indexed_by_time(self):
+        aware = self._aware([0.0, 1.0])
+        assert aware.instability_at(0.5) == 0.0
+        assert aware.instability_at(2.5) == 1.0
+        assert aware.instability_at(99.0) == 1.0  # clamps to the last window
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkAwareBola(PAPER_LADDER_MIDBAND, np.array([]))
+        with pytest.raises(ValueError):
+            NetworkAwareBola(PAPER_LADDER_MIDBAND, np.array([0.5]), instability_window_s=0.0)
+        with pytest.raises(ValueError):
+            NetworkAwareBola(PAPER_LADDER_MIDBAND, np.array([0.5]), max_discount=1.0)

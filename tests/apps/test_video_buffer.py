@@ -1,0 +1,53 @@
+"""Tests for repro.apps.video.buffer."""
+
+import pytest
+
+from repro.apps.video.buffer import PlaybackBuffer
+
+
+class TestBuffer:
+    def test_append_and_drain(self):
+        buffer = PlaybackBuffer(capacity_s=30.0)
+        buffer.append(4.0)
+        assert buffer.level_s == 4.0
+        stall = buffer.drain(2.0)
+        assert stall == 0.0
+        assert buffer.level_s == 2.0
+
+    def test_stall_when_dry(self):
+        buffer = PlaybackBuffer()
+        buffer.append(1.0)
+        stall = buffer.drain(3.0)
+        assert stall == pytest.approx(2.0)
+        assert buffer.total_stall_s == pytest.approx(2.0)
+        assert buffer.n_stalls == 1
+        assert buffer.is_empty
+
+    def test_contiguous_stall_counts_once(self):
+        buffer = PlaybackBuffer()
+        buffer.drain(1.0)
+        buffer.drain(1.0)
+        assert buffer.n_stalls == 1
+        assert buffer.total_stall_s == 2.0
+
+    def test_append_ends_stall_event(self):
+        buffer = PlaybackBuffer()
+        buffer.drain(1.0)
+        buffer.append(4.0)
+        buffer.drain(5.0)
+        assert buffer.n_stalls == 2
+
+    def test_overflow_check(self):
+        buffer = PlaybackBuffer(capacity_s=10.0)
+        buffer.append(8.0)
+        assert buffer.would_overflow(4.0)
+        assert not buffer.would_overflow(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlaybackBuffer(capacity_s=0.0)
+        buffer = PlaybackBuffer()
+        with pytest.raises(ValueError):
+            buffer.append(0.0)
+        with pytest.raises(ValueError):
+            buffer.drain(-1.0)

@@ -1,0 +1,84 @@
+"""Tests for repro.apps.video.content."""
+
+import numpy as np
+import pytest
+
+from repro.apps.video.content import (
+    BitrateLadder,
+    PAPER_LADDER_MIDBAND,
+    PAPER_LADDER_MMWAVE,
+    QualityLevel,
+    Video,
+)
+
+
+class TestQualityLevel:
+    def test_chunk_bits(self):
+        level = QualityLevel(level=4, bitrate_mbps=400.0)
+        assert level.chunk_bits(4.0) == pytest.approx(1.6e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QualityLevel(level=-1, bitrate_mbps=10.0)
+        with pytest.raises(ValueError):
+            QualityLevel(level=0, bitrate_mbps=0.0)
+        with pytest.raises(ValueError):
+            QualityLevel(level=0, bitrate_mbps=10.0).chunk_bits(0.0)
+
+
+class TestLadder:
+    def test_paper_midband_ladder(self):
+        # §6's seven levels: ~30..750 Mbps.
+        assert len(PAPER_LADDER_MIDBAND) == 7
+        assert PAPER_LADDER_MIDBAND.min_bitrate_mbps == 30.0
+        assert PAPER_LADDER_MIDBAND.max_bitrate_mbps == 750.0
+
+    def test_paper_mmwave_ladder(self):
+        # §7's scaled-up ladder: 400 Mbps..2.8 Gbps.
+        assert PAPER_LADDER_MMWAVE.max_bitrate_mbps == 2800.0
+        assert PAPER_LADDER_MMWAVE.min_bitrate_mbps == 400.0
+
+    def test_utilities_bola_form(self):
+        utilities = PAPER_LADDER_MIDBAND.utilities
+        assert utilities[0] == 0.0
+        assert utilities[-1] == pytest.approx(np.log(750 / 30))
+        assert np.all(np.diff(utilities) > 0)
+
+    def test_highest_below(self):
+        assert PAPER_LADDER_MIDBAND.highest_below(500.0) == 4  # 400 Mbps
+        assert PAPER_LADDER_MIDBAND.highest_below(29.0) == 0   # clamps
+        assert PAPER_LADDER_MIDBAND.highest_below(10_000.0) == 6
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            BitrateLadder([100.0, 50.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BitrateLadder([])
+
+    def test_index_bounds(self):
+        with pytest.raises(IndexError):
+            PAPER_LADDER_MIDBAND[7]
+
+    def test_labels(self):
+        ladder = BitrateLadder([10.0, 20.0], labels=["360p", "720p"])
+        assert ladder[1].label == "720p"
+        with pytest.raises(ValueError):
+            BitrateLadder([10.0, 20.0], labels=["only-one"])
+
+
+class TestVideo:
+    def test_chunk_count(self):
+        video = Video(duration_s=120.0, chunk_s=4.0)
+        assert video.n_chunks == 30
+
+    def test_chunk_bits(self):
+        video = Video(duration_s=60.0, chunk_s=1.0)
+        assert video.chunk_bits(0) == pytest.approx(30e6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Video(duration_s=0.0)
+        with pytest.raises(ValueError):
+            Video(duration_s=2.0, chunk_s=4.0)

@@ -1,0 +1,117 @@
+"""Tests for repro.apps.video.player — the DASH session driver."""
+
+import numpy as np
+import pytest
+
+from repro.apps.video.abr import Bola, ThroughputBased
+from repro.apps.video.content import PAPER_LADDER_MIDBAND, Video
+from repro.apps.video.player import StreamingSession
+
+
+def _session(capacity, video=None, abr_cls=Bola, **kwargs):
+    video = video or Video(duration_s=60.0, chunk_s=4.0)
+    return StreamingSession(
+        video=video,
+        abr=abr_cls(video.ladder),
+        capacity_mbps=np.asarray(capacity, dtype=float),
+        **kwargs,
+    )
+
+
+class TestHappyPath:
+    def test_all_chunks_played(self):
+        result = _session(np.full(2000, 800.0)).run()
+        assert len(result.chunks) == 15
+        assert result.playback_s == 60.0
+
+    def test_fast_link_reaches_top_quality(self):
+        result = _session(np.full(4000, 2000.0)).run()
+        # After the ramp, the session sits at the top rung.
+        assert result.quality_levels[-1] == 6
+        assert result.qoe().stall_percentage == 0.0
+
+    def test_slow_link_stays_low(self):
+        result = _session(np.full(4000, 40.0)).run()
+        assert result.qoe().mean_quality_level <= 1.0
+
+    def test_startup_delay_recorded(self):
+        result = _session(np.full(2000, 100.0)).run()
+        assert result.startup_delay_s > 0
+
+    def test_buffer_respects_capacity(self):
+        result = _session(np.full(4000, 3000.0), buffer_capacity_s=12.0).run()
+        assert result.buffer_timeline_s.max() <= 12.0 + 1e-6
+
+
+class TestStalls:
+    def _dropping_capacity(self):
+        # 20 s of 900 Mbps, then a deep 15 s collapse, then recovery.
+        return np.concatenate([
+            np.full(400, 900.0), np.full(300, 8.0), np.full(1300, 900.0),
+        ])
+
+    def test_collapse_produces_stall_without_abandonment(self):
+        video = Video(duration_s=90.0, chunk_s=4.0)
+        session = _session(self._dropping_capacity(), video=video,
+                           abr_cls=ThroughputBased, buffer_capacity_s=12.0)
+        result = session.run()
+        assert result.total_stall_s > 0
+        assert result.n_stalls >= 1
+
+    def test_stall_attributed_to_chunk(self):
+        video = Video(duration_s=90.0, chunk_s=4.0)
+        result = _session(self._dropping_capacity(), video=video,
+                          abr_cls=ThroughputBased, buffer_capacity_s=12.0).run()
+        assert max(c.stall_s for c in result.chunks) > 0
+
+    def test_abandonment_limits_stall(self):
+        video = Video(duration_s=90.0, chunk_s=4.0)
+        with_bola = _session(self._dropping_capacity(), video=video,
+                             abr_cls=Bola, buffer_capacity_s=12.0).run()
+        without = _session(self._dropping_capacity(), video=video,
+                           abr_cls=ThroughputBased, buffer_capacity_s=12.0).run()
+        # BOLA's abandonment rule keeps rebuffering at or below the
+        # non-abandoning player's.
+        assert with_bola.total_stall_s <= without.total_stall_s + 1e-9
+
+
+class TestMechanics:
+    def test_capacity_series_repeats(self):
+        # A short capacity series wraps around rather than running out.
+        result = _session(np.full(100, 500.0)).run()
+        assert len(result.chunks) == 15
+
+    def test_insufficient_buffer_guard_caps_quality(self):
+        video = Video(duration_s=60.0, chunk_s=4.0)
+        capacity = np.concatenate([np.full(200, 900.0), np.full(3800, 120.0)])
+        guarded = StreamingSession(video=video, abr=ThroughputBased(video.ladder),
+                                   capacity_mbps=capacity, buffer_capacity_s=12.0,
+                                   insufficient_buffer_guard=True).run()
+        unguarded = StreamingSession(video=video, abr=ThroughputBased(video.ladder),
+                                     capacity_mbps=capacity, buffer_capacity_s=12.0,
+                                     insufficient_buffer_guard=False).run()
+        assert guarded.total_stall_s <= unguarded.total_stall_s + 1e-9
+
+    def test_qoe_chunk_accounting(self):
+        result = _session(np.full(2000, 600.0)).run()
+        qoe = result.qoe()
+        assert qoe.n_chunks == len(result.chunks)
+        assert 0.0 <= qoe.normalized_bitrate <= 1.0
+
+    def test_validation(self):
+        video = Video(duration_s=10.0, chunk_s=1.0)
+        with pytest.raises(ValueError):
+            StreamingSession(video=video, abr=Bola(video.ladder),
+                             capacity_mbps=np.array([]))
+        with pytest.raises(ValueError):
+            StreamingSession(video=video, abr=Bola(video.ladder),
+                             capacity_mbps=np.ones(10), capacity_bin_s=0.0)
+        with pytest.raises(ValueError):
+            StreamingSession(video=video, abr=Bola(video.ladder),
+                             capacity_mbps=np.ones(10), startup_chunks=0)
+
+    def test_timeline_sampled_per_second(self):
+        result = _session(np.full(4000, 700.0)).run()
+        # ~one sample per wall-clock second of the session.
+        wall = result.startup_delay_s + result.playback_s + result.total_stall_s
+        assert abs(result.buffer_timeline_s.size - wall) <= 62.0

@@ -1,0 +1,65 @@
+"""Tests for repro.channel.blockage."""
+
+import numpy as np
+import pytest
+
+from repro.channel.blockage import NO_BLOCKAGE, BlockageProcess
+
+
+class TestRates:
+    def test_speed_scaling(self):
+        process = BlockageProcess(blockage_rate_hz=0.1, speed_scaling=0.5)
+        assert process.effective_rate_hz(0.0) == pytest.approx(0.1)
+        assert process.effective_rate_hz(10.0) == pytest.approx(0.6)
+
+    def test_negative_speed(self):
+        with pytest.raises(ValueError):
+            BlockageProcess().effective_rate_hz(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockageProcess(blockage_rate_hz=-0.1)
+        with pytest.raises(ValueError):
+            BlockageProcess(mean_blockage_duration_s=0.0)
+        with pytest.raises(ValueError):
+            BlockageProcess(blockage_attenuation_db=-5.0)
+
+
+class TestSampling:
+    def test_no_blockage_all_clear(self, rng):
+        states = NO_BLOCKAGE.sample_states(1000, 0.5, 1.4, rng)
+        assert not states.any()
+
+    def test_blocked_fraction_matches_theory(self, rng):
+        # Stationary two-state process: blocked fraction = r*d / (1 + r*d).
+        process = BlockageProcess(blockage_rate_hz=0.5, mean_blockage_duration_s=0.5,
+                                  speed_scaling=0.0)
+        fractions = [
+            process.sample_states(1_000_000, 0.5, 0.0, np.random.default_rng(seed)).mean()
+            for seed in range(5)
+        ]
+        expected = 0.25 / 1.25
+        assert np.mean(fractions) == pytest.approx(expected, rel=0.1)
+
+    def test_driving_blocks_more(self, rng):
+        process = BlockageProcess(blockage_rate_hz=0.2, speed_scaling=0.5)
+        walking = process.sample_states(400_000, 0.5, 1.4, rng).mean()
+        driving = process.sample_states(400_000, 0.5, 11.0, rng).mean()
+        assert driving > walking
+
+    def test_blockages_are_contiguous(self, rng):
+        process = BlockageProcess(blockage_rate_hz=0.3, mean_blockage_duration_s=1.0)
+        states = process.sample_states(100_000, 0.5, 0.0, rng)
+        transitions = int(np.abs(np.diff(states.astype(int))).sum())
+        # Far fewer transitions than blocked slots: events are runs.
+        assert transitions < 0.05 * max(states.sum(), 1)
+
+    def test_attenuation_values(self, rng):
+        process = BlockageProcess(blockage_rate_hz=0.5, blockage_attenuation_db=25.0)
+        att = process.attenuation_db(50_000, 0.5, 0.0, rng)
+        assert set(np.unique(att)).issubset({0.0, 25.0})
+        assert att.max() == 25.0
+
+    def test_n_slots_validation(self, rng):
+        with pytest.raises(ValueError):
+            BlockageProcess().sample_states(0, 0.5, 0.0, rng)

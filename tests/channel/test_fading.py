@@ -1,0 +1,77 @@
+"""Tests for repro.channel.fading."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import Ar1Fading, coherence_time_s, doppler_hz
+
+
+class TestDoppler:
+    def test_doppler_value(self):
+        # 1.4 m/s at 3.5 GHz ~ 16.3 Hz.
+        assert doppler_hz(1.4, 3.5) == pytest.approx(16.34, abs=0.1)
+
+    def test_static_ue(self):
+        assert doppler_hz(0.0, 3.5) == 0.0
+        assert coherence_time_s(0.0, 3.5) == float("inf")
+
+    def test_coherence_shrinks_with_speed(self):
+        assert coherence_time_s(11.0, 3.5) < coherence_time_s(1.4, 3.5)
+
+    def test_coherence_shrinks_with_frequency(self):
+        # mmWave decorrelates ~8x faster at the same speed.
+        ratio = coherence_time_s(1.4, 3.5) / coherence_time_s(1.4, 28.0)
+        assert ratio == pytest.approx(8.0)
+
+    def test_negative_speed(self):
+        with pytest.raises(ValueError):
+            doppler_hz(-1.0, 3.5)
+
+
+class TestAr1:
+    def test_stationary_std(self, rng):
+        fading = Ar1Fading(sigma_db=2.5, coherence_slots=20.0)
+        series = fading.sample(200_000, rng)
+        assert series.std() == pytest.approx(2.5, rel=0.05)
+        assert abs(series.mean()) < 0.1
+
+    def test_lag1_autocorrelation(self, rng):
+        fading = Ar1Fading(sigma_db=2.0, coherence_slots=50.0)
+        series = fading.sample(100_000, rng)
+        lag1 = np.corrcoef(series[:-1], series[1:])[0, 1]
+        assert lag1 == pytest.approx(fading.rho, abs=0.01)
+
+    def test_rho_from_coherence(self):
+        assert Ar1Fading(coherence_slots=100.0).rho == pytest.approx(np.exp(-0.01))
+
+    def test_zero_sigma(self, rng):
+        assert np.all(Ar1Fading(sigma_db=0.0).sample(100, rng) == 0.0)
+
+    def test_single_sample(self, rng):
+        out = Ar1Fading().sample(1, rng)
+        assert out.shape == (1,)
+
+    def test_long_series_no_overflow(self, rng):
+        # The chunked scan must stay finite over long runs with short
+        # coherence (the a^-t overflow hazard).
+        fading = Ar1Fading(sigma_db=3.0, coherence_slots=2.0)
+        series = fading.sample(500_000, rng)
+        assert np.all(np.isfinite(series))
+        assert series.std() == pytest.approx(3.0, rel=0.05)
+
+    def test_for_speed_builds_coherence(self):
+        slow = Ar1Fading.for_speed(1.4, 3.5, 0.5)
+        fast = Ar1Fading.for_speed(11.0, 3.5, 0.5)
+        assert fast.coherence_slots < slow.coherence_slots
+
+    def test_for_speed_stationary(self):
+        static = Ar1Fading.for_speed(0.0, 3.5, 0.5)
+        assert static.coherence_slots > 1000.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            Ar1Fading(sigma_db=-1.0)
+        with pytest.raises(ValueError):
+            Ar1Fading(coherence_slots=0.0)
+        with pytest.raises(ValueError):
+            Ar1Fading().sample(0, rng)

@@ -1,0 +1,100 @@
+"""Tests for repro.channel.handover."""
+
+import numpy as np
+import pytest
+
+from repro.channel.handover import A3Handover, HandoverResult, handover_interruption_mask
+
+
+def _crossover_rx(n=200, n_cells=2, cross_at=100, gap=10.0):
+    """Cell 0 strong then cell 1 strong, with a clean crossover."""
+    rx = np.zeros((n, n_cells))
+    ramp = np.linspace(-gap, gap, n)
+    rx[:, 0] = -70.0 - ramp
+    rx[:, 1] = -70.0 + ramp
+    return rx
+
+
+class TestA3Rule:
+    def test_single_handover_at_crossover(self):
+        rule = A3Handover(hysteresis_db=3.0, time_to_trigger_s=0.2, sample_interval_s=0.05)
+        result = rule.apply(_crossover_rx())
+        assert result.n_handovers == 1
+        event = result.events[0]
+        assert (event.source_cell, event.target_cell) == (0, 1)
+        # The handover fires after the crossover, not at it.
+        assert event.sample_index > 100
+
+    def test_serving_series_consistent(self):
+        rule = A3Handover()
+        result = rule.apply(_crossover_rx())
+        assert result.serving[0] == 0
+        assert result.serving[-1] == 1
+        # Serving changes exactly at the events.
+        changes = np.nonzero(np.diff(result.serving))[0] + 1
+        assert changes.tolist() == [e.sample_index for e in result.events]
+
+    def test_hysteresis_suppresses_noise(self):
+        rng = np.random.default_rng(3)
+        rx = np.full((400, 2), -70.0) + rng.normal(0.0, 1.5, size=(400, 2))
+        tight = A3Handover(hysteresis_db=0.0, time_to_trigger_s=0.0)
+        safe = A3Handover(hysteresis_db=4.0, time_to_trigger_s=0.3)
+        assert safe.apply(rx).n_handovers < tight.apply(rx).n_handovers
+
+    def test_time_to_trigger_delays(self):
+        fast = A3Handover(hysteresis_db=3.0, time_to_trigger_s=0.0)
+        slow = A3Handover(hysteresis_db=3.0, time_to_trigger_s=1.0)
+        rx = _crossover_rx()
+        fast_index = fast.apply(rx).events[0].sample_index
+        slow_index = slow.apply(rx).events[0].sample_index
+        assert slow_index > fast_index
+
+    def test_no_handover_when_serving_stays_best(self):
+        rx = np.zeros((100, 2))
+        rx[:, 0] = -60.0
+        rx[:, 1] = -80.0
+        assert A3Handover().apply(rx).n_handovers == 0
+
+    def test_initial_cell_override(self):
+        rx = np.zeros((50, 2))
+        rx[:, 0] = -60.0
+        rx[:, 1] = -80.0
+        result = A3Handover(time_to_trigger_s=0.1).apply(rx, initial_cell=1)
+        # Starts on the weak cell, hands over to the strong one.
+        assert result.serving[0] == 1
+        assert result.serving[-1] == 0
+
+    def test_ping_pong_detection(self):
+        from repro.channel.handover import HandoverEvent
+
+        result = HandoverResult(
+            serving=np.zeros(10, dtype=np.int64),
+            events=(HandoverEvent(10, 0, 1), HandoverEvent(15, 1, 0), HandoverEvent(80, 0, 1)),
+        )
+        assert result.ping_pong_count(window_samples=10) == 1
+        assert result.ping_pong_count(window_samples=2) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            A3Handover(hysteresis_db=-1.0)
+        with pytest.raises(ValueError):
+            A3Handover(sample_interval_s=0.0)
+        with pytest.raises(ValueError):
+            A3Handover().apply(np.zeros(10))
+        with pytest.raises(ValueError):
+            A3Handover().apply(np.zeros((10, 2)), initial_cell=5)
+
+
+class TestInterruption:
+    def test_mask_spans_events(self):
+        rule = A3Handover(hysteresis_db=3.0, time_to_trigger_s=0.1)
+        result = rule.apply(_crossover_rx())
+        mask = handover_interruption_mask(result, 200, interruption_samples=4)
+        assert mask.sum() == 4
+        start = result.events[0].sample_index
+        assert mask[start:start + 4].all()
+
+    def test_validation(self):
+        result = HandoverResult(serving=np.zeros(5, dtype=np.int64), events=())
+        with pytest.raises(ValueError):
+            handover_interruption_mask(result, 5, interruption_samples=-1)

@@ -1,0 +1,96 @@
+"""Tests for repro.channel.mobility."""
+
+import numpy as np
+import pytest
+
+from repro.channel.mobility import Driving, Position, RouteTrace, Stationary, Walking
+
+
+class TestPosition:
+    def test_distance(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == 5.0
+
+
+class TestStationary:
+    def test_fixed(self):
+        model = Stationary(Position(5.0, -2.0))
+        pos = model.positions_at(np.array([0.0, 10.0, 100.0]))
+        assert np.all(pos[:, 0] == 5.0)
+        assert np.all(pos[:, 1] == -2.0)
+        assert model.speed_mps == 0.0
+
+    def test_displacements_zero(self):
+        disp = Stationary().displacements(np.linspace(0, 10, 5))
+        assert np.all(disp == 0.0)
+
+
+class TestConstantVelocity:
+    def test_walking_defaults(self):
+        model = Walking()
+        assert model.speed_mps == pytest.approx(1.4)
+        pos = model.positions_at(np.array([0.0, 10.0]))
+        assert pos[1, 0] == pytest.approx(14.0)
+        assert pos[1, 1] == pytest.approx(0.0)
+
+    def test_driving_faster(self):
+        assert Driving().speed_mps > Walking().speed_mps
+
+    def test_heading(self):
+        model = Walking(heading_deg=90.0)
+        pos = model.positions_at(np.array([10.0]))
+        assert pos[0, 0] == pytest.approx(0.0, abs=1e-9)
+        assert pos[0, 1] == pytest.approx(14.0)
+
+    def test_displacements_uniform(self):
+        model = Driving(speed_mps=10.0)
+        disp = model.displacements(np.arange(0, 5, 1.0))
+        assert disp[0] == 0.0
+        assert np.allclose(disp[1:], 10.0)
+
+    def test_speed_validation(self):
+        with pytest.raises(ValueError):
+            Walking(speed_mps=0.0)
+        with pytest.raises(ValueError):
+            Driving(speed_mps=-1.0)
+
+
+class TestRouteTrace:
+    @pytest.fixture
+    def l_route(self):
+        # An L-shaped 200 m route.
+        return RouteTrace(
+            waypoints=(Position(0, 0), Position(100, 0), Position(100, 100)),
+            _speed_mps=2.0,
+        )
+
+    def test_total_length(self, l_route):
+        assert l_route.total_length_m == 200.0
+        assert l_route.duration_s == 100.0
+
+    def test_position_on_first_segment(self, l_route):
+        pos = l_route.positions_at(np.array([25.0]))  # 50 m along
+        assert pos[0].tolist() == [50.0, 0.0]
+
+    def test_position_on_second_segment(self, l_route):
+        pos = l_route.positions_at(np.array([75.0]))  # 150 m along
+        assert pos[0].tolist() == [100.0, 50.0]
+
+    def test_clamps_at_end(self, l_route):
+        pos = l_route.positions_at(np.array([1000.0]))
+        assert pos[0].tolist() == [100.0, 100.0]
+
+    def test_corner_exact(self, l_route):
+        pos = l_route.positions_at(np.array([50.0]))
+        assert pos[0].tolist() == [100.0, 0.0]
+
+    def test_displacement_magnitudes(self, l_route):
+        disp = l_route.displacements(np.arange(0.0, 99.0, 1.0))
+        assert np.allclose(disp[1:], 2.0, atol=1e-9)
+
+    def test_requires_two_waypoints(self):
+        with pytest.raises(ValueError):
+            RouteTrace(waypoints=(Position(0, 0),))
+
+    def test_requires_positive_speed(self):
+        with pytest.raises(ValueError):
+            RouteTrace(waypoints=(Position(0, 0), Position(1, 0)), _speed_mps=0.0)

@@ -1,0 +1,86 @@
+"""Tests for repro.channel.pathloss."""
+
+import numpy as np
+import pytest
+
+from repro.channel.pathloss import (
+    UMA,
+    UMI,
+    FreeSpace,
+    los_probability_uma,
+    los_probability_umi,
+)
+
+
+class TestFreeSpace:
+    def test_reference_value(self):
+        # FSPL at 1 km, 3.5 GHz ~ 103.3 dB.
+        loss = float(FreeSpace().loss_db(1000.0, 3.5))
+        assert loss == pytest.approx(103.3, abs=0.2)
+
+    def test_distance_clamped_at_1m(self):
+        model = FreeSpace()
+        assert float(model.loss_db(0.1, 3.5)) == float(model.loss_db(1.0, 3.5))
+
+    def test_six_db_per_octave(self):
+        model = FreeSpace()
+        assert float(model.loss_db(200.0, 3.5)) - float(model.loss_db(100.0, 3.5)) == pytest.approx(6.02, abs=0.05)
+
+
+class TestUma:
+    def test_los_slope(self):
+        # 22 dB/decade in LOS.
+        model = UMA()
+        delta = float(model.loss_db(1000.0, 3.5)) - float(model.loss_db(100.0, 3.5))
+        assert delta == pytest.approx(22.0, abs=0.01)
+
+    def test_nlos_slope_steeper(self):
+        model = UMA()
+        d = np.array([50.0, 500.0])
+        los = model.loss_db(d, 3.5, los=True)
+        nlos = model.loss_db(d, 3.5, los=False)
+        assert (nlos[1] - nlos[0]) > (los[1] - los[0])
+
+    def test_nlos_never_below_los(self):
+        model = UMA()
+        d = np.logspace(0.5, 3, 30)
+        assert np.all(model.loss_db(d, 3.5, los=False) >= model.loss_db(d, 3.5, los=True))
+
+    def test_frequency_dependence(self):
+        model = UMA()
+        # 20 log10(f): 28 GHz vs 3.5 GHz differs by ~18 dB.
+        delta = float(model.loss_db(100.0, 28.0)) - float(model.loss_db(100.0, 3.5))
+        assert delta == pytest.approx(20 * np.log10(28 / 3.5), abs=0.01)
+
+    def test_vectorized(self):
+        out = UMA().loss_db(np.array([10.0, 100.0, 1000.0]), 3.5)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)
+
+
+class TestUmi:
+    def test_umi_los_reference(self):
+        # 32.4 + 21 log10(100) + 20 log10(3.5) ~ 85.3 dB.
+        assert float(UMI().loss_db(100.0, 3.5)) == pytest.approx(85.28, abs=0.1)
+
+    def test_nlos_above_los(self):
+        model = UMI()
+        d = np.logspace(1, 3, 20)
+        assert np.all(model.loss_db(d, 3.5, los=False) >= model.loss_db(d, 3.5, los=True))
+
+
+class TestLosProbability:
+    def test_certain_when_close(self):
+        assert float(los_probability_uma(10.0)) == 1.0
+        assert float(los_probability_umi(15.0)) == 1.0
+
+    def test_decreasing(self):
+        d = np.array([20.0, 50.0, 100.0, 300.0])
+        for prob_fn in (los_probability_uma, los_probability_umi):
+            p = prob_fn(d)
+            assert np.all(np.diff(p) < 0)
+            assert np.all((0 <= p) & (p <= 1))
+
+    def test_umi_decays_faster(self):
+        # Street canyons lose LOS sooner than macro layouts.
+        assert float(los_probability_umi(150.0)) < float(los_probability_uma(150.0))

@@ -1,0 +1,59 @@
+"""Tests for repro.channel.shadowing."""
+
+import numpy as np
+import pytest
+
+from repro.channel.shadowing import CorrelatedShadowing
+
+
+class TestCorrelation:
+    def test_correlation_at_zero(self):
+        model = CorrelatedShadowing(decorrelation_distance_m=37.0)
+        assert float(model.correlation(0.0)) == 1.0
+
+    def test_e_folding(self):
+        model = CorrelatedShadowing(decorrelation_distance_m=37.0)
+        assert float(model.correlation(37.0)) == pytest.approx(np.exp(-1))
+
+    def test_symmetric_in_displacement(self):
+        model = CorrelatedShadowing()
+        assert float(model.correlation(-10.0)) == float(model.correlation(10.0))
+
+
+class TestSampling:
+    def test_stationary_variance(self, rng):
+        model = CorrelatedShadowing(sigma_db=6.0, decorrelation_distance_m=10.0)
+        # Large displacements -> effectively IID; sample std approaches sigma.
+        series = model.sample_along(np.full(20000, 100.0), rng)
+        assert series.std() == pytest.approx(6.0, rel=0.05)
+
+    def test_small_steps_highly_correlated(self, rng):
+        model = CorrelatedShadowing(sigma_db=4.0, decorrelation_distance_m=37.0)
+        series = model.sample_along(np.full(5000, 0.5), rng)
+        lag1 = np.corrcoef(series[:-1], series[1:])[0, 1]
+        assert lag1 > 0.95
+
+    def test_zero_sigma(self, rng):
+        model = CorrelatedShadowing(sigma_db=0.0)
+        assert np.all(model.sample_along(np.ones(100), rng) == 0.0)
+
+    def test_stationary_ue_nearly_constant(self, rng):
+        model = CorrelatedShadowing(sigma_db=4.0)
+        series = model.sample_along(np.zeros(100), rng)
+        assert np.ptp(series) == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            CorrelatedShadowing().sample_along(np.array([]), rng)
+
+    def test_sample_stationary(self, rng):
+        out = CorrelatedShadowing(sigma_db=3.0).sample_stationary(1000, rng)
+        assert out.std() == pytest.approx(3.0, rel=0.15)
+        with pytest.raises(ValueError):
+            CorrelatedShadowing().sample_stationary(0, rng)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorrelatedShadowing(sigma_db=-1.0)
+        with pytest.raises(ValueError):
+            CorrelatedShadowing(decorrelation_distance_m=0.0)

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.model import SyntheticChannel
+from repro.nr.mcs import Modulation
+from repro.nr.tdd import TddPattern
+from repro.ran.config import CellConfig
+from repro.ran.simulator import SimParams, simulate_downlink
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def cell_90mhz() -> CellConfig:
+    """A representative 90 MHz n78 TDD carrier (the V_Sp configuration)."""
+    return CellConfig(
+        name="test n78 90MHz",
+        band_name="n78",
+        bandwidth_mhz=90,
+        scs_khz=30,
+        max_modulation=Modulation.QAM256,
+        tdd=TddPattern.from_string("DDDSU"),
+    )
+
+
+@pytest.fixture
+def cell_fdd() -> CellConfig:
+    """A small FDD carrier (T-Mobile n25-style)."""
+    return CellConfig(
+        name="test n25 20MHz",
+        band_name="n25",
+        bandwidth_mhz=20,
+        scs_khz=15,
+        max_modulation=Modulation.QAM256,
+        tdd=None,
+        n_rb_override=51,
+    )
+
+
+@pytest.fixture
+def good_channel(rng):
+    """A 3-second good-SINR synthetic channel realization."""
+    return SyntheticChannel(mean_sinr_db=22.0).realize(3.0, rng=rng)
+
+
+@pytest.fixture
+def short_dl_trace(cell_90mhz, good_channel, rng):
+    """A short full-buffer DL trace."""
+    return simulate_downlink(cell_90mhz, good_channel, rng=rng, params=SimParams())

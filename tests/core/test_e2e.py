@@ -1,0 +1,59 @@
+"""Tests for repro.core.e2e — end-to-end latency with server placement."""
+
+import numpy as np
+import pytest
+
+from repro.core.e2e import E2eLatencyModel, ServerPlacement, placement_sweep
+from repro.core.latency import UserPlaneLatencyModel
+from repro.nr.tdd import TddPattern
+
+
+@pytest.fixture
+def phy_model():
+    return UserPlaneLatencyModel(TddPattern.from_string("DDDSU"))
+
+
+class TestRtt:
+    def test_rtt_exceeds_phy(self, phy_model):
+        model = E2eLatencyModel(phy=phy_model)
+        assert model.mean_rtt_ms() > phy_model.mean_latency_ms()
+
+    def test_placement_ordering(self, phy_model):
+        # Deeper placements cost more RTT, monotonically.
+        sweep = placement_sweep(phy_model)
+        assert (sweep["wavelength"] < sweep["edge"]
+                < sweep["metro"] < sweep["regional"])
+
+    def test_edge_dominated_by_phy(self, phy_model):
+        # §2's rationale: at the edge, the radio leg dominates the RTT.
+        model = E2eLatencyModel(phy=phy_model, placement=ServerPlacement.EDGE)
+        phy_share = phy_model.mean_latency_ms() / model.mean_rtt_ms()
+        assert phy_share > 0.3
+
+    def test_bler_positive_raises_rtt(self, phy_model):
+        model = E2eLatencyModel(phy=phy_model)
+        assert model.mean_rtt_ms(bler_positive=True) > model.mean_rtt_ms()
+
+    def test_validation(self, phy_model):
+        with pytest.raises(ValueError):
+            E2eLatencyModel(phy=phy_model, ran_processing_ms=-1.0)
+
+
+class TestSampling:
+    def test_sample_mean_close(self, phy_model, rng):
+        model = E2eLatencyModel(phy=phy_model)
+        samples = model.sample_rtt_ms(20000, rng=rng)
+        # Transport jitter adds its exponential mean on top.
+        expected = model.mean_rtt_ms() + 0.3
+        assert samples.mean() == pytest.approx(expected, rel=0.25)
+
+    def test_samples_above_deterministic_floor(self, phy_model, rng):
+        model = E2eLatencyModel(phy=phy_model)
+        floor = 2.0 * (model.ran_processing_ms + model.core_ms + model.transport_one_way_ms)
+        samples = model.sample_rtt_ms(1000, rng=rng)
+        assert samples.min() > floor
+
+    def test_jitter_validation(self, phy_model, rng):
+        model = E2eLatencyModel(phy=phy_model)
+        with pytest.raises(ValueError):
+            model.sample_rtt_ms(10, rng=rng, transport_jitter_ms=-1.0)

@@ -1,0 +1,110 @@
+"""Tests for repro.core.plotting — ASCII chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.plotting import bar_chart, cdf_plot, line_plot, side_by_side, sparkline
+
+
+class TestBarChart:
+    def test_renders_all_rows(self):
+        chart = bar_chart({"V_It": 809.8, "V_Sp": 743.0, "O_Sp_100": 614.7})
+        lines = chart.splitlines()
+        assert len(lines) == 3
+        assert "V_It" in lines[0] and "809.8" in lines[0]
+
+    def test_bar_lengths_proportional(self):
+        chart = bar_chart({"a": 100.0, "b": 50.0}, width=20)
+        a_bar = chart.splitlines()[0].count("█")
+        b_bar = chart.splitlines()[1].count("█")
+        assert a_bar == 20
+        assert b_bar == 10
+
+    def test_zero_values(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0})
+        assert "0.0" in chart
+
+    def test_unit_suffix(self):
+        assert "Mbps" in bar_chart({"a": 5.0}, unit=" Mbps")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=2)
+
+
+class TestLinePlot:
+    def test_grid_dimensions(self):
+        x = np.linspace(0, 10, 50)
+        plot = line_plot(x, np.sin(x), height=8, width=40)
+        lines = plot.splitlines()
+        assert len(lines) == 8 + 2  # grid + axis + footer
+        assert "└" in plot
+
+    def test_extremes_annotated(self):
+        x = np.arange(10.0)
+        plot = line_plot(x, x * 2)
+        assert "18.0" in plot
+        assert "0.0" in plot
+
+    def test_constant_series(self):
+        plot = line_plot(np.arange(5.0), np.full(5, 3.0))
+        assert "•" in plot
+
+    def test_nan_filtered(self):
+        x = np.arange(6.0)
+        y = np.array([1.0, np.nan, 2.0, 3.0, np.nan, 4.0])
+        plot = line_plot(x, y)
+        assert "•" in plot
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot(np.arange(3.0), np.arange(4.0))
+        with pytest.raises(ValueError):
+            line_plot(np.arange(5.0), np.arange(5.0), height=1)
+
+
+class TestCdfPlot:
+    def test_monotone_render(self, rng):
+        plot = cdf_plot(rng.normal(size=500), label="REs")
+        assert "CDF" in plot
+        assert "REs" in plot
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cdf_plot(np.array([1.0]))
+
+
+class TestSparkline:
+    def test_length(self):
+        line = sparkline(np.arange(10.0))
+        assert len(line) == 10
+
+    def test_resampled(self):
+        line = sparkline(np.arange(100.0), width=20)
+        assert len(line) == 20
+
+    def test_monotone_levels(self):
+        line = sparkline(np.arange(8.0))
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_flat(self):
+        assert sparkline(np.full(5, 2.0)) == "▁▁▁▁▁"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparkline(np.array([]))
+
+
+class TestSideBySide:
+    def test_joins_blocks(self):
+        merged = side_by_side(["a\nb", "xx\nyy\nzz"])
+        lines = merged.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("a")
+        assert "xx" in lines[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            side_by_side([])

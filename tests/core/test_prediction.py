@@ -1,0 +1,110 @@
+"""Tests for repro.core.prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import (
+    FEATURE_NAMES,
+    ThroughputPredictor,
+    evaluate,
+    extract_features,
+    persistence_baseline,
+)
+
+
+@pytest.fixture(scope="module")
+def trace_features():
+    from repro.channel.model import SyntheticChannel
+    from repro.operators.profiles import EU_PROFILES
+    from repro.ran.simulator import simulate_downlink
+
+    profile = EU_PROFILES["V_Sp"]
+    cell = profile.primary_cell
+    rng = np.random.default_rng(5)
+    channel = SyntheticChannel(mean_sinr_db=20.0, slow_sigma_db=4.0,
+                               slow_coherence_slots=4000.0).realize(30.0, rng=rng)
+    trace = simulate_downlink(cell, channel, rng=rng, params=profile.sim_params())
+    return extract_features(trace, window_ms=500.0)
+
+
+class TestFeatureExtraction:
+    def test_shapes(self, trace_features):
+        features, targets = trace_features
+        assert features.shape[1] == len(FEATURE_NAMES)
+        assert features.shape[0] == targets.shape[0]
+        assert features.shape[0] >= 50
+
+    def test_finite(self, trace_features):
+        features, targets = trace_features
+        assert np.isfinite(features).all()
+        assert np.isfinite(targets).all()
+
+    def test_persistence_column(self, trace_features):
+        features, _ = trace_features
+        baseline = persistence_baseline(features)
+        assert baseline == pytest.approx(features[:, 0])
+
+    def test_window_validation(self, short_dl_trace):
+        with pytest.raises(ValueError):
+            extract_features(short_dl_trace, window_ms=0.0)
+
+    def test_too_short_trace(self, short_dl_trace):
+        with pytest.raises(ValueError, match="too short"):
+            extract_features(short_dl_trace, window_ms=5000.0)
+
+
+class TestPredictor:
+    def test_fits_linear_relationship(self, rng):
+        n, d = 200, len(FEATURE_NAMES)
+        features = rng.normal(size=(n, d))
+        true_coef = np.zeros(d)
+        true_coef[3] = 5.0  # mcs_mean drives the target
+        targets = features @ true_coef + 100.0 + 0.01 * rng.normal(size=n)
+        predictor = ThroughputPredictor(alpha=0.1).fit(features, targets)
+        predicted = predictor.predict(features)
+        assert np.mean(np.abs(predicted - targets)) < 0.5
+        importance = predictor.feature_importance()
+        assert max(importance, key=importance.get) == FEATURE_NAMES[3]
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            ThroughputPredictor().predict(np.zeros((1, len(FEATURE_NAMES))))
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            ThroughputPredictor().fit(np.zeros((5, 10)), np.zeros(4))
+        with pytest.raises(ValueError):
+            ThroughputPredictor().fit(np.zeros((3, 10)), np.zeros(3))
+
+    def test_constant_feature_handled(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(50, len(FEATURE_NAMES)))
+        features[:, 5] = 7.0  # zero-variance column must not divide by 0
+        targets = rng.normal(size=50)
+        predictor = ThroughputPredictor().fit(features, targets)
+        assert np.isfinite(predictor.predict(features)).all()
+
+
+class TestEvaluation:
+    def test_real_trace_model_not_catastrophic(self, trace_features):
+        features, targets = trace_features
+        outcome = evaluate(features, targets)
+        # On a single stationary-ish trace the residual model must stay
+        # within striking distance of persistence (it nests it).
+        assert outcome.model_mae < 1.5 * outcome.baseline_mae
+        assert outcome.model_mape >= 0.0
+
+    def test_improvement_sign_convention(self):
+        from repro.core.prediction import EvaluationResult
+
+        better = EvaluationResult(model_mae=50.0, baseline_mae=100.0,
+                                  model_mape=0.1, baseline_mape=0.2)
+        assert better.improvement == pytest.approx(0.5)
+        worse = EvaluationResult(model_mae=120.0, baseline_mae=100.0,
+                                 model_mape=0.2, baseline_mape=0.1)
+        assert worse.improvement < 0
+
+    def test_split_validation(self, trace_features):
+        features, targets = trace_features
+        with pytest.raises(ValueError):
+            evaluate(features, targets, train_fraction=1.0)

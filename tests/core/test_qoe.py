@@ -1,0 +1,86 @@
+"""Tests for repro.core.qoe."""
+
+import numpy as np
+import pytest
+
+from repro.core.qoe import (
+    QoeMetrics,
+    bitrate_smoothness,
+    normalized_bitrate,
+    stall_percentage,
+)
+
+
+class TestNormalizedBitrate:
+    def test_basic(self):
+        assert normalized_bitrate(np.array([375.0, 375.0]), 750.0) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert normalized_bitrate(np.array([]), 750.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalized_bitrate(np.array([1.0]), 0.0)
+
+
+class TestStallPercentage:
+    def test_basic(self):
+        # 10 s stalled over a 100 s playback -> 10/110 of session time.
+        assert stall_percentage(10.0, 100.0) == pytest.approx(100 * 10 / 110)
+
+    def test_zero_session(self):
+        assert stall_percentage(0.0, 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stall_percentage(-1.0, 10.0)
+
+
+class TestSmoothness:
+    def test_constant_is_smooth(self):
+        assert bitrate_smoothness(np.full(10, 400.0)) == 0.0
+
+    def test_oscillation_penalized(self):
+        oscillating = np.tile([30.0, 750.0], 10)
+        assert bitrate_smoothness(oscillating) == pytest.approx(720.0)
+
+    def test_short_series(self):
+        assert bitrate_smoothness(np.array([400.0])) == 0.0
+
+
+class TestQoeMetrics:
+    def test_from_session(self):
+        metrics = QoeMetrics.from_session(
+            quality_levels=np.array([6, 6, 5, 4]),
+            chunk_bitrates_mbps=np.array([750.0, 750.0, 600.0, 400.0]),
+            max_bitrate_mbps=750.0,
+            stall_events_s=np.array([0.0, 0.0, 2.0, 0.0]),
+            playback_s=16.0,
+        )
+        assert metrics.mean_quality_level == pytest.approx(5.25)
+        assert metrics.n_stalls == 1
+        assert metrics.stall_time_s == 2.0
+        assert metrics.stall_percentage == pytest.approx(100 * 2 / 18)
+        assert metrics.normalized_bitrate == pytest.approx(625 / 750)
+        assert metrics.n_chunks == 4
+
+    def test_empty_session(self):
+        metrics = QoeMetrics.from_session(
+            quality_levels=np.array([]),
+            chunk_bitrates_mbps=np.array([]),
+            max_bitrate_mbps=750.0,
+            stall_events_s=np.array([]),
+            playback_s=0.0,
+        )
+        assert metrics.mean_quality_level == 0.0
+        assert metrics.n_chunks == 0
+
+    def test_row_renders(self):
+        metrics = QoeMetrics.from_session(
+            quality_levels=np.array([3]),
+            chunk_bitrates_mbps=np.array([200.0]),
+            max_bitrate_mbps=750.0,
+            stall_events_s=np.array([0.0]),
+            playback_s=4.0,
+        )
+        assert "stall=" in metrics.row()

@@ -1,0 +1,91 @@
+"""Tests for repro.core.stats."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import (
+    bootstrap_mean_ci,
+    cdf_at,
+    empirical_cdf,
+    relative_difference,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_values(self):
+        summary = summarize(np.array([1.0, 2.0, 3.0, 4.0, 5.0]))
+        assert summary.n == 5
+        assert summary.mean == 3.0
+        assert summary.median == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+
+    def test_nan_filtered(self):
+        summary = summarize(np.array([1.0, np.nan, 3.0]))
+        assert summary.n == 2
+        assert summary.mean == 2.0
+
+    def test_empty(self):
+        summary = summarize(np.array([]))
+        assert summary.n == 0
+        assert np.isnan(summary.mean)
+
+    def test_single_sample_std_zero(self):
+        assert summarize(np.array([7.0])).std == 0.0
+
+    def test_row_renders(self):
+        row = summarize(np.arange(10.0)).row()
+        assert "mean=" in row and "p50=" in row
+
+
+class TestCdf:
+    def test_sorted_and_normalized(self):
+        values, probs = empirical_cdf(np.array([3.0, 1.0, 2.0]))
+        assert values.tolist() == [1.0, 2.0, 3.0]
+        assert probs.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        values, probs = empirical_cdf(np.array([]))
+        assert values.size == 0 and probs.size == 0
+
+    def test_cdf_at_points(self):
+        samples = np.arange(1.0, 11.0)  # 1..10
+        out = cdf_at(samples, np.array([0.5, 5.0, 10.0, 99.0]))
+        assert out.tolist() == [0.0, 0.5, 1.0, 1.0]
+
+    def test_cdf_at_empty_samples(self):
+        out = cdf_at(np.array([]), np.array([1.0]))
+        assert np.isnan(out).all()
+
+
+class TestBootstrap:
+    def test_contains_true_mean(self, rng):
+        samples = rng.normal(10.0, 2.0, size=500)
+        low, high = bootstrap_mean_ci(samples, rng=rng)
+        assert low < 10.0 < high
+        assert high - low < 1.0
+
+    def test_narrows_with_n(self, rng):
+        small = rng.normal(0, 1, 50)
+        large = rng.normal(0, 1, 5000)
+        low_s, high_s = bootstrap_mean_ci(small, rng=rng)
+        low_l, high_l = bootstrap_mean_ci(large, rng=rng)
+        assert (high_l - low_l) < (high_s - low_s)
+
+    def test_empty(self, rng):
+        low, high = bootstrap_mean_ci(np.array([]), rng=rng)
+        assert np.isnan(low) and np.isnan(high)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci(np.ones(10), confidence=1.5, rng=rng)
+
+
+class TestRelativeDifference:
+    def test_basic(self):
+        assert relative_difference(110.0, 100.0) == pytest.approx(0.1)
+
+    def test_zero_reference(self):
+        assert relative_difference(0.0, 0.0) == 0.0
+        assert relative_difference(5.0, 0.0) == float("inf")

@@ -1,0 +1,95 @@
+"""Tests for repro.core.throughput — the §3.2 / TS 38.306 formula."""
+
+import pytest
+
+from repro.core.throughput import (
+    CarrierSpec,
+    OVERHEAD_FR1_DL,
+    OVERHEAD_FR1_UL,
+    R_MAX,
+    max_throughput_mbps,
+    tdd_adjusted_throughput_mbps,
+)
+from repro.nr.mcs import Modulation
+
+
+class TestCarrierSpec:
+    def test_n_rb_derived(self):
+        assert CarrierSpec(90).n_rb == 245
+        assert CarrierSpec(100).n_rb == 273
+
+    def test_n_rb_override(self):
+        assert CarrierSpec(20, scs_khz=15, n_rb_override=51).n_rb == 51
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CarrierSpec(90, layers=0)
+        with pytest.raises(ValueError):
+            CarrierSpec(90, scaling_factor=0.9)
+        with pytest.raises(ValueError):
+            CarrierSpec(90, overhead=1.0)
+
+
+class TestFormula:
+    def test_paper_quoted_values(self):
+        # §3.2 quotes 1213.44 / 1352.12 Mbps; these are the formula at
+        # 2 layers / 256QAM / zero overhead (ratio exactly 273/245).
+        v90 = max_throughput_mbps(CarrierSpec(90, layers=2, overhead=0.0))
+        v100 = max_throughput_mbps(CarrierSpec(100, layers=2, overhead=0.0))
+        assert v90 == pytest.approx(1213.44, rel=0.006)
+        assert v100 == pytest.approx(1352.12, rel=0.006)
+        assert v100 / v90 == pytest.approx(273 / 245)
+
+    def test_standard_90mhz_value(self):
+        # 4 layers, 256QAM, DL overhead 0.14: ~2.1 Gbps.
+        value = max_throughput_mbps(CarrierSpec(90))
+        expected = 4 * 8 * R_MAX * 12 * 245 / (1e-3 / 28) * (1 - 0.14) * 1e-6
+        assert value == pytest.approx(expected)
+
+    def test_linear_in_layers(self):
+        one = max_throughput_mbps(CarrierSpec(90, layers=1))
+        four = max_throughput_mbps(CarrierSpec(90, layers=4))
+        assert four == pytest.approx(4 * one)
+
+    def test_modulation_ratio(self):
+        qam64 = max_throughput_mbps(CarrierSpec(90, max_modulation=Modulation.QAM64))
+        qam256 = max_throughput_mbps(CarrierSpec(90, max_modulation=Modulation.QAM256))
+        assert qam256 / qam64 == pytest.approx(8 / 6)
+
+    def test_ul_overhead_smaller(self):
+        assert OVERHEAD_FR1_UL < OVERHEAD_FR1_DL
+        dl = max_throughput_mbps(CarrierSpec(90, overhead=OVERHEAD_FR1_DL))
+        ul = max_throughput_mbps(CarrierSpec(90, overhead=OVERHEAD_FR1_UL))
+        assert ul > dl
+
+    def test_ca_sums(self):
+        carriers = [CarrierSpec(100), CarrierSpec(40)]
+        assert max_throughput_mbps(carriers) == pytest.approx(
+            max_throughput_mbps(carriers[0]) + max_throughput_mbps(carriers[1]))
+
+    def test_scaling_factor(self):
+        full = max_throughput_mbps(CarrierSpec(90, scaling_factor=1.0))
+        scaled = max_throughput_mbps(CarrierSpec(90, scaling_factor=0.4))
+        assert scaled == pytest.approx(0.4 * full)
+
+    def test_empty_ca_rejected(self):
+        with pytest.raises(ValueError):
+            max_throughput_mbps([])
+
+    def test_fr2_carrier(self):
+        value = max_throughput_mbps(CarrierSpec(100, scs_khz=120, fr2=True,
+                                                max_modulation=Modulation.QAM64))
+        assert value > 500.0  # 66 RBs at 8x slot rate
+
+
+class TestTddAdjustment:
+    def test_scales_by_fraction(self):
+        spec = CarrierSpec(90)
+        assert tdd_adjusted_throughput_mbps(spec, 0.686) == pytest.approx(
+            0.686 * spec.throughput_mbps())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tdd_adjusted_throughput_mbps(CarrierSpec(90), 0.0)
+        with pytest.raises(ValueError):
+            tdd_adjusted_throughput_mbps(CarrierSpec(90), 1.5)

@@ -1,0 +1,89 @@
+"""Tests for repro.core.timeseries."""
+
+import numpy as np
+import pytest
+
+from repro.core.timeseries import KpiSeries
+
+
+class TestBasics:
+    def test_length_and_duration(self):
+        series = KpiSeries(np.ones(200), 0.5)
+        assert len(series) == 200
+        assert series.duration_s == pytest.approx(0.1)
+
+    def test_times(self):
+        series = KpiSeries(np.arange(4.0), 10.0)
+        assert series.times_ms().tolist() == [0.0, 10.0, 20.0, 30.0]
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            KpiSeries(np.ones(5), 0.0)
+
+    def test_stats(self):
+        series = KpiSeries(np.array([1.0, 2.0, 3.0, 4.0]), 1.0)
+        assert series.mean == 2.5
+        assert series.percentile(50) == 2.5
+        assert series.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_empty_stats_nan(self):
+        series = KpiSeries(np.array([]), 1.0)
+        assert np.isnan(series.mean)
+        assert np.isnan(series.percentile(50))
+
+
+class TestResampling:
+    def test_resample_mean(self):
+        series = KpiSeries(np.array([0.0, 2.0, 4.0, 6.0]), 1.0)
+        coarse = series.resample_mean(2.0)
+        assert coarse.values.tolist() == [1.0, 5.0]
+        assert coarse.interval_ms == 2.0
+
+    def test_resample_sum(self):
+        series = KpiSeries(np.array([1.0, 1.0, 1.0, 1.0]), 0.5)
+        coarse = series.resample_sum(1.0)
+        assert coarse.values.tolist() == [2.0, 2.0]
+
+    def test_non_integer_multiple_rejected(self):
+        with pytest.raises(ValueError, match="integer multiple"):
+            KpiSeries(np.ones(10), 0.5).resample_mean(0.7)
+
+    def test_upsampling_rejected(self):
+        with pytest.raises(ValueError, match="finer"):
+            KpiSeries(np.ones(10), 1.0).resample_mean(0.5)
+
+    def test_resample_sum_empty_result(self):
+        out = KpiSeries(np.ones(3), 1.0).resample_sum(5.0)
+        assert len(out) == 0
+
+
+class TestVariabilityIntegration:
+    def test_variability_delegates(self):
+        series = KpiSeries(np.tile([0.0, 1.0], 100), 0.5)
+        assert series.variability(0.5) == pytest.approx(1.0)
+        assert series.variability(1.0) == pytest.approx(0.0)
+
+    def test_profile_scales(self):
+        series = KpiSeries(np.random.default_rng(0).standard_normal(1024), 0.5)
+        scales, values = series.variability_profile(max_scale_ms=8.0)
+        assert scales[0] == 0.5
+        assert scales[-1] == 8.0
+
+
+class TestFromTrace:
+    def test_throughput_from_trace(self, short_dl_trace):
+        series = KpiSeries.throughput_from_trace(short_dl_trace, 100.0)
+        assert series.interval_ms == 100.0
+        assert series.mean > 0
+
+    def test_column_forward_fill(self, short_dl_trace):
+        series = KpiSeries.from_trace_column(short_dl_trace, "mcs_index")
+        # UL slots (unscheduled) carry the last scheduled MCS, so the
+        # series never spuriously drops to zero mid-run.
+        sched_min = short_dl_trace.mcs_index[short_dl_trace.scheduled].min()
+        assert series.values.min() >= min(sched_min, series.values[0])
+
+    def test_column_binned(self, short_dl_trace):
+        series = KpiSeries.from_trace_column(short_dl_trace, "layers", bin_ms=60.0)
+        assert series.interval_ms == 60.0
+        assert 1.0 <= series.mean <= 4.0

@@ -1,0 +1,134 @@
+"""Tests for repro.core.variability — the §5 eq. (1) metric."""
+
+import numpy as np
+import pytest
+
+from repro.core.variability import (
+    JointVariability,
+    block_averages,
+    joint_variability,
+    scaled_variability,
+    segment_variability,
+    stabilization_scale_ms,
+    variability_profile,
+)
+
+
+class TestBlockAverages:
+    def test_exact_blocks(self):
+        out = block_averages(np.array([1.0, 3.0, 5.0, 7.0]), 2)
+        assert out.tolist() == [2.0, 6.0]
+
+    def test_trailing_partial_dropped(self):
+        out = block_averages(np.arange(7, dtype=float), 3)
+        assert out.shape == (2,)
+
+    def test_block_one_identity(self):
+        data = np.array([1.0, 2.0, 3.0])
+        assert block_averages(data, 1).tolist() == data.tolist()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_averages(np.ones(4), 0)
+
+
+class TestScaledVariability:
+    def test_constant_series_zero(self):
+        assert scaled_variability(np.full(100, 5.0), 4) == 0.0
+
+    def test_alternating_series(self):
+        # 0,1,0,1,... at block 1: every |diff| is 1.
+        series = np.tile([0.0, 1.0], 50)
+        assert scaled_variability(series, 1) == pytest.approx(1.0)
+
+    def test_alternating_vanishes_when_averaged(self):
+        # At block 2 the alternation averages out completely.
+        series = np.tile([0.0, 1.0], 50)
+        assert scaled_variability(series, 2) == pytest.approx(0.0)
+
+    def test_eq1_hand_computation(self):
+        # x = [0, 2, 4, 0], t = 2tau: X = [1, 2], V = |2-1| / (2-1) = 1.
+        assert scaled_variability(np.array([0.0, 2.0, 4.0, 0.0]), 2) == pytest.approx(1.0)
+
+    def test_nan_when_insufficient_windows(self):
+        assert np.isnan(scaled_variability(np.ones(3), 2))
+
+    def test_white_noise_decays_with_scale(self, rng):
+        noise = rng.standard_normal(2 ** 14)
+        v1 = scaled_variability(noise, 1)
+        v16 = scaled_variability(noise, 16)
+        v256 = scaled_variability(noise, 256)
+        # Averaging n IID samples shrinks V by ~sqrt(n).
+        assert v16 == pytest.approx(v1 / 4, rel=0.2)
+        assert v256 < v16 < v1
+
+    def test_scale_invariance_of_location(self):
+        series = np.sin(np.linspace(0, 20, 1000))
+        assert scaled_variability(series + 100.0, 8) == pytest.approx(
+            scaled_variability(series, 8))
+
+
+class TestProfile:
+    def test_dyadic_scales(self):
+        scales, values = variability_profile(np.random.default_rng(0).standard_normal(4096),
+                                             base_interval_ms=0.5, max_scale_ms=64.0)
+        assert scales.tolist() == [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
+        assert values.shape == scales.shape
+
+    def test_omits_underfilled_scales(self):
+        scales, _ = variability_profile(np.ones(8), base_interval_ms=1.0, max_scale_ms=16.0)
+        # 16 ms scale would need 32 samples for two windows... block 8 gives m=1.
+        assert max(scales) <= 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            variability_profile(np.ones(10), base_interval_ms=0.0)
+
+    def test_ar1_profile_decreasing_then_flat(self, rng):
+        # An AR(1) process shows the paper's shape: high V at small
+        # scales, stabilizing beyond its coherence time.
+        from repro.channel.fading import Ar1Fading
+
+        series = Ar1Fading(sigma_db=3.0, coherence_slots=100.0).sample(2 ** 17, rng)
+        scales, values = variability_profile(series, 0.5, max_scale_ms=2048.0)
+        assert values[0] < values[4]  # slot-level diffs are tiny for smooth AR(1)
+        peak = values.argmax()
+        assert np.all(np.diff(values[peak:]) <= 1e-9 + 0.15 * values[peak:][:-1])
+
+
+class TestSegments:
+    def test_segment_count(self):
+        out = segment_variability(np.random.default_rng(1).standard_normal(1000), 4, 250)
+        assert out.shape == (4,)
+
+    def test_segment_too_small(self):
+        with pytest.raises(ValueError):
+            segment_variability(np.ones(100), 10, 15)
+
+
+class TestJoint:
+    def test_joint_fields(self):
+        mcs = np.tile([10.0, 12.0], 100)
+        mimo = np.full(200, 4.0)
+        jv = joint_variability(mcs, mimo, 1)
+        assert jv.mcs == pytest.approx(2.0)
+        assert jv.mimo == 0.0
+        assert jv.magnitude == pytest.approx(2.0)
+
+    def test_magnitude_euclidean(self):
+        assert JointVariability(3.0, 4.0).magnitude == 5.0
+
+
+class TestStabilization:
+    def test_stabilizes_near_coherence(self, rng):
+        from repro.channel.fading import Ar1Fading
+
+        series = Ar1Fading(sigma_db=3.0, coherence_slots=200.0).sample(2 ** 17, rng)
+        scale = stabilization_scale_ms(series, 0.5)
+        # ~100 ms coherence -> stabilization in the 100 ms - 1 s region,
+        # consistent with §5's 0.2-0.5 s observation for real channels.
+        assert 16.0 <= scale <= 2048.0
+
+    def test_constant_series(self):
+        scale = stabilization_scale_ms(np.ones(4096), 0.5)
+        assert scale == 0.5  # V=0 at the very first scale

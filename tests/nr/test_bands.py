@@ -1,0 +1,94 @@
+"""Tests for repro.nr.bands."""
+
+import pytest
+
+from repro.nr.bands import (
+    BAND_CATALOG,
+    Band,
+    Duplexing,
+    FrequencyRange,
+    arfcn_to_frequency_mhz,
+    bands_containing,
+    frequency_mhz_to_arfcn,
+)
+
+
+class TestCatalog:
+    def test_n78_is_the_european_band(self):
+        band = BAND_CATALOG["n78"]
+        assert band.f_low_mhz == 3300.0
+        assert band.f_high_mhz == 3800.0
+        assert band.duplexing is Duplexing.TDD
+
+    def test_n78_is_subset_of_n77(self):
+        n77, n78 = BAND_CATALOG["n77"], BAND_CATALOG["n78"]
+        assert n77.f_low_mhz <= n78.f_low_mhz
+        assert n78.f_high_mhz <= n77.f_high_mhz
+
+    def test_n25_is_fdd_with_separate_uplink(self):
+        band = BAND_CATALOG["n25"]
+        assert band.duplexing is Duplexing.FDD
+        assert band.ul_low_mhz == 1850.0
+        assert band.ul_high_mhz == 1915.0
+
+    def test_n41_range(self):
+        band = BAND_CATALOG["n41"]
+        assert (band.f_low_mhz, band.f_high_mhz) == (2496.0, 2690.0)
+
+    def test_fr2_bands_are_mmwave(self):
+        for name in ("n260", "n261"):
+            band = BAND_CATALOG[name]
+            assert band.fr is FrequencyRange.FR2
+            assert band.f_low_mhz > 24000.0
+
+    def test_mid_band_classification(self):
+        assert BAND_CATALOG["n78"].is_mid_band
+        assert BAND_CATALOG["n41"].is_mid_band
+        assert BAND_CATALOG["n25"].is_mid_band
+        assert not BAND_CATALOG["n260"].is_mid_band
+
+    def test_band_validation(self):
+        with pytest.raises(ValueError, match="f_high"):
+            Band("bad", 100.0, 90.0, Duplexing.TDD, FrequencyRange.FR1)
+        with pytest.raises(ValueError, match="uplink edges"):
+            Band("bad", 100.0, 200.0, Duplexing.FDD, FrequencyRange.FR1)
+
+    def test_contains(self):
+        assert BAND_CATALOG["n78"].contains(3500.0)
+        assert not BAND_CATALOG["n78"].contains(3900.0)
+
+    def test_bands_containing(self):
+        names = {b.name for b in bands_containing(3500.0)}
+        assert names == {"n77", "n78"}
+
+
+class TestArfcn:
+    def test_low_raster(self):
+        # 5 kHz raster below 3 GHz.
+        assert arfcn_to_frequency_mhz(0) == 0.0
+        assert arfcn_to_frequency_mhz(400000) == pytest.approx(2000.0)
+
+    def test_mid_raster(self):
+        # 15 kHz raster above 3 GHz: n78 center around 3.5 GHz.
+        assert arfcn_to_frequency_mhz(600000) == pytest.approx(3000.0)
+        assert arfcn_to_frequency_mhz(633333) == pytest.approx(3499.995)
+
+    def test_high_raster(self):
+        assert arfcn_to_frequency_mhz(2016667) == pytest.approx(24250.08)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            arfcn_to_frequency_mhz(3279166)
+        with pytest.raises(ValueError):
+            arfcn_to_frequency_mhz(-1)
+
+    @pytest.mark.parametrize("freq", [700.0, 1900.0, 2500.0, 3500.0, 3700.0, 28000.0, 39000.0])
+    def test_roundtrip(self, freq):
+        arfcn = frequency_mhz_to_arfcn(freq)
+        recovered = arfcn_to_frequency_mhz(arfcn)
+        # Within one raster step of the requested frequency.
+        assert abs(recovered - freq) <= 0.06
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            frequency_mhz_to_arfcn(-10.0)

@@ -1,0 +1,121 @@
+"""Tests for repro.nr.cqi — CQI tables and the vendor CQI->MCS mapping."""
+
+import numpy as np
+import pytest
+
+from repro.nr.cqi import (
+    CQI_MAX,
+    CQI_TABLE_1,
+    CQI_TABLE_2,
+    CqiMcsMapper,
+    CqiTable,
+    MappingPolicy,
+    cqi_table_for,
+)
+from repro.nr.mcs import MCS_TABLE_64QAM, MCS_TABLE_256QAM, Modulation
+
+
+class TestTables:
+    def test_sizes(self):
+        assert len(CQI_TABLE_1.entries) == 15
+        assert len(CQI_TABLE_2.entries) == 15
+
+    def test_spot_values_table1(self):
+        assert CQI_TABLE_1[1].modulation is Modulation.QPSK
+        assert CQI_TABLE_1[1].code_rate_x1024 == 78
+        assert CQI_TABLE_1[15].modulation is Modulation.QAM64
+        assert CQI_TABLE_1[15].code_rate_x1024 == 948
+
+    def test_spot_values_table2(self):
+        assert CQI_TABLE_2[12].modulation is Modulation.QAM256
+        assert CQI_TABLE_2[12].code_rate_x1024 == 711
+        assert CQI_TABLE_2[15].code_rate_x1024 == 948
+
+    def test_efficiency_monotone(self):
+        for table in (CQI_TABLE_1, CQI_TABLE_2):
+            assert np.all(np.diff(table.efficiencies) > 0)
+
+    def test_index_range(self):
+        with pytest.raises(IndexError):
+            CQI_TABLE_1[0]
+        with pytest.raises(IndexError):
+            CQI_TABLE_1[16]
+
+    def test_table_for_modulation(self):
+        assert cqi_table_for(Modulation.QAM256) is CQI_TABLE_2
+        assert cqi_table_for(Modulation.QAM64) is CQI_TABLE_1
+
+    def test_cqi_for_efficiency(self):
+        # The exact efficiency of CQI 7 maps back to CQI 7.
+        eff = CQI_TABLE_2[7].spectral_efficiency
+        assert CQI_TABLE_2.cqi_for_efficiency(eff) == 7
+        assert CQI_TABLE_2.cqi_for_efficiency(0.0) == 0  # out of range
+        assert CQI_TABLE_2.cqi_for_efficiency(100.0) == 15
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            CqiTable("bad", list(CQI_TABLE_1.entries[:10]))
+
+
+class TestMapper:
+    @pytest.fixture
+    def mapper(self):
+        return CqiMcsMapper(CQI_TABLE_2, MCS_TABLE_256QAM)
+
+    def test_monotone_in_cqi(self, mapper):
+        mcs = [mapper.mcs_for_cqi(c) for c in range(1, 16)]
+        assert mcs == sorted(mcs)
+
+    def test_cqi_zero_degrades(self, mapper):
+        assert mapper.mcs_for_cqi(0) == 0
+
+    def test_cqi_out_of_range(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.mcs_for_cqi(16)
+
+    def test_high_cqi_reaches_256qam_rows(self, mapper):
+        mcs = mapper.mcs_for_cqi(15)
+        assert MCS_TABLE_256QAM[mcs].modulation is Modulation.QAM256
+
+    def test_efficiency_never_exceeds_cqi(self, mapper):
+        # MATCHED policy: the chosen MCS efficiency stays at or below the
+        # CQI-reported efficiency, except when clamped at index 0 (CQI 1
+        # reports below even the weakest MCS).
+        for cqi in range(1, 16):
+            mcs = mapper.mcs_for_cqi(cqi)
+            if mcs == 0:
+                continue
+            assert (MCS_TABLE_256QAM[mcs].spectral_efficiency
+                    <= CQI_TABLE_2[cqi].spectral_efficiency + 1e-9)
+
+    def test_policies_order(self):
+        conservative = CqiMcsMapper(CQI_TABLE_2, MCS_TABLE_256QAM, MappingPolicy.CONSERVATIVE)
+        matched = CqiMcsMapper(CQI_TABLE_2, MCS_TABLE_256QAM, MappingPolicy.MATCHED)
+        aggressive = CqiMcsMapper(CQI_TABLE_2, MCS_TABLE_256QAM, MappingPolicy.AGGRESSIVE)
+        for cqi in range(2, 15):
+            assert conservative.mcs_for_cqi(cqi) <= matched.mcs_for_cqi(cqi) <= aggressive.mcs_for_cqi(cqi)
+
+    def test_olla_offset_shifts(self, mapper):
+        base = mapper.mcs_for_cqi(10)
+        assert mapper.mcs_for_cqi(10, olla_offset=-3) == max(0, base - 3)
+        assert mapper.mcs_for_cqi(10, olla_offset=2) == min(MCS_TABLE_256QAM.max_index, base + 2)
+
+    def test_olla_clamps(self, mapper):
+        assert mapper.mcs_for_cqi(1, olla_offset=-100) == 0
+        assert mapper.mcs_for_cqi(15, olla_offset=100) == MCS_TABLE_256QAM.max_index
+
+    def test_vectorized_matches_scalar(self, mapper):
+        cqis = np.array([0, 1, 5, 10, 15])
+        vector = mapper.mcs_for_cqi_array(cqis)
+        scalar = [mapper.mcs_for_cqi(int(c)) for c in cqis]
+        assert vector.tolist() == scalar
+
+    def test_vectorized_with_offset(self, mapper):
+        cqis = np.array([5, 10])
+        shifted = mapper.mcs_for_cqi_array(cqis, olla_offset=-2)
+        base = mapper.mcs_for_cqi_array(cqis)
+        assert np.all(shifted == np.maximum(base - 2, 0))
+
+    def test_mapper_on_64qam_table(self):
+        mapper = CqiMcsMapper(CQI_TABLE_1, MCS_TABLE_64QAM)
+        assert mapper.mcs_for_cqi(15) == MCS_TABLE_64QAM.max_index

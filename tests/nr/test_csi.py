@@ -1,0 +1,74 @@
+"""Tests for repro.nr.csi — the appendix 10.2 feedback structures."""
+
+import numpy as np
+import pytest
+
+from repro.nr.cqi import CQI_TABLE_2
+from repro.nr.csi import CsiReport, CsiReporter, HarqFeedback
+from repro.ran.amc import RankAdapter
+
+
+class TestReportValidation:
+    def test_valid(self):
+        report = CsiReport(slot=0, rank_indicator=4, precoding_matrix_indicator=3,
+                           channel_quality_indicator=12, layer_indicator=2)
+        assert report.rank_indicator == 4
+
+    def test_rank_bounds(self):
+        with pytest.raises(ValueError):
+            CsiReport(0, 0, 0, 10, 0)
+
+    def test_cqi_bounds(self):
+        with pytest.raises(ValueError):
+            CsiReport(0, 2, 0, 16, 0)
+
+    def test_li_within_rank(self):
+        with pytest.raises(ValueError):
+            CsiReport(0, 2, 0, 10, 2)
+
+
+class TestReporter:
+    @pytest.fixture
+    def reporter(self):
+        return CsiReporter(CQI_TABLE_2, RankAdapter(), period_slots=20)
+
+    def test_good_channel_high_cqi_and_rank(self, reporter, rng):
+        report = reporter.report(0, 28.0, rng)
+        assert report.channel_quality_indicator >= 12
+        assert report.rank_indicator == 4
+
+    def test_poor_channel_low_cqi(self, reporter, rng):
+        report = reporter.report(0, -5.0, rng)
+        assert report.channel_quality_indicator <= 3
+        assert report.rank_indicator == 1
+
+    def test_rank_hysteresis_across_reports(self, rng):
+        reporter = CsiReporter(CQI_TABLE_2, RankAdapter(hysteresis_db=2.0))
+        reporter.report(0, 20.0, rng)          # climbs to rank 4
+        held = reporter.report(20, 16.0, rng)  # within hysteresis: holds
+        assert held.rank_indicator == 4
+        reporter.reset()
+        fresh = reporter.report(0, 16.0, rng)
+        assert fresh.rank_indicator < 4
+
+    def test_li_indexes_reported_rank(self, reporter, rng):
+        for sinr in (-5.0, 8.0, 30.0):
+            report = reporter.report(0, sinr, rng)
+            assert 0 <= report.layer_indicator < report.rank_indicator
+
+    def test_series_periodicity(self, reporter, rng):
+        sinr = np.full(100, 20.0)
+        reports = reporter.report_series(sinr, rng)
+        assert [r.slot for r in reports] == [0, 20, 40, 60, 80]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CsiReporter(CQI_TABLE_2, period_slots=0)
+        with pytest.raises(ValueError):
+            CsiReporter(CQI_TABLE_2, n_precoders=0)
+
+
+class TestFeedback:
+    def test_fields(self):
+        feedback = HarqFeedback(slot=12, harq_id=3, ack=False)
+        assert not feedback.ack

@@ -1,0 +1,52 @@
+"""Tests for repro.nr.dci."""
+
+import pytest
+
+from repro.nr.dci import DciFormat, DownlinkGrant, format_for_conditions
+from repro.nr.mcs import MCS_TABLE_64QAM, MCS_TABLE_256QAM, Modulation
+
+
+class TestFormats:
+    def test_format_tables(self):
+        assert DciFormat.FORMAT_1_1.mcs_table is MCS_TABLE_256QAM
+        assert DciFormat.FORMAT_1_0.mcs_table is MCS_TABLE_64QAM
+
+    def test_format_for_good_conditions(self):
+        assert format_for_conditions(Modulation.QAM256, True) is DciFormat.FORMAT_1_1
+
+    def test_fallback_when_conditions_worsen(self):
+        # §3.1: DCI 1_0 when the channel degrades.
+        assert format_for_conditions(Modulation.QAM256, False) is DciFormat.FORMAT_1_0
+
+    def test_64qam_cell_always_1_0(self):
+        assert format_for_conditions(Modulation.QAM64, True) is DciFormat.FORMAT_1_0
+        assert format_for_conditions(Modulation.QAM64, False) is DciFormat.FORMAT_1_0
+
+
+class TestGrant:
+    def test_valid_grant(self):
+        grant = DownlinkGrant(slot=10, n_prb=245, mcs_index=20, layers=4)
+        assert grant.modulation is Modulation.QAM256
+        assert grant.mcs.code_rate_x1024 == 682.5
+
+    def test_grant_respects_format_table(self):
+        grant = DownlinkGrant(slot=0, n_prb=100, mcs_index=28,
+                              dci_format=DciFormat.FORMAT_1_0, layers=2)
+        assert grant.modulation is Modulation.QAM64
+
+    def test_mcs_out_of_table(self):
+        with pytest.raises(ValueError, match="MCS"):
+            DownlinkGrant(slot=0, n_prb=100, mcs_index=28, layers=2)  # 1_1 table max is 27
+
+    def test_negative_prb(self):
+        with pytest.raises(ValueError):
+            DownlinkGrant(slot=0, n_prb=-1, mcs_index=0, layers=1)
+
+    def test_bad_layers(self):
+        with pytest.raises(ValueError):
+            DownlinkGrant(slot=0, n_prb=10, mcs_index=0, layers=0)
+
+    def test_retransmission_flags(self):
+        grant = DownlinkGrant(slot=5, n_prb=50, mcs_index=3, layers=1, ndi=False, harq_id=7)
+        assert not grant.ndi
+        assert grant.harq_id == 7

@@ -1,0 +1,87 @@
+"""Tests for repro.nr.grid — the N_RB tables behind Tables 2/3 row 7."""
+
+import pytest
+
+from repro.nr.grid import (
+    guard_band_mhz,
+    max_rb,
+    re_per_slot,
+    spectral_efficiency_ceiling,
+    transmission_bandwidth_mhz,
+    valid_bandwidths_mhz,
+)
+
+
+class TestMaxRb:
+    @pytest.mark.parametrize(
+        "bw,expected",
+        [(100, 273), (90, 245), (80, 217), (60, 162), (40, 106), (20, 51), (5, 11)],
+    )
+    def test_paper_table_values_scs30(self, bw, expected):
+        # Exactly the N_RB row of the paper's Tables 2 and 3.
+        assert max_rb(bw, 30) == expected
+
+    def test_scs15_values(self):
+        assert max_rb(20, 15) == 106
+        assert max_rb(10, 15) == 52
+        assert max_rb(5, 15) == 25
+
+    def test_fr2_values(self):
+        assert max_rb(100, 120, fr2=True) == 66
+        assert max_rb(400, 120, fr2=True) == 264
+
+    def test_unknown_scs(self):
+        with pytest.raises(ValueError, match="SCS"):
+            max_rb(100, 45)
+
+    def test_unknown_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            max_rb(85, 30)
+
+    def test_fr2_scs_not_in_fr1(self):
+        with pytest.raises(ValueError):
+            max_rb(100, 120, fr2=False)
+
+
+class TestDerivedQuantities:
+    def test_transmission_bandwidth_below_channel(self):
+        for bw in valid_bandwidths_mhz(30):
+            occupied = transmission_bandwidth_mhz(max_rb(bw, 30), 30)
+            assert occupied < bw
+
+    def test_guard_band_positive_and_small(self):
+        for bw in valid_bandwidths_mhz(30):
+            guard = guard_band_mhz(bw, 30)
+            # Narrow channels pay proportionally more guard band (a 5 MHz
+            # channel gives up ~21%); wide ones a few percent.
+            assert 0 < guard < 0.25 * bw
+
+    def test_re_per_slot_full(self):
+        # 273 RB x 12 subcarriers x 14 symbols.
+        assert re_per_slot(273) == 273 * 12 * 14
+
+    def test_re_per_slot_partial_symbols(self):
+        assert re_per_slot(100, symbols=6) == 100 * 12 * 6
+
+    def test_re_per_slot_validation(self):
+        with pytest.raises(ValueError):
+            re_per_slot(-1)
+        with pytest.raises(ValueError):
+            re_per_slot(10, symbols=15)
+
+    def test_efficiency_ceiling_increases_with_bandwidth(self):
+        # Wider channels waste proportionally less on guard bands.
+        ceilings = [spectral_efficiency_ceiling(30, bw) for bw in (20, 50, 100)]
+        assert ceilings == sorted(ceilings)
+
+    def test_transmission_bandwidth_validation(self):
+        with pytest.raises(ValueError):
+            transmission_bandwidth_mhz(0, 30)
+
+    def test_valid_bandwidths_sorted(self):
+        values = valid_bandwidths_mhz(30)
+        assert values == sorted(values)
+        assert 100 in values
+
+    def test_valid_bandwidths_unknown_scs_empty(self):
+        assert valid_bandwidths_mhz(45) == []

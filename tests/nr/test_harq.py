@@ -1,0 +1,102 @@
+"""Tests for repro.nr.harq."""
+
+import pytest
+
+from repro.nr.harq import HarqEntity, HarqProcess, HarqStats
+
+
+class TestProcess:
+    def test_start_and_ack(self):
+        process = HarqProcess(0)
+        process.start(slot=10, tbs_bits=1000)
+        assert process.active
+        assert process.attempts == 1
+        assert process.complete() == 1000
+        assert not process.active
+
+    def test_retransmit_tracks_attempts(self):
+        process = HarqProcess(1)
+        process.start(5, 500)
+        process.retransmit(13)
+        assert process.attempts == 2
+        assert process.last_tx_slot == 13
+        assert process.first_tx_slot == 5
+
+    def test_retransmit_requires_active(self):
+        process = HarqProcess(2)
+        with pytest.raises(RuntimeError):
+            process.retransmit(10)
+
+    def test_retransmit_must_advance(self):
+        process = HarqProcess(3)
+        process.start(10, 100)
+        with pytest.raises(ValueError):
+            process.retransmit(10)
+
+    def test_negative_tbs(self):
+        process = HarqProcess(4)
+        with pytest.raises(ValueError):
+            process.start(0, -1)
+
+    def test_complete_idle_returns_zero(self):
+        assert HarqProcess(5).complete() == 0
+
+
+class TestEntity:
+    def test_successful_transmit_delivers(self):
+        entity = HarqEntity()
+        bits, harq_id = entity.transmit(slot=0, tbs_bits=2000, decoded=True)
+        assert bits == 2000
+        assert harq_id == 0
+        assert entity.busy_processes == 0
+
+    def test_failed_transmit_queues_retx(self):
+        entity = HarqEntity(rtt_slots=8)
+        bits, harq_id = entity.transmit(slot=0, tbs_bits=2000, decoded=False)
+        assert bits == 0
+        assert entity.busy_processes == 1
+        assert entity.retransmissions_due(7) == []
+        due = entity.retransmissions_due(8)
+        assert len(due) == 1
+        assert due[0].process_id == harq_id
+
+    def test_retransmit_success_delivers(self):
+        entity = HarqEntity(rtt_slots=4)
+        entity.transmit(0, 1500, decoded=False)
+        process = entity.retransmissions_due(4)[0]
+        bits = entity.retransmit(process, 4, decoded=True)
+        assert bits == 1500
+        assert entity.busy_processes == 0
+        assert entity.stats.retransmissions == 1
+
+    def test_max_attempts_drops_block(self):
+        entity = HarqEntity(rtt_slots=2, max_attempts=2)
+        entity.transmit(0, 999, decoded=False)
+        process = entity.retransmissions_due(2)[0]
+        bits = entity.retransmit(process, 2, decoded=False)
+        assert bits == 0
+        assert entity.stats.residual_failures == 1
+        assert entity.busy_processes == 0
+        assert entity.retransmissions_due(100) == []
+
+    def test_all_processes_busy_drops_opportunity(self):
+        entity = HarqEntity(num_processes=1, rtt_slots=100)
+        entity.transmit(0, 100, decoded=False)
+        bits, harq_id = entity.transmit(1, 100, decoded=True)
+        assert bits == 0
+        assert harq_id == -1
+
+    def test_stats_bler(self):
+        stats = HarqStats(initial_tx=90, retransmissions=10)
+        assert stats.bler == pytest.approx(0.1)
+        assert stats.initial_bler == pytest.approx(10 / 90)
+
+    def test_stats_empty(self):
+        assert HarqStats().bler == 0.0
+        assert HarqStats().initial_bler == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HarqEntity(num_processes=0)
+        with pytest.raises(ValueError):
+            HarqEntity(rtt_slots=0)

@@ -1,0 +1,92 @@
+"""Tests for repro.nr.initial_access — the appendix 10.1 procedure."""
+
+import pytest
+
+from repro.nr.initial_access import (
+    IdentifiedChannel,
+    MasterInformationBlock,
+    SystemInformationBlock1,
+    channel_bandwidth_from_carrier_rb,
+    identify_channel,
+    sib1_for_channel,
+)
+
+
+class TestMib:
+    def test_valid(self):
+        mib = MasterInformationBlock(system_frame_number=512,
+                                     control_resource_set_zero=4, search_space_zero=2)
+        assert mib.system_frame_number == 512
+
+    def test_sfn_bounds(self):
+        with pytest.raises(ValueError):
+            MasterInformationBlock(system_frame_number=1024)
+
+    def test_coreset_bounds(self):
+        with pytest.raises(ValueError):
+            MasterInformationBlock(system_frame_number=0, control_resource_set_zero=16)
+
+
+class TestSib1:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemInformationBlock1(-1, 0, 245)
+        with pytest.raises(ValueError):
+            SystemInformationBlock1(620000, -1, 245)
+        with pytest.raises(ValueError):
+            SystemInformationBlock1(620000, 0, 0)
+        with pytest.raises(ValueError):
+            SystemInformationBlock1(620000, 0, 245, scs_khz=45)
+
+
+class TestBandwidthLookup:
+    @pytest.mark.parametrize("n_rb,bw", [(273, 100), (245, 90), (217, 80), (162, 60), (106, 40)])
+    def test_inverse_table(self, n_rb, bw):
+        assert channel_bandwidth_from_carrier_rb(n_rb, 30) == bw
+
+    def test_unknown_rb_count(self):
+        with pytest.raises(ValueError, match="not a Table 5.3.2-1 row"):
+            channel_bandwidth_from_carrier_rb(250, 30)
+
+
+class TestIdentification:
+    def test_roundtrip_n78(self):
+        # A 90 MHz carrier centered at 3.6 GHz, like the Spanish channels.
+        sib1 = sib1_for_channel(3600.0, 90, scs_khz=30)
+        identified = identify_channel(sib1)
+        assert identified.band.name == "n78"
+        assert identified.channel_bandwidth_mhz == 90
+        assert identified.n_rb == 245
+        assert identified.center_frequency_mhz == pytest.approx(3600.0, abs=0.5)
+
+    def test_prefers_narrowest_band(self):
+        # 3.6 GHz lies in both n77 and n78; identification picks n78,
+        # matching the paper's attribution of EU channels.
+        identified = identify_channel(sib1_for_channel(3600.0, 100))
+        assert identified.band.name == "n78"
+
+    def test_upper_c_band_is_n77_only(self):
+        # 3.9 GHz is outside n78 but inside n77 (AT&T/Verizon C-band).
+        identified = identify_channel(sib1_for_channel(3900.0, 60))
+        assert identified.band.name == "n77"
+
+    def test_n41_channel(self):
+        identified = identify_channel(sib1_for_channel(2550.0, 100))
+        assert identified.band.name == "n41"
+
+    def test_occupied_below_nominal(self):
+        identified = identify_channel(sib1_for_channel(3600.0, 90))
+        assert identified.occupied_bandwidth_mhz < identified.channel_bandwidth_mhz
+
+    def test_orphan_frequency_rejected(self):
+        sib1 = SystemInformationBlock1(
+            absolute_frequency_point_a=100000,  # 500 MHz: no catalog band
+            offset_to_carrier=0, carrier_bandwidth=245, scs_khz=30)
+        with pytest.raises(ValueError, match="no catalog band"):
+            identify_channel(sib1)
+
+    def test_fdd_n25_roundtrip(self):
+        sib1 = sib1_for_channel(1960.0, 20, scs_khz=15)
+        identified = identify_channel(sib1)
+        assert identified.band.name == "n25"
+        assert identified.n_rb == 106  # Table 5.3.2-1 at 15 kHz

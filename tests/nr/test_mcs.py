@@ -1,0 +1,102 @@
+"""Tests for repro.nr.mcs — the TS 38.214 MCS tables."""
+
+import numpy as np
+import pytest
+
+from repro.nr.mcs import (
+    MCS_TABLE_64QAM,
+    MCS_TABLE_256QAM,
+    McsEntry,
+    Modulation,
+    table_for_max_modulation,
+)
+
+
+class TestModulation:
+    def test_orders(self):
+        assert Modulation.QPSK.bits_per_symbol == 2
+        assert Modulation.QAM16.bits_per_symbol == 4
+        assert Modulation.QAM64.bits_per_symbol == 6
+        assert Modulation.QAM256.bits_per_symbol == 8
+
+    def test_from_order(self):
+        assert Modulation.from_order(8) is Modulation.QAM256
+        with pytest.raises(ValueError):
+            Modulation.from_order(3)
+
+
+class TestTableContents:
+    def test_table_sizes(self):
+        # 29 usable rows in the 64QAM table, 28 in the 256QAM table.
+        assert len(MCS_TABLE_64QAM) == 29
+        assert len(MCS_TABLE_256QAM) == 28
+
+    def test_spot_values_64qam(self):
+        # TS 38.214 Table 5.1.3.1-1 spot checks.
+        assert MCS_TABLE_64QAM[0].modulation is Modulation.QPSK
+        assert MCS_TABLE_64QAM[0].code_rate_x1024 == 120
+        assert MCS_TABLE_64QAM[10].modulation is Modulation.QAM16
+        assert MCS_TABLE_64QAM[17].modulation is Modulation.QAM64
+        assert MCS_TABLE_64QAM[28].code_rate_x1024 == 948
+
+    def test_spot_values_256qam(self):
+        # TS 38.214 Table 5.1.3.1-2 spot checks.
+        assert MCS_TABLE_256QAM[20].modulation is Modulation.QAM256
+        assert MCS_TABLE_256QAM[20].code_rate_x1024 == 682.5
+        assert MCS_TABLE_256QAM[27].code_rate_x1024 == 948
+
+    def test_efficiency_nearly_monotone(self):
+        # Efficiencies rise overall but dip slightly at modulation
+        # transitions (a property of the real tables).
+        for table in (MCS_TABLE_64QAM, MCS_TABLE_256QAM):
+            eff = table.efficiencies
+            assert np.all(np.diff(eff) > -0.05)
+            assert eff[-1] == eff.max()
+
+    def test_max_efficiencies(self):
+        # 64QAM tops out at 6 * 948/1024 ~ 5.55 bits/RE.
+        assert MCS_TABLE_64QAM.efficiencies[-1] == pytest.approx(6 * 948 / 1024)
+        assert MCS_TABLE_256QAM.efficiencies[-1] == pytest.approx(8 * 948 / 1024)
+
+    def test_code_rate_fraction(self):
+        entry = MCS_TABLE_256QAM[27]
+        assert entry.code_rate == pytest.approx(948 / 1024)
+
+    def test_max_code_rate(self):
+        assert MCS_TABLE_256QAM.max_code_rate == pytest.approx(948 / 1024)
+
+
+class TestLookups:
+    def test_index_bounds(self):
+        with pytest.raises(IndexError):
+            MCS_TABLE_64QAM[29]
+        with pytest.raises(IndexError):
+            MCS_TABLE_64QAM[-1]
+
+    def test_highest_index_below(self):
+        table = MCS_TABLE_256QAM
+        # Exactly at an entry's efficiency selects that entry.
+        idx = table.highest_index_below(table.efficiencies[10])
+        assert idx == 10
+
+    def test_highest_index_below_clamps_low(self):
+        assert MCS_TABLE_256QAM.highest_index_below(0.0) == 0
+
+    def test_highest_index_below_clamps_high(self):
+        assert MCS_TABLE_256QAM.highest_index_below(100.0) == MCS_TABLE_256QAM.max_index
+
+    def test_indices_for_modulation(self):
+        qam256_rows = MCS_TABLE_256QAM.indices_for_modulation(Modulation.QAM256)
+        assert qam256_rows == list(range(20, 28))
+
+    def test_table_for_max_modulation(self):
+        assert table_for_max_modulation(Modulation.QAM256) is MCS_TABLE_256QAM
+        assert table_for_max_modulation(Modulation.QAM64) is MCS_TABLE_64QAM
+        with pytest.raises(ValueError):
+            table_for_max_modulation(Modulation.QAM16)
+
+    def test_empty_table_rejected(self):
+        from repro.nr.mcs import McsTable
+
+        with pytest.raises(ValueError):
+            McsTable("empty", [], Modulation.QAM64)

@@ -1,0 +1,86 @@
+"""Tests for repro.operators.deployment and repro.operators.calibration."""
+
+import numpy as np
+import pytest
+
+from repro.channel.mobility import Position
+from repro.channel.model import GnbSite
+from repro.operators.calibration import (
+    estimate_dl_throughput_mbps,
+    simulated_mean_dl_mbps,
+    sinr_for_target_throughput,
+)
+from repro.operators.deployment import Deployment, spain_deployments
+from repro.operators.profiles import EU_PROFILES
+
+
+class TestDeployment:
+    def test_spain_setup(self):
+        vodafone, orange, route = spain_deployments(600.0)
+        assert vodafone.n_sites == 3
+        assert orange.n_sites == 2
+        assert route.total_length_m == 600.0
+
+    def test_orange_uses_100mhz_grid(self):
+        _, orange, _ = spain_deployments()
+        assert orange.n_rb == 273
+        assert orange.bandwidth_mhz == 100.0
+
+    def test_mean_site_distance(self):
+        deployment = Deployment("d", sites=(GnbSite(Position(0, 0)), GnbSite(Position(100, 0))))
+        positions = np.array([[0.0, 0.0], [50.0, 0.0], [100.0, 0.0]])
+        assert deployment.mean_site_distance_m(positions) == pytest.approx(50.0 / 3)
+
+    def test_denser_deployment_closer_sites(self):
+        vodafone, orange, route = spain_deployments(600.0)
+        positions = route.positions_at(np.linspace(0.0, route.duration_s, 100))
+        assert vodafone.mean_site_distance_m(positions) < orange.mean_site_distance_m(positions)
+
+    def test_channel_model_construction(self):
+        vodafone, _, _ = spain_deployments()
+        model = vodafone.channel_model()
+        assert len(model.sites) == 3
+        assert not model.los  # street-level NLOS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Deployment("empty", sites=())
+        with pytest.raises(ValueError):
+            spain_deployments(0.0)
+
+
+class TestCalibration:
+    def test_analytic_estimate_monotone_in_sinr(self):
+        cell = EU_PROFILES["V_Sp"].primary_cell
+        estimates = [estimate_dl_throughput_mbps(cell, s, 4.0) for s in (10.0, 18.0, 26.0)]
+        assert estimates == sorted(estimates)
+
+    def test_analytic_inverse_roundtrip(self):
+        cell = EU_PROFILES["V_Sp"].primary_cell
+        sinr = sinr_for_target_throughput(cell, 700.0, 4.0)
+        recovered = estimate_dl_throughput_mbps(cell, sinr, 4.0)
+        assert recovered == pytest.approx(700.0, rel=0.01)
+
+    def test_inverse_rejects_impossible_target(self):
+        cell = EU_PROFILES["V_Sp"].primary_cell
+        with pytest.raises(ValueError, match="table maximum"):
+            sinr_for_target_throughput(cell, 5000.0, 1.0)
+
+    def test_estimate_capped_by_table(self):
+        cell = EU_PROFILES["O_Sp_100"].primary_cell  # 64QAM ceiling
+        at_30 = estimate_dl_throughput_mbps(cell, 30.0, 4.0)
+        at_50 = estimate_dl_throughput_mbps(cell, 50.0, 4.0)
+        assert at_30 == pytest.approx(at_50)
+
+    def test_simulated_mean_tracks_profile(self):
+        # The calibrated profiles should land near their Fig. 1 targets
+        # even on a short run.
+        measured = simulated_mean_dl_mbps(EU_PROFILES["V_Sp"], duration_s=6.0)
+        assert measured == pytest.approx(743.0, rel=0.15)
+
+    def test_validation(self):
+        cell = EU_PROFILES["V_Sp"].primary_cell
+        with pytest.raises(ValueError):
+            estimate_dl_throughput_mbps(cell, 20.0, 0.5)
+        with pytest.raises(ValueError):
+            sinr_for_target_throughput(cell, -1.0, 2.0)

@@ -1,0 +1,152 @@
+"""Tests for repro.operators.profiles — Tables 2/3 encodings."""
+
+import pytest
+
+from repro.nr.mcs import Modulation
+from repro.operators.profiles import (
+    ALL_PROFILES,
+    EU_PROFILES,
+    US_PROFILES,
+    get_profile,
+    mmwave_blockage,
+    mmwave_profile,
+)
+
+
+class TestTable2Encoding:
+    def test_eu_operator_set(self):
+        assert set(EU_PROFILES) == {
+            "O_Sp_100", "O_Sp_90", "V_Sp", "O_Fr", "S_Fr", "V_It", "T_Ge", "V_Ge",
+        }
+
+    def test_all_eu_on_n78_tdd_scs30(self):
+        for profile in EU_PROFILES.values():
+            cell = profile.primary_cell
+            assert cell.band_name == "n78"
+            assert cell.scs_khz == 30
+            assert cell.is_tdd
+
+    @pytest.mark.parametrize("key,bw,n_rb", [
+        ("O_Sp_100", 100, 273), ("O_Sp_90", 90, 245), ("V_Sp", 90, 245),
+        ("O_Fr", 90, 245), ("S_Fr", 80, 217), ("V_It", 80, 217),
+        ("T_Ge", 90, 245), ("V_Ge", 80, 217),
+    ])
+    def test_eu_bandwidth_and_nrb(self, key, bw, n_rb):
+        cell = EU_PROFILES[key].primary_cell
+        assert cell.bandwidth_mhz == bw
+        assert cell.n_rb == n_rb
+
+    def test_no_eu_carrier_aggregation(self):
+        for profile in EU_PROFILES.values():
+            assert not profile.uses_ca
+
+    def test_osp100_is_64qam(self):
+        assert EU_PROFILES["O_Sp_100"].primary_cell.max_modulation is Modulation.QAM64
+        assert EU_PROFILES["O_Sp_90"].primary_cell.max_modulation is Modulation.QAM256
+
+    def test_tdd_patterns_match_sec43(self):
+        assert EU_PROFILES["V_It"].primary_cell.tdd.pattern == "DDDDDDDSUU"
+        assert EU_PROFILES["V_Ge"].primary_cell.tdd.pattern == "DDDSU"
+        assert EU_PROFILES["O_Fr"].primary_cell.tdd.pattern == "DDDDDDDSUU"
+        assert EU_PROFILES["T_Ge"].primary_cell.tdd.pattern == "DDDSU"
+
+    def test_osp_deployment_density(self):
+        # Appendix 10.3: Vodafone 3 gNBs, Orange 2 along the same route.
+        assert EU_PROFILES["V_Sp"].n_gnb_sites == 3
+        assert EU_PROFILES["O_Sp_100"].n_gnb_sites == 2
+
+
+class TestTable3Encoding:
+    def test_us_operator_set(self):
+        assert set(US_PROFILES) == {"Tmb_US", "Vzw_US", "Att_US"}
+
+    def test_tmobile_ca_structure(self):
+        profile = US_PROFILES["Tmb_US"]
+        assert profile.uses_ca
+        bands = [c.band_name for c in profile.cells]
+        assert bands == ["n41", "n41", "n25", "n25"]
+        n_rbs = [c.n_rb for c in profile.cells]
+        assert n_rbs == [273, 106, 51, 11]  # Table 3 row 7, verbatim
+
+    def test_tmobile_n25_is_fdd(self):
+        profile = US_PROFILES["Tmb_US"]
+        assert profile.cells[2].tdd is None
+        assert profile.cells[2].scs_khz == 15
+
+    def test_tmobile_prefers_lte_ul(self):
+        assert US_PROFILES["Tmb_US"].ul_nr_fraction == 0.0
+
+    def test_att_single_carrier_40mhz(self):
+        profile = US_PROFILES["Att_US"]
+        assert not profile.uses_ca
+        assert profile.primary_cell.bandwidth_mhz == 40
+        assert profile.primary_cell.band_name == "n77"
+        assert profile.primary_cell.n_rb == 106
+
+    def test_verizon_c_band(self):
+        profile = US_PROFILES["Vzw_US"]
+        assert profile.primary_cell.band_name == "n77"
+        assert profile.primary_cell.bandwidth_mhz == 60
+        assert profile.primary_cell.n_rb == 162
+        assert profile.uses_ca
+
+
+class TestProfileApi:
+    def test_get_profile(self):
+        assert get_profile("V_Sp") is ALL_PROFILES["V_Sp"]
+        with pytest.raises(KeyError, match="unknown operator"):
+            get_profile("nope")
+
+    def test_channels_apply_offsets(self):
+        profile = get_profile("V_Sp")
+        assert profile.ul_channel().mean_sinr_db == pytest.approx(
+            profile.mean_sinr_db + profile.ul_sinr_offset_db)
+        assert profile.dl_channel(2.0).mean_sinr_db == pytest.approx(
+            profile.mean_sinr_db + 2.0)
+
+    def test_sim_params_carry_rank_bias(self):
+        profile = get_profile("O_Sp_100")
+        params = profile.sim_params()
+        assert params.rank_adapter.bias_db == profile.rank_bias_db
+
+    def test_sim_params_overrides(self):
+        params = get_profile("V_Sp").sim_params(cqi_noise_db=0.0)
+        assert params.cqi_noise_db == 0.0
+
+    def test_carrier_aggregation_roundtrip(self):
+        ca = US_PROFILES["Tmb_US"].carrier_aggregation()
+        assert ca.aggregate_bandwidth_mhz == 165.0
+
+    def test_latency_model_settings(self):
+        model = get_profile("V_It").latency_model()
+        assert model.sr_based_ul
+        assert model.pattern.pattern == "DDDDDDDSUU"
+
+    def test_nsa_uplink_settings(self):
+        nsa = get_profile("Tmb_US").nsa_uplink()
+        assert nsa.nr_fraction == 0.0
+
+    def test_total_bandwidth(self):
+        assert get_profile("Tmb_US").total_bandwidth_mhz == 165.0
+
+    def test_validation(self):
+        from repro.operators.profiles import OperatorProfile
+
+        with pytest.raises(ValueError):
+            OperatorProfile(key="x", operator="x", country="x", city="x", cells=())
+
+
+class TestMmwave:
+    def test_profile_is_fr2(self):
+        profile = mmwave_profile()
+        assert all(c.fr2 for c in profile.cells)
+        assert all(c.scs_khz == 120 for c in profile.cells)
+        assert profile.total_bandwidth_mhz == 400.0
+
+    def test_blockage_speed_scaling(self):
+        process = mmwave_blockage(11.0)
+        assert process.effective_rate_hz(11.0) > process.effective_rate_hz(1.4)
+
+    def test_blockage_validation(self):
+        with pytest.raises(ValueError):
+            mmwave_blockage(-1.0)

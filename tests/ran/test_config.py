@@ -1,0 +1,77 @@
+"""Tests for repro.ran.config."""
+
+import pytest
+
+from repro.nr.mcs import MCS_TABLE_64QAM, MCS_TABLE_256QAM, Modulation
+from repro.nr.numerology import Numerology
+from repro.nr.tdd import TddPattern
+from repro.ran.config import CellConfig
+
+
+class TestDerivedObjects:
+    def test_n_rb_from_table(self, cell_90mhz):
+        assert cell_90mhz.n_rb == 245
+
+    def test_n_rb_override(self, cell_fdd):
+        assert cell_fdd.n_rb == 51
+
+    def test_grantable_below_configured(self, cell_90mhz):
+        assert 0 < cell_90mhz.grantable_rb < cell_90mhz.n_rb
+
+    def test_mcs_table_follows_modulation(self, cell_90mhz):
+        assert cell_90mhz.mcs_table is MCS_TABLE_256QAM
+        qam64 = CellConfig(name="x", bandwidth_mhz=100,
+                           max_modulation=Modulation.QAM64,
+                           tdd=TddPattern.from_string("DDDSU"))
+        assert qam64.mcs_table is MCS_TABLE_64QAM
+
+    def test_numerology(self, cell_90mhz, cell_fdd):
+        assert cell_90mhz.mu is Numerology.MU_1
+        assert cell_90mhz.slot_ms == 0.5
+        assert cell_fdd.mu is Numerology.MU_0
+        assert cell_fdd.slot_ms == 1.0
+
+    def test_tdd_fractions(self, cell_90mhz, cell_fdd):
+        assert cell_90mhz.dl_slot_fraction() == pytest.approx(48 / 70)
+        assert cell_fdd.dl_slot_fraction() == 1.0
+        assert cell_fdd.ul_slot_fraction() == 1.0
+
+    def test_frequency(self, cell_90mhz):
+        assert 3.3 < cell_90mhz.frequency_ghz < 3.8
+
+    def test_re_per_full_slot(self, cell_90mhz):
+        assert cell_90mhz.re_per_full_slot(100) == 100 * 12 * 14
+
+    def test_mapper_cached(self, cell_90mhz):
+        assert cell_90mhz.mapper is cell_90mhz.mapper
+
+
+class TestValidation:
+    def test_unknown_band(self):
+        with pytest.raises(ValueError, match="unknown band"):
+            CellConfig(name="x", band_name="n999", bandwidth_mhz=90)
+
+    def test_tdd_band_requires_pattern(self):
+        with pytest.raises(ValueError, match="TDD"):
+            CellConfig(name="x", band_name="n78", bandwidth_mhz=90, tdd=None)
+
+    def test_fdd_band_rejects_pattern(self):
+        with pytest.raises(ValueError, match="FDD"):
+            CellConfig(name="x", band_name="n25", bandwidth_mhz=20, scs_khz=15,
+                       tdd=TddPattern.from_string("DDDSU"), n_rb_override=51)
+
+    def test_invalid_bandwidth_caught_eagerly(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            CellConfig(name="x", bandwidth_mhz=85)
+
+    def test_bad_layers(self):
+        with pytest.raises(ValueError):
+            CellConfig(name="x", bandwidth_mhz=90, max_layers=0)
+
+    def test_bad_control_fraction(self):
+        with pytest.raises(ValueError):
+            CellConfig(name="x", bandwidth_mhz=90, control_rb_fraction=1.0)
+
+    def test_bad_cqi_period(self):
+        with pytest.raises(ValueError):
+            CellConfig(name="x", bandwidth_mhz=90, cqi_period_slots=0)

@@ -1,0 +1,68 @@
+"""Tests for repro.ran.gnb — the cell facade."""
+
+import numpy as np
+import pytest
+
+from repro.channel.model import SyntheticChannel
+from repro.ran.gnb import Gnb
+from repro.ran.scheduler import RoundRobinScheduler
+
+
+@pytest.fixture
+def gnb(cell_90mhz):
+    return Gnb(cell_90mhz, scheduler=RoundRobinScheduler())
+
+
+class TestAttachment:
+    def test_attach_assigns_ids(self, gnb):
+        a = gnb.attach(SyntheticChannel(mean_sinr_db=20.0))
+        b = gnb.attach(SyntheticChannel(mean_sinr_db=18.0))
+        assert (a, b) == (0, 1)
+        assert gnb.n_ues == 2
+
+    def test_detach(self, gnb):
+        ue_id = gnb.attach(SyntheticChannel())
+        gnb.detach(ue_id)
+        assert gnb.n_ues == 0
+
+    def test_detach_unknown(self, gnb):
+        with pytest.raises(KeyError):
+            gnb.detach(42)
+
+
+class TestRuns:
+    def test_single_ue_path(self, gnb, rng):
+        ue_id = gnb.attach(SyntheticChannel(mean_sinr_db=22.0))
+        traces = gnb.run_downlink(2.0, rng=rng)
+        assert set(traces) == {ue_id}
+        assert traces[ue_id].mean_throughput_mbps > 100.0
+
+    def test_multi_ue_shares_cell(self, gnb, rng):
+        a = gnb.attach(SyntheticChannel(mean_sinr_db=22.0))
+        b = gnb.attach(SyntheticChannel(mean_sinr_db=22.0))
+        traces = gnb.run_downlink(2.0, rng=rng)
+        assert set(traces) == {a, b}
+        ratio = traces[a].mean_throughput_mbps / max(traces[b].mean_throughput_mbps, 1e-9)
+        assert 0.5 < ratio < 2.0
+
+    def test_cell_throughput_aggregates(self, gnb, rng):
+        gnb.attach(SyntheticChannel(mean_sinr_db=22.0))
+        gnb.attach(SyntheticChannel(mean_sinr_db=22.0))
+        traces = gnb.run_downlink(2.0, rng=rng)
+        assert gnb.cell_throughput_mbps(traces) == pytest.approx(
+            sum(t.mean_throughput_mbps for t in traces.values()))
+
+    def test_accepts_prebuilt_realization(self, gnb, rng):
+        realization = SyntheticChannel(mean_sinr_db=20.0).realize(1.0, rng=rng)
+        ue_id = gnb.attach(realization)
+        traces = gnb.run_downlink(1.0, rng=rng)
+        assert len(traces[ue_id]) == realization.n_slots
+
+    def test_run_without_ues(self, gnb, rng):
+        with pytest.raises(RuntimeError):
+            gnb.run_downlink(1.0, rng=rng)
+
+    def test_duration_validation(self, gnb, rng):
+        gnb.attach(SyntheticChannel())
+        with pytest.raises(ValueError):
+            gnb.run_downlink(0.0, rng=rng)

@@ -1,0 +1,92 @@
+"""Tests for repro.ran.scheduler."""
+
+import pytest
+
+from repro.ran.scheduler import (
+    ProportionalFairScheduler,
+    RoundRobinScheduler,
+    SchedulingRequest,
+)
+
+
+def _request(ue_id, rate=1000.0, backlog=1 << 20):
+    return SchedulingRequest(ue_id=ue_id, backlog_bits=backlog, instantaneous_rate=rate)
+
+
+class TestRoundRobin:
+    def test_single_ue_gets_all(self):
+        allocation = RoundRobinScheduler().allocate([_request(0)], 245)
+        assert allocation == {0: 245}
+
+    def test_even_split(self):
+        allocation = RoundRobinScheduler().allocate([_request(0), _request(1)], 244)
+        assert allocation == {0: 122, 1: 122}
+
+    def test_remainder_rotates(self):
+        scheduler = RoundRobinScheduler()
+        totals = {0: 0, 1: 0}
+        for _ in range(10):
+            allocation = scheduler.allocate([_request(0), _request(1)], 245)
+            for ue, rb in allocation.items():
+                totals[ue] += rb
+        assert totals[0] == totals[1]  # long-run exact fairness
+
+    def test_idle_ue_excluded(self):
+        allocation = RoundRobinScheduler().allocate(
+            [_request(0), _request(1, backlog=0)], 100)
+        assert allocation == {0: 100}
+
+    def test_no_active_ues(self):
+        assert RoundRobinScheduler().allocate([_request(0, backlog=0)], 100) == {}
+
+    def test_zero_rbs(self):
+        assert RoundRobinScheduler().allocate([_request(0)], 0) == {}
+
+    def test_negative_rbs(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler().allocate([_request(0)], -1)
+
+
+class TestProportionalFair:
+    def test_single_ue_gets_all(self):
+        allocation = ProportionalFairScheduler().allocate([_request(0)], 245)
+        assert allocation == {0: 245}
+
+    def test_equal_metrics_split_evenly(self):
+        allocation = ProportionalFairScheduler().allocate(
+            [_request(0, rate=100.0), _request(1, rate=100.0)], 200)
+        assert allocation == {0: 100, 1: 100}
+
+    def test_total_rbs_conserved(self):
+        allocation = ProportionalFairScheduler().allocate(
+            [_request(0, rate=50.0), _request(1, rate=150.0), _request(2, rate=77.0)], 245)
+        assert sum(allocation.values()) == 245
+
+    def test_starved_ue_prioritized(self):
+        scheduler = ProportionalFairScheduler()
+        scheduler.averages = {0: 10_000.0, 1: 100.0}
+        allocation = scheduler.allocate([_request(0, rate=100.0), _request(1, rate=100.0)], 200)
+        assert allocation[1] > allocation[0]
+
+    def test_better_channel_favoured_at_equal_average(self):
+        scheduler = ProportionalFairScheduler()
+        scheduler.averages = {0: 500.0, 1: 500.0}
+        allocation = scheduler.allocate([_request(0, rate=300.0), _request(1, rate=100.0)], 200)
+        assert allocation[0] > allocation[1]
+
+    def test_update_average_ewma(self):
+        scheduler = ProportionalFairScheduler(ewma_alpha=0.5)
+        scheduler.update_average(0, 100.0)
+        scheduler.update_average(0, 0.0)
+        assert scheduler.averages[0] == pytest.approx(50.0)
+
+    def test_zero_rate_ues_fall_back_to_even(self):
+        allocation = ProportionalFairScheduler().allocate(
+            [_request(0, rate=0.0), _request(1, rate=0.0)], 100)
+        assert sum(allocation.values()) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProportionalFairScheduler(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            ProportionalFairScheduler().allocate([_request(0)], -5)

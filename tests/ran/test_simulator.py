@@ -1,0 +1,191 @@
+"""Tests for repro.ran.simulator — the slot-level link simulation."""
+
+import numpy as np
+import pytest
+
+from repro.channel.model import SyntheticChannel
+from repro.nr.mcs import Modulation
+from repro.nr.tdd import TddPattern
+from repro.ran.amc import RankAdapter
+from repro.ran.config import CellConfig
+from repro.ran.scheduler import RoundRobinScheduler
+from repro.ran.simulator import (
+    SLOT_DL,
+    SLOT_SPECIAL,
+    SLOT_UL,
+    SimParams,
+    simulate_downlink,
+    simulate_downlink_multi,
+    simulate_uplink,
+)
+
+
+def _channel(mean_db, duration=3.0, seed=1, mu=None):
+    from repro.nr.numerology import Numerology
+
+    return SyntheticChannel(mean_sinr_db=mean_db).realize(
+        duration, mu=mu or Numerology.MU_1, rng=np.random.default_rng(seed))
+
+
+class TestDownlinkBasics:
+    def test_trace_length_matches_channel(self, cell_90mhz, good_channel, rng):
+        trace = simulate_downlink(cell_90mhz, good_channel, rng=rng)
+        assert len(trace) == good_channel.n_slots
+
+    def test_ul_slots_never_scheduled(self, cell_90mhz, good_channel, rng):
+        trace = simulate_downlink(cell_90mhz, good_channel, rng=rng)
+        assert not trace.scheduled[trace.slot_type == SLOT_UL].any()
+
+    def test_dl_slots_fully_used(self, cell_90mhz, good_channel, rng):
+        # Full-buffer: every DL slot carries a grant.
+        trace = simulate_downlink(cell_90mhz, good_channel, rng=rng)
+        dl = trace.slot_type == SLOT_DL
+        assert trace.scheduled[dl].mean() > 0.99
+
+    def test_special_slots_carry_smaller_tbs(self, cell_90mhz, good_channel, rng):
+        trace = simulate_downlink(cell_90mhz, good_channel, rng=rng)
+        special = trace.scheduled & (trace.slot_type == SLOT_SPECIAL) & ~trace.is_retx
+        full = trace.scheduled & (trace.slot_type == SLOT_DL) & ~trace.is_retx
+        assert trace.tbs_bits[special].mean() < 0.7 * trace.tbs_bits[full].mean()
+
+    def test_bler_converges_to_target(self, cell_90mhz, rng):
+        channel = _channel(20.0, duration=10.0)
+        trace = simulate_downlink(cell_90mhz, channel, rng=rng)
+        assert trace.bler == pytest.approx(0.10, abs=0.035)
+
+    def test_throughput_increases_with_sinr(self, cell_90mhz, rng):
+        low = simulate_downlink(cell_90mhz, _channel(8.0), rng=np.random.default_rng(2))
+        high = simulate_downlink(cell_90mhz, _channel(24.0), rng=np.random.default_rng(2))
+        assert high.mean_throughput_mbps > 1.5 * low.mean_throughput_mbps
+
+    def test_retransmissions_recover_bits(self, cell_90mhz, good_channel, rng):
+        trace = simulate_downlink(cell_90mhz, good_channel, rng=rng)
+        assert trace.is_retx.sum() > 0
+        retx_ok = trace.is_retx & (trace.delivered_bits > 0)
+        assert retx_ok.sum() > 0.5 * trace.is_retx.sum()
+
+    def test_deterministic_given_seed(self, cell_90mhz):
+        channel = _channel(18.0, seed=3)
+        a = simulate_downlink(cell_90mhz, channel, rng=np.random.default_rng(9))
+        b = simulate_downlink(cell_90mhz, channel, rng=np.random.default_rng(9))
+        assert np.array_equal(a.delivered_bits, b.delivered_bits)
+
+    def test_cqi_forward_filled(self, cell_90mhz, good_channel, rng):
+        trace = simulate_downlink(cell_90mhz, good_channel, rng=rng)
+        assert (trace.cqi > 0).all()
+
+    def test_rank_respects_cell_cap(self, good_channel, rng):
+        cell = CellConfig(name="2x2", bandwidth_mhz=90, max_layers=2,
+                          tdd=TddPattern.from_string("DDDSU"))
+        trace = simulate_downlink(cell, good_channel, rng=rng)
+        assert trace.layers[trace.scheduled].max() <= 2
+
+    def test_background_load_varies_allocations(self, cell_90mhz, good_channel, rng):
+        trace = simulate_downlink(cell_90mhz, good_channel, rng=rng)
+        sched = trace.scheduled_view()
+        assert np.unique(sched.n_prb).size > 1
+        assert sched.n_prb.max() <= cell_90mhz.grantable_rb
+
+    def test_no_background_gives_constant_grants(self, cell_90mhz, good_channel, rng):
+        params = SimParams(background_rb_mean=0.0, background_rb_sigma=0.0)
+        trace = simulate_downlink(cell_90mhz, good_channel, rng=rng, params=params)
+        sched = trace.scheduled_view()
+        assert np.unique(sched.n_prb).size == 1
+
+
+class TestModulationBehaviour:
+    def test_64qam_cell_never_uses_256(self, good_channel, rng):
+        cell = CellConfig(name="qam64", bandwidth_mhz=100,
+                          max_modulation=Modulation.QAM64,
+                          tdd=TddPattern.from_string("DDDSU"))
+        trace = simulate_downlink(cell, good_channel, rng=rng)
+        assert trace.modulation_order[trace.scheduled].max() <= 6
+
+    def test_dci_fallback_under_poor_conditions(self, cell_90mhz, rng):
+        poor = _channel(-2.0, duration=4.0)
+        trace = simulate_downlink(cell_90mhz, poor, rng=rng)
+        sched = trace.scheduled.astype(bool)
+        # Some share of grants should use DCI 1_0 (code 0) when CQI dips.
+        assert (trace.dci_format[sched] == 0).any()
+
+    def test_good_conditions_use_1_1(self, cell_90mhz, good_channel, rng):
+        trace = simulate_downlink(cell_90mhz, good_channel, rng=rng)
+        sched = trace.scheduled.astype(bool)
+        assert (trace.dci_format[sched] == 1).mean() > 0.95
+
+
+class TestUplink:
+    def test_ul_uses_ul_slots_only(self, cell_90mhz, good_channel, rng):
+        trace = simulate_uplink(cell_90mhz, good_channel, rng=rng)
+        assert not trace.scheduled[trace.slot_type == SLOT_DL].any()
+
+    def test_ul_much_slower_than_dl(self, cell_90mhz, good_channel):
+        dl = simulate_downlink(cell_90mhz, good_channel, rng=np.random.default_rng(1))
+        ul = simulate_uplink(cell_90mhz, good_channel, rng=np.random.default_rng(1))
+        # §4.2's asymmetry: UL far below DL on the same channel.
+        assert ul.mean_throughput_mbps < 0.5 * dl.mean_throughput_mbps
+
+    def test_ul_layer_cap(self, cell_90mhz, good_channel, rng):
+        trace = simulate_uplink(cell_90mhz, good_channel, rng=rng, max_layers=2)
+        assert trace.layers[trace.scheduled].max() <= 2
+
+    def test_ul_uses_64qam_table(self, cell_90mhz, good_channel, rng):
+        trace = simulate_uplink(cell_90mhz, good_channel, rng=rng)
+        assert trace.modulation_order[trace.scheduled].max() <= 6
+
+
+class TestFddCarrier:
+    def test_fdd_dl_all_slots(self, cell_fdd, rng):
+        channel = _channel(20.0, mu=cell_fdd.mu)
+        trace = simulate_downlink(cell_fdd, channel, rng=rng)
+        assert (trace.slot_type == SLOT_DL).all()
+        assert trace.scheduled.mean() > 0.99
+
+    def test_fdd_ul_all_slots(self, cell_fdd, rng):
+        channel = _channel(20.0, mu=cell_fdd.mu)
+        trace = simulate_uplink(cell_fdd, channel, rng=rng)
+        assert (trace.slot_type == SLOT_UL).all()
+
+
+class TestMultiUser:
+    def test_two_ues_split_resources(self, cell_90mhz, rng):
+        channels = [_channel(20.0, seed=1), _channel(20.0, seed=2)]
+        traces = simulate_downlink_multi(cell_90mhz, channels, RoundRobinScheduler(), rng=rng)
+        solo = simulate_downlink(cell_90mhz, _channel(20.0, seed=1), rng=np.random.default_rng(1))
+        for trace in traces:
+            ratio = trace.mean_throughput_mbps / solo.mean_throughput_mbps
+            assert 0.3 < ratio < 0.7  # roughly half (Fig. 14)
+
+    def test_rb_shares_sum_within_budget(self, cell_90mhz, rng):
+        channels = [_channel(18.0, seed=1), _channel(18.0, seed=2)]
+        traces = simulate_downlink_multi(cell_90mhz, channels, RoundRobinScheduler(), rng=rng)
+        total = traces[0].n_prb + traces[1].n_prb
+        assert total.max() <= cell_90mhz.grantable_rb
+
+    def test_requires_channels(self, cell_90mhz, rng):
+        with pytest.raises(ValueError):
+            simulate_downlink_multi(cell_90mhz, [], RoundRobinScheduler(), rng=rng)
+
+
+class TestParamsValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            SimParams(harq_rtt_slots=0)
+        with pytest.raises(ValueError):
+            SimParams(max_attempts=0)
+        with pytest.raises(ValueError):
+            SimParams(retx_error_scale=1.5)
+
+    def test_olla_disabled_runs(self, cell_90mhz, good_channel, rng):
+        params = SimParams(olla_enabled=False)
+        trace = simulate_downlink(cell_90mhz, good_channel, rng=rng, params=params)
+        assert trace.mean_throughput_mbps > 0
+
+    def test_rank_bias_reduces_layers(self, cell_90mhz, good_channel):
+        neutral = simulate_downlink(cell_90mhz, good_channel,
+                                    rng=np.random.default_rng(4),
+                                    params=SimParams(rank_adapter=RankAdapter()))
+        biased = simulate_downlink(cell_90mhz, good_channel,
+                                   rng=np.random.default_rng(4),
+                                   params=SimParams(rank_adapter=RankAdapter(bias_db=8.0)))
+        assert biased.layers[biased.scheduled].mean() < neutral.layers[neutral.scheduled].mean()

@@ -1,0 +1,56 @@
+"""Tests for repro.ran.ue."""
+
+import numpy as np
+import pytest
+
+from repro.channel.model import SyntheticChannel
+from repro.nr.cqi import CQI_TABLE_2
+from repro.ran.ue import UserEquipment
+
+
+@pytest.fixture
+def ue(good_channel):
+    return UserEquipment(ue_id=0, channel=good_channel)
+
+
+class TestMeasurement:
+    def test_delayed_measurement(self, good_channel):
+        ue = UserEquipment(ue_id=0, channel=good_channel, cqi_delay_slots=8,
+                           cqi_measurement_noise_db=0.0)
+        # The report at slot 100 reflects the channel 8 slots earlier.
+        assert ue.measured_sinr_db(100) == pytest.approx(float(good_channel.sinr_db[92]))
+
+    def test_delay_clamped_at_start(self, good_channel):
+        ue = UserEquipment(ue_id=0, channel=good_channel, cqi_delay_slots=8,
+                           cqi_measurement_noise_db=0.0)
+        assert ue.measured_sinr_db(3) == pytest.approx(float(good_channel.sinr_db[0]))
+
+    def test_slot_clamped_at_end(self, good_channel):
+        ue = UserEquipment(ue_id=0, channel=good_channel, cqi_measurement_noise_db=0.0)
+        out_of_range = good_channel.n_slots + 100
+        assert ue.measured_sinr_db(out_of_range) == pytest.approx(
+            float(good_channel.sinr_db[-1]))
+
+    def test_noise_applied_with_rng(self, good_channel, rng):
+        ue = UserEquipment(ue_id=0, channel=good_channel, cqi_measurement_noise_db=2.0)
+        clean = ue.measured_sinr_db(50)
+        noisy = ue.measured_sinr_db(50, rng)
+        assert noisy != clean
+
+    def test_report_cqi(self, ue, rng):
+        cqi, sinr = ue.report_cqi(40, CQI_TABLE_2, rng)
+        assert 0 <= cqi <= 15
+        assert np.isfinite(sinr)
+
+    def test_good_channel_reports_high(self, rng):
+        channel = SyntheticChannel(mean_sinr_db=30.0, fast_sigma_db=0.5,
+                                   slow_sigma_db=0.5).realize(1.0, rng=rng)
+        ue = UserEquipment(ue_id=1, channel=channel, cqi_measurement_noise_db=0.0)
+        cqi, _ = ue.report_cqi(500, CQI_TABLE_2)
+        assert cqi >= 13
+
+    def test_validation(self, good_channel):
+        with pytest.raises(ValueError):
+            UserEquipment(ue_id=0, channel=good_channel, cqi_delay_slots=-1)
+        with pytest.raises(ValueError):
+            UserEquipment(ue_id=0, channel=good_channel, cqi_measurement_noise_db=-1.0)

@@ -1,0 +1,52 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments import EXPERIMENT_IDS
+
+
+class TestList:
+    def test_lists_all_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(EXPERIMENT_IDS)
+
+
+class TestRun:
+    def test_runs_cheap_experiment(self, capsys):
+        assert main(["run", "eq32"]) == 0
+        out = capsys.readouterr().out
+        assert "eq32" in out
+        assert "1213.44" in out
+
+    def test_unknown_id_fails(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_seed_flag(self, capsys):
+        assert main(["run", "table2", "--seed", "5"]) == 0
+        assert "N_RB= 245" in capsys.readouterr().out
+
+
+class TestCampaign:
+    def test_summary_only(self, capsys):
+        assert main(["campaign", "--minutes", "0.1", "--session", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "minutes" in out
+
+    def test_export(self, tmp_path, capsys):
+        assert main(["campaign", "--minutes", "0.05", "--session", "3",
+                     "--out", str(tmp_path)]) == 0
+        assert "exported" in capsys.readouterr().out
+        assert list(tmp_path.glob("*.csv"))
+
+
+class TestTopLevelApi:
+    def test_package_exports(self):
+        import repro
+
+        assert repro.__version__
+        assert "fig01" in repro.EXPERIMENT_IDS
+        profile = repro.get_profile("V_Sp")
+        assert profile.primary_cell.n_rb == 245

@@ -1,0 +1,61 @@
+"""Tests for repro.experiments.plots — ASCII figure rendering."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.base import ExperimentResult
+from repro.experiments.plots import render_plots
+
+
+@pytest.fixture(scope="module")
+def rendered():
+    cache = {}
+
+    def get(experiment_id):
+        if experiment_id not in cache:
+            result = run_experiment(experiment_id, quick=True)
+            cache[experiment_id] = render_plots(result)
+        return cache[experiment_id]
+
+    return get
+
+
+class TestRenderings:
+    def test_fig11_bar_chart(self, rendered):
+        block = rendered("fig11")
+        assert "DDDSU" in block
+        assert "█" in block
+
+    def test_fig02_bar_chart(self, rendered):
+        block = rendered("fig02")
+        assert "V_Sp" in block and "O_Sp_100" in block
+
+    def test_fig03_cdfs(self, rendered):
+        block = rendered("fig03")
+        assert "REs" in block
+        assert "•" in block
+
+    def test_fig12_profiles(self, rendered):
+        block = rendered("fig12")
+        assert "V(t)" in block
+        assert "log2" in block
+
+    def test_fig13_sparklines(self, rendered):
+        block = rendered("fig13")
+        assert "tput" in block and "mimo" in block
+        assert any(tick in block for tick in "▁▂▃▄▅▆▇█")
+
+    def test_fig16_sparklines(self, rendered):
+        block = rendered("fig16")
+        assert "buffer" in block
+
+    def test_unregistered_returns_empty(self):
+        result = ExperimentResult("eq32", "x", rows=["y"], data={})
+        assert render_plots(result) == ""
+
+    def test_cli_plot_flag(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["run", "fig11", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "█" in out

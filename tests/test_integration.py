@@ -1,0 +1,154 @@
+"""End-to-end integration tests: whole pipelines, failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.apps.video import Bola, PAPER_LADDER_MIDBAND, StreamingSession, Video
+from repro.channel.blockage import BlockageProcess
+from repro.channel.model import SyntheticChannel
+from repro.operators import get_profile
+from repro.ran.simulator import SimParams, simulate_downlink
+from repro.xcal.io import read_csv, write_csv
+from repro.xcal.kpis import summarize_trace
+
+
+class TestFullPipeline:
+    """profile -> channel -> simulate -> serialize -> reload -> analyze -> stream."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self, tmp_path_factory):
+        profile = get_profile("V_Sp")
+        cell = profile.primary_cell
+        rng = np.random.default_rng(2024)
+        channel = profile.dl_channel().realize(6.0, mu=cell.mu, rng=rng)
+        trace = simulate_downlink(cell, channel, rng=rng, params=profile.sim_params())
+        path = tmp_path_factory.mktemp("pipeline") / "trace.csv"
+        write_csv(trace, path)
+        reloaded = read_csv(path)
+        return trace, reloaded
+
+    def test_reloaded_kpis_identical(self, pipeline):
+        trace, reloaded = pipeline
+        original = summarize_trace(trace, "a")
+        recovered = summarize_trace(reloaded, "a")
+        assert recovered.mean_tput_mbps == pytest.approx(original.mean_tput_mbps)
+        assert recovered.bler == pytest.approx(original.bler)
+        assert recovered.layer_shares == original.layer_shares
+        assert recovered.tput_variability_128ms == pytest.approx(
+            original.tput_variability_128ms)
+
+    def test_streaming_over_reloaded_trace(self, pipeline):
+        _, reloaded = pipeline
+        capacity = reloaded.throughput_mbps(50.0)
+        video = Video(duration_s=5.0, chunk_s=1.0, ladder=PAPER_LADDER_MIDBAND)
+        session = StreamingSession(video=video, abr=Bola(video.ladder),
+                                   capacity_mbps=capacity).run()
+        assert len(session.chunks) == 5
+        assert session.qoe().mean_bitrate_mbps > 0
+
+    def test_variability_pipeline(self, pipeline):
+        from repro.core.variability import variability_profile
+
+        trace, _ = pipeline
+        slot_tput = trace.throughput_mbps(trace.slot_duration_ms)
+        scales, values = variability_profile(slot_tput, trace.slot_duration_ms)
+        assert values[np.searchsorted(scales, 128.0)] < values[np.searchsorted(scales, 2.0)]
+
+
+class TestFailureInjection:
+    def test_total_outage_channel(self, cell_90mhz, rng):
+        # A channel deep in outage: the link delivers (almost) nothing
+        # but the simulator stays numerically sane.
+        channel = SyntheticChannel(mean_sinr_db=-25.0, fast_sigma_db=1.0,
+                                   slow_sigma_db=0.5).realize(2.0, rng=rng)
+        trace = simulate_downlink(cell_90mhz, channel, rng=rng)
+        assert trace.mean_throughput_mbps < 30.0
+        assert np.isfinite(trace.delivered_bits).all()
+
+    def test_intermittent_blackouts(self, cell_90mhz, rng):
+        blockage = BlockageProcess(blockage_rate_hz=0.5, mean_blockage_duration_s=0.5,
+                                   blockage_attenuation_db=60.0)
+        channel = SyntheticChannel(mean_sinr_db=22.0, blockage=blockage).realize(6.0, rng=rng)
+        trace = simulate_downlink(cell_90mhz, channel, rng=rng)
+        series = trace.throughput_mbps(100.0)
+        assert series.min() < 0.2 * series.max()  # blackouts visible
+        assert trace.mean_throughput_mbps > 50.0  # recovery between them
+
+    def test_streaming_through_blackout(self, cell_90mhz, rng):
+        # The player survives a capacity series with hard zeros.
+        capacity = np.concatenate([np.full(200, 500.0), np.zeros(100),
+                                   np.full(1700, 500.0)])
+        video = Video(duration_s=60.0, chunk_s=4.0, ladder=PAPER_LADDER_MIDBAND)
+        session = StreamingSession(video=video, abr=Bola(video.ladder),
+                                   capacity_mbps=capacity, buffer_capacity_s=12.0).run()
+        assert len(session.chunks) == video.n_chunks
+        assert np.isfinite(session.total_stall_s)
+
+    def test_harq_exhaustion_under_deep_fade(self, cell_90mhz, rng):
+        # Persistent deep fade: HARQ hits max attempts and drops TBs
+        # rather than looping forever.
+        channel = SyntheticChannel(mean_sinr_db=-10.0, fast_sigma_db=6.0,
+                                   slow_sigma_db=2.0).realize(2.0, rng=rng)
+        params = SimParams(max_attempts=2, retx_error_scale=1.0)
+        trace = simulate_downlink(cell_90mhz, channel, rng=rng, params=params)
+        failures = trace.is_retx & trace.error
+        assert failures.sum() > 0  # retransmissions failing terminally
+
+    def test_corrupt_csv_rejected(self, tmp_path):
+        path = tmp_path / "corrupt.csv"
+        path.write_text("# mu=1\nslot,time_ms,bogus\n0,0.0,1\n")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+
+class TestSimulatorInvariants:
+    """Trace-level invariants every simulation must satisfy."""
+
+    @pytest.fixture(scope="class", params=["V_Sp", "O_Sp_100", "Tmb_US"])
+    def any_trace(self, request):
+        profile = get_profile(request.param)
+        cell = profile.primary_cell
+        rng = np.random.default_rng(11)
+        channel = profile.dl_channel().realize(3.0, mu=cell.mu, rng=rng)
+        return simulate_downlink(cell, channel, rng=rng, params=profile.sim_params()), cell
+
+    def test_delivered_never_exceeds_tbs(self, any_trace):
+        trace, _ = any_trace
+        assert (trace.delivered_bits <= trace.tbs_bits).all()
+
+    def test_delivered_all_or_nothing(self, any_trace):
+        trace, _ = any_trace
+        partial = (trace.delivered_bits > 0) & (trace.delivered_bits != trace.tbs_bits)
+        assert not partial.any()
+
+    def test_error_xor_delivery_on_grants(self, any_trace):
+        trace, _ = any_trace
+        sched = trace.scheduled.astype(bool)
+        delivered = trace.delivered_bits[sched] > 0
+        errored = trace.error[sched]
+        assert np.array_equal(delivered, ~errored)
+
+    def test_unscheduled_slots_empty(self, any_trace):
+        trace, _ = any_trace
+        idle = ~trace.scheduled.astype(bool)
+        assert (trace.tbs_bits[idle] == 0).all()
+        assert (trace.n_prb[idle] == 0).all()
+        assert not trace.error[idle].any()
+
+    def test_grants_within_cell_limits(self, any_trace):
+        trace, cell = any_trace
+        sched = trace.scheduled.astype(bool)
+        assert trace.n_prb[sched].max() <= cell.grantable_rb
+        assert trace.layers[sched].max() <= cell.max_layers
+        assert trace.mcs_index[sched].max() <= cell.mcs_table.max_index
+
+    def test_re_consistency(self, any_trace):
+        trace, _ = any_trace
+        sched = trace.scheduled.astype(bool)
+        assert np.array_equal(trace.n_re[sched], 12 * trace.n_prb[sched])
+
+    def test_modulation_consistent_with_dci(self, any_trace):
+        trace, _ = any_trace
+        sched = trace.scheduled.astype(bool)
+        fallback = sched & (trace.dci_format == 0)
+        assert (trace.modulation_order[fallback] <= 6).all()

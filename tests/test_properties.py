@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.video.abr import AbrContext, Bola
+from repro.apps.video.buffer import PlaybackBuffer
+from repro.apps.video.content import PAPER_LADDER_MIDBAND
+from repro.core.qoe import stall_percentage
+from repro.core.variability import block_averages, scaled_variability
+from repro.nr.cqi import CQI_TABLE_1, CQI_TABLE_2
+from repro.nr.mcs import MCS_TABLE_64QAM, MCS_TABLE_256QAM
+from repro.nr.signal import rsrq_from_sinr, sinr_to_cqi
+from repro.nr.tbs import transport_block_size
+from repro.nr.tdd import SlotType, SpecialSlotConfig, TddPattern
+
+finite_floats = st.floats(min_value=-50.0, max_value=60.0, allow_nan=False)
+
+
+class TestTbsProperties:
+    @given(
+        n_prb=st.integers(min_value=1, max_value=273),
+        mcs=st.integers(min_value=0, max_value=27),
+        layers=st.integers(min_value=1, max_value=4),
+        symbols=st.integers(min_value=2, max_value=14),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_tbs_nonnegative_and_byte_friendly(self, n_prb, mcs, layers, symbols):
+        tbs = transport_block_size(n_prb, MCS_TABLE_256QAM[mcs], layers, symbols=symbols)
+        assert tbs >= 0
+        if tbs > 3824:
+            assert (tbs + 24) % 8 == 0
+        elif tbs > 0:
+            from repro.nr.tbs import TBS_TABLE_5_1_3_2_1
+
+            assert tbs in TBS_TABLE_5_1_3_2_1
+
+    @given(
+        n_prb=st.integers(min_value=1, max_value=270),
+        mcs=st.integers(min_value=0, max_value=27),
+        layers=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_tbs_monotone_in_prbs(self, n_prb, mcs, layers):
+        entry = MCS_TABLE_256QAM[mcs]
+        assert transport_block_size(n_prb + 1, entry, layers) >= \
+            transport_block_size(n_prb, entry, layers)
+
+    @given(
+        n_prb=st.integers(min_value=1, max_value=273),
+        mcs=st.integers(min_value=0, max_value=27),
+        layers=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_tbs_monotone_in_layers(self, n_prb, mcs, layers):
+        entry = MCS_TABLE_256QAM[mcs]
+        assert transport_block_size(n_prb, entry, layers + 1) >= \
+            transport_block_size(n_prb, entry, layers)
+
+
+class TestSignalProperties:
+    @given(sinr=finite_floats)
+    @settings(max_examples=200, deadline=None)
+    def test_cqi_in_range(self, sinr):
+        for table in (CQI_TABLE_1, CQI_TABLE_2):
+            cqi = int(sinr_to_cqi(sinr, table))
+            assert 0 <= cqi <= 15
+
+    @given(a=finite_floats, b=finite_floats)
+    @settings(max_examples=200, deadline=None)
+    def test_cqi_monotone(self, a, b):
+        low, high = min(a, b), max(a, b)
+        assert int(sinr_to_cqi(low, CQI_TABLE_2)) <= int(sinr_to_cqi(high, CQI_TABLE_2))
+
+    @given(sinr=finite_floats, load=st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_rsrq_bounded(self, sinr, load):
+        rsrq = float(rsrq_from_sinr(sinr, load=load))
+        # RSRQ can never exceed the zero-load single-RE bound of -10log10(12*load).
+        assert rsrq <= -10.0 * np.log10(12.0 * load) + 1e-9
+
+
+class TestMcsLookupProperties:
+    @given(eff=st.floats(min_value=0.0, max_value=9.0, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_highest_index_below_is_feasible(self, eff):
+        for table in (MCS_TABLE_64QAM, MCS_TABLE_256QAM):
+            idx = table.highest_index_below(eff)
+            assert 0 <= idx <= table.max_index
+            if eff >= table.efficiencies[0]:
+                assert table.efficiencies[idx] <= eff + 1e-12
+
+    @given(eff=st.floats(min_value=0.3, max_value=9.0, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_highest_index_below_is_optimal(self, eff):
+        table = MCS_TABLE_256QAM
+        idx = table.highest_index_below(eff)
+        feasible = table.efficiencies[table.efficiencies <= eff]
+        if feasible.size:
+            assert table.efficiencies[idx] == feasible.max()
+
+
+class TestVariabilityProperties:
+    @given(
+        data=st.lists(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+                      min_size=8, max_size=256),
+        block=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_variability_nonnegative(self, data, block):
+        v = scaled_variability(np.array(data), block)
+        assert np.isnan(v) or v >= 0.0
+
+    @given(
+        data=st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+                      min_size=8, max_size=128),
+        shift=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_variability_shift_invariant(self, data, shift):
+        samples = np.array(data)
+        v1 = scaled_variability(samples, 2)
+        v2 = scaled_variability(samples + shift, 2)
+        assert (np.isnan(v1) and np.isnan(v2)) or v1 == pytest.approx(v2, abs=1e-6)
+
+    @given(
+        data=st.lists(st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+                      min_size=4, max_size=64),
+        scale=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_variability_scales_linearly(self, data, scale):
+        samples = np.array(data)
+        v1 = scaled_variability(samples, 1)
+        v2 = scaled_variability(samples * scale, 1)
+        if not np.isnan(v1):
+            assert v2 == pytest.approx(scale * v1, rel=1e-6, abs=1e-9)
+
+    @given(data=st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                         min_size=4, max_size=64),
+           block=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=150, deadline=None)
+    def test_block_average_preserves_mean(self, data, block):
+        samples = np.array(data)
+        m = samples.size // block
+        if m == 0:
+            return
+        averaged = block_averages(samples, block)
+        assert averaged.mean() == pytest.approx(samples[: m * block].mean(), abs=1e-6)
+
+
+class TestTddProperties:
+    @st.composite
+    def patterns(draw):
+        length = draw(st.integers(min_value=2, max_value=12))
+        chars = draw(st.lists(st.sampled_from("DUS"), min_size=length, max_size=length))
+        if "D" not in chars:
+            chars[0] = "D"
+        if "U" not in chars and "S" not in chars:
+            chars[-1] = "U"
+        return TddPattern.from_string("".join(chars))
+
+    @given(pattern=patterns())
+    @settings(max_examples=100, deadline=None)
+    def test_fractions_bounded(self, pattern):
+        assert 0.0 <= pattern.dl_symbol_fraction <= 1.0
+        assert 0.0 <= pattern.ul_symbol_fraction <= 1.0
+        total = pattern.dl_symbol_fraction + pattern.ul_symbol_fraction
+        assert total <= 1.0  # guard symbols are lost
+
+    @given(pattern=patterns(), slot=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=100, deadline=None)
+    def test_next_slot_is_correct_type(self, pattern, slot):
+        for direction in (SlotType.DL, SlotType.UL):
+            try:
+                idx = pattern.next_slot_of(direction, slot)
+            except ValueError:
+                continue
+            assert idx >= slot
+            kind = pattern.slot_type(idx)
+            assert kind is direction or kind is SlotType.SPECIAL
+
+
+class TestBufferProperties:
+    @given(ops=st.lists(st.tuples(st.booleans(),
+                                  st.floats(min_value=0.01, max_value=10.0)),
+                        min_size=1, max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_buffer_invariants(self, ops):
+        buffer = PlaybackBuffer(capacity_s=30.0)
+        for is_append, amount in ops:
+            if is_append:
+                buffer.append(amount)
+            else:
+                buffer.drain(amount)
+            assert buffer.level_s >= 0.0
+            assert buffer.total_stall_s >= 0.0
+        assert buffer.n_stalls <= sum(1 for a, _ in ops if not a)
+
+
+class TestBolaProperties:
+    @given(
+        buffer_s=st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+        estimate=st.floats(min_value=1.0, max_value=5000.0, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_choice_always_valid(self, buffer_s, estimate):
+        bola = Bola(PAPER_LADDER_MIDBAND)
+        context = AbrContext(
+            buffer_level_s=buffer_s, buffer_capacity_s=30.0, chunk_s=4.0,
+            throughput_estimate_mbps=estimate, last_level=0, chunk_index=0,
+        )
+        level = bola.choose(context)
+        assert 0 <= level <= PAPER_LADDER_MIDBAND.max_level
+
+
+class TestQoeProperties:
+    @given(stall=st.floats(min_value=0.0, max_value=1e4),
+           playback=st.floats(min_value=0.0, max_value=1e4))
+    @settings(max_examples=200, deadline=None)
+    def test_stall_percentage_bounded(self, stall, playback):
+        value = stall_percentage(stall, playback)
+        assert 0.0 <= value <= 100.0

@@ -1,0 +1,61 @@
+"""Tests for repro.xcal.dataset — the synthetic measurement campaign."""
+
+import pytest
+
+from repro.operators.profiles import EU_PROFILES
+from repro.xcal.dataset import CampaignSpec, generate_campaign
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    profiles = {k: EU_PROFILES[k] for k in ("V_Sp", "O_Sp_100")}
+    spec = CampaignSpec(minutes_per_operator=0.2, session_s=4.0, seed=99)
+    return generate_campaign(profiles, spec)
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(minutes_per_operator=0.0)
+        with pytest.raises(ValueError):
+            CampaignSpec(ul_fraction=1.0)
+
+
+class TestCampaign:
+    def test_operators_covered(self, small_campaign):
+        assert set(small_campaign.operators) == {"V_Sp", "O_Sp_100"}
+
+    def test_session_counts(self, small_campaign):
+        # 0.2 min / 4 s = 3 sessions, 30% UL -> 1 UL + 2 DL.
+        assert len(small_campaign.dl_traces["V_Sp"]) == 2
+        assert len(small_campaign.ul_traces["V_Sp"]) == 1
+
+    def test_total_minutes(self, small_campaign):
+        assert small_campaign.total_minutes == pytest.approx(2 * 3 * 4.0 / 60.0)
+
+    def test_data_volume_positive(self, small_campaign):
+        assert small_campaign.total_data_gb > 0.01
+
+    def test_metadata_attached(self, small_campaign):
+        trace = small_campaign.dl_traces["V_Sp"][0]
+        assert trace.metadata.operator == "Vodafone"
+        assert trace.metadata.country == "Spain"
+        assert trace.metadata.direction == "DL"
+
+    def test_ul_slower_than_dl(self, small_campaign):
+        dl = small_campaign.dl_traces["V_Sp"][0].mean_throughput_mbps
+        ul = small_campaign.ul_traces["V_Sp"][0].mean_throughput_mbps
+        assert ul < dl
+
+    def test_summary_rows(self, small_campaign):
+        rows = small_campaign.summary_rows()
+        assert any("minutes" in row for row in rows)
+
+    def test_export_csv(self, small_campaign, tmp_path):
+        paths = small_campaign.export_csv(tmp_path)
+        assert len(paths) == 6
+        assert all(p.exists() for p in paths)
+
+    def test_sessions_differ(self, small_campaign):
+        a, b = small_campaign.dl_traces["V_Sp"]
+        assert a.mean_throughput_mbps != b.mean_throughput_mbps

@@ -1,0 +1,81 @@
+"""Tests for repro.xcal.io — CSV / JSONL round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.nr.numerology import Numerology
+from repro.xcal.io import read_csv, read_jsonl, write_csv, write_jsonl
+from repro.xcal.records import TRACE_COLUMNS, SlotTrace, TraceMetadata
+
+
+@pytest.fixture
+def sample_trace(short_dl_trace):
+    return short_dl_trace
+
+
+def _assert_traces_equal(a: SlotTrace, b: SlotTrace):
+    assert len(a) == len(b)
+    assert a.mu == b.mu
+    for name in TRACE_COLUMNS:
+        left, right = a.column(name), b.column(name)
+        if left.dtype.kind == "f":
+            assert np.allclose(left, right, atol=1e-9), name
+        else:
+            assert np.array_equal(left, right), name
+
+
+class TestCsv:
+    def test_roundtrip(self, sample_trace, tmp_path):
+        path = write_csv(sample_trace, tmp_path / "trace.csv")
+        recovered = read_csv(path)
+        _assert_traces_equal(sample_trace, recovered)
+
+    def test_metadata_preserved(self, cell_90mhz, good_channel, rng, tmp_path):
+        from repro.ran.simulator import simulate_downlink
+
+        metadata = TraceMetadata(operator="Vodafone", country="Spain",
+                                 carrier_name="n78-90", direction="DL",
+                                 bandwidth_mhz=90.0, scs_khz=30, seed=7)
+        trace = simulate_downlink(cell_90mhz, good_channel, rng=rng, metadata=metadata)
+        recovered = read_csv(write_csv(trace, tmp_path / "meta.csv"))
+        assert recovered.metadata.operator == "Vodafone"
+        assert recovered.metadata.bandwidth_mhz == 90.0
+        assert recovered.metadata.seed == 7
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# mu=1\nslot,time_ms\n0,0.0\n")
+        with pytest.raises(ValueError, match="missing trace column"):
+            read_csv(path)
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        trace = SlotTrace.empty(0)
+        recovered = read_csv(write_csv(trace, tmp_path / "empty.csv"))
+        assert len(recovered) == 0
+
+
+class TestJsonl:
+    def test_roundtrip(self, sample_trace, tmp_path):
+        path = write_jsonl(sample_trace, tmp_path / "trace.jsonl")
+        recovered = read_jsonl(path)
+        _assert_traces_equal(sample_trace, recovered)
+
+    def test_mu_preserved(self, tmp_path):
+        trace = SlotTrace.empty(10, mu=Numerology.MU_3)
+        recovered = read_jsonl(write_jsonl(trace, tmp_path / "mu3.jsonl"))
+        assert recovered.mu is Numerology.MU_3
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_jsonl(path)
+
+    def test_headerless_records_accepted(self, sample_trace, tmp_path):
+        # A file with records but no metadata object still loads.
+        path = write_jsonl(sample_trace, tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        stripped = tmp_path / "noheader.jsonl"
+        stripped.write_text("\n".join(lines[1:]) + "\n")
+        recovered = read_jsonl(stripped)
+        assert len(recovered) == len(sample_trace)

@@ -1,0 +1,52 @@
+"""Tests for repro.xcal.kpis — trace KPI digests."""
+
+import numpy as np
+import pytest
+
+from repro.xcal.kpis import compare_traces, summarize_trace
+
+
+class TestSummary:
+    def test_summary_fields(self, short_dl_trace):
+        summary = summarize_trace(short_dl_trace, label="V_Sp test")
+        assert summary.label == "V_Sp test"
+        assert summary.mean_tput_mbps == pytest.approx(short_dl_trace.mean_throughput_mbps)
+        assert summary.bler == pytest.approx(short_dl_trace.bler)
+        assert 0.0 <= summary.cqi12_share <= 1.0
+        assert summary.duration_s == pytest.approx(short_dl_trace.duration_s)
+
+    def test_default_label_from_metadata(self, short_dl_trace):
+        summary = summarize_trace(short_dl_trace)
+        assert summary.label == short_dl_trace.metadata.carrier_name
+
+    def test_shares_consistent_with_trace(self, short_dl_trace):
+        summary = summarize_trace(short_dl_trace)
+        raw = short_dl_trace.layer_shares()
+        assert summary.layer_shares == raw
+        assert sum(summary.modulation_shares.values()) == pytest.approx(1.0)
+
+    def test_variability_positive(self, short_dl_trace):
+        summary = summarize_trace(short_dl_trace)
+        assert summary.tput_variability_128ms > 0
+
+    def test_row_renders(self, short_dl_trace):
+        row = summarize_trace(short_dl_trace, label="x").row()
+        assert "tput" in row and "BLER" in row and "V(128ms)" in row
+
+    def test_empty_trace(self):
+        from repro.xcal.records import SlotTrace
+
+        summary = summarize_trace(SlotTrace.empty(10), label="empty")
+        assert summary.mean_tput_mbps == 0.0
+        assert np.isnan(summary.cqi12_tput_mbps) or summary.cqi12_tput_mbps == 0.0
+
+
+class TestCompare:
+    def test_rows_per_trace(self, short_dl_trace):
+        rows = compare_traces({"a": short_dl_trace, "b": short_dl_trace})
+        assert len(rows) == 2
+        assert rows[0].startswith("a")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compare_traces({})

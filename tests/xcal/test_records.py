@@ -1,0 +1,125 @@
+"""Tests for repro.xcal.records — the XCAL-equivalent trace schema."""
+
+import numpy as np
+import pytest
+
+from repro.nr.numerology import Numerology
+from repro.xcal.records import SlotTrace, TraceMetadata
+
+
+class TestConstruction:
+    def test_empty_trace(self):
+        trace = SlotTrace.empty(100)
+        assert len(trace) == 100
+        assert trace.slot.tolist() == list(range(100))
+        assert trace.time_ms[2] == 1.0
+        assert trace.total_bits == 0
+
+    def test_length_mismatch_rejected(self):
+        trace = SlotTrace.empty(10)
+        with pytest.raises(ValueError, match="length"):
+            SlotTrace(**{**{name: trace.column(name) for name in
+                            __import__("repro.xcal.records", fromlist=["TRACE_COLUMNS"]).TRACE_COLUMNS},
+                         "cqi": np.zeros(5, dtype=np.int64)})
+
+    def test_metadata_defaults(self):
+        trace = SlotTrace.empty(1)
+        assert trace.metadata.direction == "DL"
+
+    def test_negative_slots_rejected(self):
+        with pytest.raises(ValueError):
+            SlotTrace.empty(-1)
+
+
+class TestDerivedKpis:
+    @pytest.fixture
+    def simple_trace(self):
+        trace = SlotTrace.empty(2000)  # 1 s at mu=1
+        trace.scheduled[:] = True
+        trace.tbs_bits[:] = 1000
+        trace.delivered_bits[:] = 1000
+        trace.mcs_index[:] = 15
+        trace.modulation_order[:] = 6
+        trace.layers[:] = 4
+        trace.cqi[:] = 12
+        return trace
+
+    def test_mean_throughput(self, simple_trace):
+        # 1000 bits per 0.5 ms slot = 2 Mbps.
+        assert simple_trace.mean_throughput_mbps == pytest.approx(2.0)
+
+    def test_binned_throughput(self, simple_trace):
+        series = simple_trace.throughput_mbps(100.0)
+        assert series.shape == (10,)
+        assert np.allclose(series, 2.0)
+
+    def test_binned_throughput_drops_partial(self, simple_trace):
+        series = simple_trace.throughput_mbps(300.0)
+        assert series.shape == (3,)
+
+    def test_bler_counts_initial_errors(self):
+        trace = SlotTrace.empty(10)
+        trace.scheduled[:] = True
+        trace.error[0:2] = True
+        assert trace.bler == pytest.approx(0.2)
+
+    def test_bler_ignores_retx(self):
+        trace = SlotTrace.empty(10)
+        trace.scheduled[:] = True
+        trace.is_retx[0:5] = True
+        trace.error[0] = True  # error on a retx does not count
+        assert trace.bler == 0.0
+
+    def test_bler_empty(self):
+        assert SlotTrace.empty(5).bler == 0.0
+
+    def test_modulation_shares(self, simple_trace):
+        simple_trace.modulation_order[:1000] = 8
+        shares = simple_trace.modulation_shares()
+        assert shares[8] == pytest.approx(0.5)
+        assert shares[6] == pytest.approx(0.5)
+
+    def test_layer_shares(self, simple_trace):
+        shares = simple_trace.layer_shares()
+        assert shares == {4: 1.0}
+
+    def test_shares_empty_trace(self):
+        assert SlotTrace.empty(5).modulation_shares() == {}
+        assert SlotTrace.empty(5).layer_shares() == {}
+
+
+class TestViews:
+    def test_filter_cqi(self, short_dl_trace):
+        subset = short_dl_trace.filter_cqi(minimum=12)
+        assert (subset.cqi >= 12).all()
+        both = short_dl_trace.filter_cqi(minimum=8, maximum=11)
+        assert ((both.cqi >= 8) & (both.cqi <= 11)).all()
+
+    def test_scheduled_view(self, short_dl_trace):
+        view = short_dl_trace.scheduled_view()
+        assert view.scheduled.all()
+        assert len(view) == int(short_dl_trace.scheduled.sum())
+
+    def test_mask_length_checked(self, short_dl_trace):
+        with pytest.raises(ValueError):
+            short_dl_trace.mask(np.ones(3, dtype=bool))
+
+    def test_concat(self):
+        a = SlotTrace.empty(10)
+        b = SlotTrace.empty(5)
+        b.delivered_bits[:] = 7
+        merged = a.concat(b)
+        assert len(merged) == 15
+        assert merged.slot.tolist() == list(range(15))
+        assert merged.delivered_bits[-1] == 7
+
+    def test_concat_mu_mismatch(self):
+        a = SlotTrace.empty(4, mu=Numerology.MU_1)
+        b = SlotTrace.empty(4, mu=Numerology.MU_3)
+        with pytest.raises(ValueError):
+            a.concat(b)
+
+    def test_column_lookup(self, short_dl_trace):
+        assert short_dl_trace.column("cqi") is short_dl_trace.cqi
+        with pytest.raises(KeyError):
+            short_dl_trace.column("nonexistent")
