@@ -1,0 +1,61 @@
+"""Campaign runner — serial vs process-parallel wall time.
+
+The campaign expands into a manifest of independent, seed-carrying
+session tasks (``repro.core.runner``), so a process pool should scale
+near-linearly with cores.  Wall times for ``jobs=1`` and ``jobs=4`` are
+recorded unconditionally; the >=2x speedup assertion only runs on
+machines that actually expose >=4 usable cores (single-core CI
+containers cannot win from a pool, only pay its overhead), while the
+bit-identical-results invariant is asserted everywhere.
+"""
+
+import os
+import time
+
+from repro.operators.profiles import EU_PROFILES
+from repro.xcal.dataset import CampaignSpec, generate_campaign
+
+PROFILE_KEYS = ("V_Sp", "O_Sp_100", "T_Ge", "V_Ge")
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _flatten(campaign) -> list[tuple]:
+    out = []
+    for kind, collection in (("dl", campaign.dl_traces), ("ul", campaign.ul_traces)):
+        for key in sorted(collection):
+            for i, trace in enumerate(collection[key]):
+                out.append((key, kind, i, trace.metadata.seed, int(trace.total_bits)))
+    return out
+
+
+def test_campaign_parallel_speedup(benchmark):
+    profiles = {k: EU_PROFILES[k] for k in PROFILE_KEYS}
+    spec = CampaignSpec(minutes_per_operator=0.5, session_s=5.0, seed=2024)
+
+    def measure():
+        t0 = time.perf_counter()
+        serial = generate_campaign(profiles, spec, jobs=1)
+        t1 = time.perf_counter()
+        parallel = generate_campaign(profiles, spec, jobs=4)
+        t2 = time.perf_counter()
+        return serial, parallel, t1 - t0, t2 - t1
+
+    serial, parallel, serial_s, parallel_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["parallel_s"] = round(parallel_s, 3)
+    benchmark.extra_info["usable_cores"] = _usable_cores()
+    benchmark.extra_info["speedup"] = round(serial_s / max(parallel_s, 1e-9), 2)
+
+    # Bit-identical results for any worker count, on any machine.
+    assert _flatten(serial) == _flatten(parallel)
+
+    if _usable_cores() >= 4:
+        assert serial_s / parallel_s >= 2.0

@@ -9,6 +9,10 @@ Commands
     simulations).
 ``campaign``
     Generate a synthetic measurement campaign and export it as CSV.
+
+Both ``run`` and ``campaign`` accept ``--jobs N`` (or ``--jobs auto``)
+to fan independent sessions out to a process pool; results are
+bit-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -19,6 +23,15 @@ import time
 from pathlib import Path
 
 from repro.experiments import EXPERIMENT_IDS, run_experiment
+
+
+def _jobs_arg(value: str) -> int:
+    from repro.core.runner import resolve_jobs
+
+    try:
+        return resolve_jobs(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -35,7 +48,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     for experiment_id in ids:
         start = time.time()
-        result = run_experiment(experiment_id, seed=args.seed, quick=not args.full)
+        result = run_experiment(experiment_id, seed=args.seed, quick=not args.full,
+                                jobs=args.jobs)
         print(result.render())
         if args.plot:
             from repro.experiments.plots import render_plots
@@ -52,7 +66,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     spec = CampaignSpec(minutes_per_operator=args.minutes, session_s=args.session,
                         seed=args.seed)
-    campaign = generate_campaign(spec=spec)
+    campaign = generate_campaign(spec=spec, jobs=args.jobs)
     for row in campaign.summary_rows():
         print(row)
     if args.out is not None:
@@ -73,12 +87,16 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--plot", action="store_true",
                             help="render ASCII figures where available")
     run_parser.add_argument("--seed", type=int, default=2024)
+    run_parser.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N|auto",
+                            help="worker processes for independent sessions (default 1)")
     run_parser.set_defaults(func=_cmd_run)
 
     campaign_parser = sub.add_parser("campaign", help="generate a synthetic campaign")
     campaign_parser.add_argument("--minutes", type=float, default=1.0)
     campaign_parser.add_argument("--session", type=float, default=10.0)
     campaign_parser.add_argument("--seed", type=int, default=2024)
+    campaign_parser.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N|auto",
+                                 help="worker processes for campaign sessions (default 1)")
     campaign_parser.add_argument("--out", type=Path, default=None)
     campaign_parser.set_defaults(func=_cmd_campaign)
 

@@ -8,7 +8,9 @@
   formula of §3.2,
 - :mod:`repro.core.latency` — the PHY user-plane latency decomposition
   of §4.3 (TDD alignment + HARQ),
-- :mod:`repro.core.qoe` — video QoE metrics (§6).
+- :mod:`repro.core.qoe` — video QoE metrics (§6),
+- :mod:`repro.core.runner` — the parallel session-execution engine with
+  hierarchical (SeedSequence-derived) per-session seeds.
 """
 
 from repro.core.variability import scaled_variability, variability_profile, joint_variability
@@ -20,6 +22,7 @@ from repro.core.qoe import QoeMetrics, normalized_bitrate, stall_percentage
 from repro.core.e2e import E2eLatencyModel, ServerPlacement, placement_sweep
 from repro.core.plotting import bar_chart, cdf_plot, line_plot, sparkline
 from repro.core.prediction import ThroughputPredictor, extract_features
+from repro.core.runner import SessionTask, derive_seed, derive_seeds, resolve_jobs, run_tasks
 
 __all__ = [
     "scaled_variability",
@@ -47,4 +50,9 @@ __all__ = [
     "sparkline",
     "ThroughputPredictor",
     "extract_features",
+    "SessionTask",
+    "derive_seed",
+    "derive_seeds",
+    "resolve_jobs",
+    "run_tasks",
 ]

@@ -16,6 +16,7 @@ Usage::
 from __future__ import annotations
 
 import importlib
+import inspect
 
 from repro.experiments.base import ExperimentResult
 
@@ -54,14 +55,22 @@ _MODULES = {
 EXPERIMENT_IDS = tuple(sorted(set(_MODULES)))
 
 
-def run_experiment(experiment_id: str, seed: int = 2024, quick: bool = True) -> ExperimentResult:
-    """Run one experiment by id."""
+def run_experiment(experiment_id: str, seed: int = 2024, quick: bool = True,
+                   jobs: int | str = 1) -> ExperimentResult:
+    """Run one experiment by id.
+
+    ``jobs`` is forwarded to experiments whose session loops run on the
+    parallel runner (:mod:`repro.core.runner`); others ignore it.
+    """
     if experiment_id not in _MODULES:
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {EXPERIMENT_IDS}")
     module = importlib.import_module(_MODULES[experiment_id])
+    kwargs: dict = {"seed": seed, "quick": quick}
     if experiment_id in ("table2", "table3"):
-        return module.run(seed=seed, quick=quick, which=experiment_id)
-    return module.run(seed=seed, quick=quick)
+        kwargs["which"] = experiment_id
+    if "jobs" in inspect.signature(module.run).parameters:
+        kwargs["jobs"] = jobs
+    return module.run(**kwargs)
 
 
 __all__ = ["ExperimentResult", "EXPERIMENT_IDS", "run_experiment"]

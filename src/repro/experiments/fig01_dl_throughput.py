@@ -2,6 +2,10 @@
 
 European operators run a single mid-band carrier; the U.S. operators
 aggregate carriers (CA), which is what pushes them beyond 1 Gbps.
+
+The per-operator sessions are independent, so they are expanded into a
+session manifest and executed through :mod:`repro.core.runner`
+(``jobs=N`` fans out to a process pool with identical results).
 """
 
 from __future__ import annotations
@@ -9,31 +13,48 @@ from __future__ import annotations
 import numpy as np
 
 from repro import papertargets as targets
+from repro.core.runner import SessionTask, run_tasks
 from repro.experiments.base import ExperimentResult, dl_trace, paper_vs_measured_row
 from repro.operators.profiles import EU_PROFILES, US_PROFILES
 
 
-def run(seed: int = 2024, quick: bool = True) -> ExperimentResult:
+def _us_ca_session(profile, duration_s: float, seed: int):
+    """One CA full-buffer DL run of a U.S. profile (module-level for pickling)."""
+    rng = np.random.default_rng(seed)
+    return profile.carrier_aggregation().simulate_downlink(
+        profile.dl_channel(), duration_s, rng=rng,
+        params=profile.sim_params(), operator=profile.operator,
+    )
+
+
+def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1) -> ExperimentResult:
     duration = 8.0 if quick else 30.0
+    eu_keys = list(targets.FIG1_EU_DL_MBPS)
+    us_keys = list(targets.FIG1_US_DL_GBPS)
+    manifest = [
+        SessionTask(fn=dl_trace,
+                    kwargs={"profile": EU_PROFILES[key], "duration_s": duration},
+                    seed=seed, label=f"eu/{key}")
+        for key in eu_keys
+    ] + [
+        SessionTask(fn=_us_ca_session,
+                    kwargs={"profile": US_PROFILES[key], "duration_s": duration},
+                    seed=seed + 17, label=f"us/{key}")
+        for key in us_keys
+    ]
+    results = run_tasks(manifest, jobs=jobs)
+
     rows: list[str] = ["-- Europe (single carrier, Mbps) --"]
     data: dict = {"eu": {}, "us": {}}
-
-    for key, paper_mbps in targets.FIG1_EU_DL_MBPS.items():
-        trace = dl_trace(EU_PROFILES[key], duration, seed)
+    for key, trace in zip(eu_keys, results[: len(eu_keys)]):
         measured = trace.mean_throughput_mbps
         data["eu"][key] = measured
-        rows.append(paper_vs_measured_row(key, paper_mbps, measured, " Mbps"))
+        rows.append(paper_vs_measured_row(key, targets.FIG1_EU_DL_MBPS[key], measured, " Mbps"))
 
     rows.append("-- United States (carrier aggregation, Gbps) --")
-    for key, paper_gbps in targets.FIG1_US_DL_GBPS.items():
-        profile = US_PROFILES[key]
-        rng = np.random.default_rng(seed + 17)
-        result = profile.carrier_aggregation().simulate_downlink(
-            profile.dl_channel(), duration, rng=rng,
-            params=profile.sim_params(), operator=profile.operator,
-        )
+    for key, result in zip(us_keys, results[len(eu_keys):]):
         measured = result.mean_throughput_mbps / 1000.0
         data["us"][key] = measured
-        rows.append(paper_vs_measured_row(key, paper_gbps, measured, " Gbps"))
+        rows.append(paper_vs_measured_row(key, targets.FIG1_US_DL_GBPS[key], measured, " Gbps"))
 
     return ExperimentResult("fig01", "PHY DL throughput, EU and U.S. (Fig. 1)", rows, data)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.runner import SessionTask, run_tasks
 from repro.core.timeseries import KpiSeries
 from repro.core.variability import variability_profile
 from repro.experiments.base import ExperimentResult, dl_trace
@@ -20,12 +21,19 @@ FIG12_KEYS = ("O_Sp_100", "O_Sp_90", "V_Sp", "V_It")
 REPORT_SCALES_MS = (0.5, 8.0, 128.0, 2048.0)
 
 
-def run(seed: int = 2024, quick: bool = True) -> ExperimentResult:
+def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1) -> ExperimentResult:
     duration = 20.0 if quick else 60.0
     rows: list[str] = []
     data: dict = {}
+    manifest = [
+        SessionTask(fn=dl_trace,
+                    kwargs={"profile": EU_PROFILES[key], "duration_s": duration},
+                    seed=seed, label=key)
+        for key in FIG12_KEYS
+    ]
+    traces = dict(zip(FIG12_KEYS, run_tasks(manifest, jobs=jobs)))
     for key in FIG12_KEYS:
-        trace = dl_trace(EU_PROFILES[key], duration, seed)
+        trace = traces[key]
         slot_ms = trace.slot_duration_ms
         kpis = {
             "throughput": trace.throughput_mbps(slot_ms),

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.channel.model import SyntheticChannel
+from repro.core.runner import SessionTask, run_tasks
 from repro.core.timeseries import KpiSeries
 from repro.core.variability import joint_variability
 from repro.experiments.base import ExperimentResult
@@ -53,7 +54,16 @@ def _stats(trace) -> dict:
     }
 
 
-def run(seed: int = 2024, quick: bool = True) -> ExperimentResult:
+def _sequential_session(label: str, duration_s: float, seed: int):
+    """One UE alone in the cell (module-level so it can cross processes)."""
+    profile = US_PROFILES["Vzw_US"]
+    cell = profile.primary_cell
+    rng = np.random.default_rng(seed)
+    channel = LOCATION_CHANNELS[label].realize(duration_s, mu=cell.mu, rng=rng)
+    return simulate_downlink(cell, channel, rng=rng, params=profile.sim_params())
+
+
+def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1) -> ExperimentResult:
     duration = 8.0 if quick else 25.0
     profile = US_PROFILES["Vzw_US"]
     cell = profile.primary_cell
@@ -61,11 +71,14 @@ def run(seed: int = 2024, quick: bool = True) -> ExperimentResult:
     rows: list[str] = []
     data: dict = {"sequential": {}, "simultaneous": {}}
 
-    # Sequential: each UE alone in the cell.
-    for offset, label in enumerate(("A", "B")):
-        rng = np.random.default_rng(seed + offset)
-        channel = LOCATION_CHANNELS[label].realize(duration, mu=cell.mu, rng=rng)
-        trace = simulate_downlink(cell, channel, rng=rng, params=params)
+    # Sequential: each UE alone in the cell (independent sessions).
+    manifest = [
+        SessionTask(fn=_sequential_session,
+                    kwargs={"label": label, "duration_s": duration},
+                    seed=seed + offset, label=label)
+        for offset, label in enumerate(("A", "B"))
+    ]
+    for label, trace in zip(("A", "B"), run_tasks(manifest, jobs=jobs)):
         data["sequential"][label] = _stats(trace)
 
     # Simultaneous: both UEs share the cell through the scheduler.

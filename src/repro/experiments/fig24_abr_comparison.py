@@ -24,7 +24,7 @@ def qoe_score(norm_bitrate: float, stall_pct: float, stall_weight: float = 0.1) 
 
 def run(seed: int = 2024, quick: bool = True) -> ExperimentResult:
     duration = 60.0 if quick else 150.0
-    n_runs = 2 if quick else 4
+    n_runs = 3 if quick else 4
     rows: list[str] = []
     totals = {cls.__name__: {"bitrate": [], "stall": []} for cls in ALGORITHMS}
     for key in RUN_KEYS:

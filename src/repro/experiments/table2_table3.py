@@ -9,6 +9,7 @@ tables; the bench asserts the N_RB values match TS 38.101-1 Table
 
 from __future__ import annotations
 
+from repro.core.runner import SessionTask, run_tasks
 from repro.experiments.base import ExperimentResult
 from repro.nr.bands import Duplexing
 from repro.operators.profiles import EU_PROFILES, US_PROFILES
@@ -17,37 +18,44 @@ from repro.operators.profiles import EU_PROFILES, US_PROFILES
 EXPECTED_NRB = {100: 273, 90: 245, 80: 217, 60: 162, 40: 106, 20: 51, 5: 11, 10: 52}
 
 
-def _profile_rows(profiles: dict) -> list[str]:
+def _profile_entry(key: str, profile) -> tuple[list[str], list[dict]]:
+    """Printable rows plus machine-readable records of one profile."""
     rows = []
-    for key, profile in profiles.items():
-        for cell in profile.cells:
-            duplexing = cell.band.duplexing.value
-            tdd = cell.tdd.pattern if cell.tdd is not None else "-"
-            rows.append(
-                f"{key:10s} {cell.band_name:5s} {duplexing:4s} "
-                f"SCS={cell.scs_khz:3d}kHz  BW={cell.bandwidth_mhz:4d}MHz  "
-                f"N_RB={cell.n_rb:4d}  maxmod={cell.max_modulation.name:7s}  TDD={tdd}  "
-                f"CA={'yes' if profile.uses_ca else 'no'}"
-            )
-    return rows
+    for cell in profile.cells:
+        duplexing = cell.band.duplexing.value
+        tdd = cell.tdd.pattern if cell.tdd is not None else "-"
+        rows.append(
+            f"{key:10s} {cell.band_name:5s} {duplexing:4s} "
+            f"SCS={cell.scs_khz:3d}kHz  BW={cell.bandwidth_mhz:4d}MHz  "
+            f"N_RB={cell.n_rb:4d}  maxmod={cell.max_modulation.name:7s}  TDD={tdd}  "
+            f"CA={'yes' if profile.uses_ca else 'no'}"
+        )
+    records = [
+        {
+            "band": c.band_name,
+            "scs_khz": c.scs_khz,
+            "bandwidth_mhz": c.bandwidth_mhz,
+            "n_rb": c.n_rb,
+            "duplexing": c.band.duplexing.value,
+            "max_modulation": c.max_modulation.name,
+            "ca": profile.uses_ca,
+        }
+        for c in profile.cells
+    ]
+    return rows, records
 
 
-def run(seed: int = 2024, quick: bool = True, which: str = "table2") -> ExperimentResult:
+def run(seed: int = 2024, quick: bool = True, which: str = "table2",
+        jobs: int | str = 1) -> ExperimentResult:
     profiles = EU_PROFILES if which == "table2" else US_PROFILES
-    rows = _profile_rows(profiles)
-    data = {}
-    for key, profile in profiles.items():
-        data[key] = [
-            {
-                "band": c.band_name,
-                "scs_khz": c.scs_khz,
-                "bandwidth_mhz": c.bandwidth_mhz,
-                "n_rb": c.n_rb,
-                "duplexing": c.band.duplexing.value,
-                "max_modulation": c.max_modulation.name,
-                "ca": profile.uses_ca,
-            }
-            for c in profile.cells
-        ]
+    manifest = [
+        SessionTask(fn=_profile_entry, kwargs={"key": key, "profile": profile}, label=key)
+        for key, profile in profiles.items()
+    ]
+    rows: list[str] = []
+    data: dict = {}
+    for key, (profile_rows, records) in zip(profiles, run_tasks(manifest, jobs=jobs)):
+        rows.extend(profile_rows)
+        data[key] = records
     title = "EU network configs (Table 2)" if which == "table2" else "U.S. network configs (Table 3)"
     return ExperimentResult(which, title, rows, data)

@@ -42,10 +42,13 @@ class RoundRobinScheduler(Scheduler):
     """Equal RB split with a rotating remainder.
 
     RBs are divided evenly; the indivisible remainder rotates across
-    slots so long-run shares are exactly equal.
+    slots so long-run shares are exactly equal.  The rotation is keyed
+    on ``ue_id`` — not on position in the request list — so request
+    reordering or UEs joining/leaving between slots cannot re-target
+    the remainder and skew long-run shares.
     """
 
-    _turn: int = 0
+    _next_ue: int | None = None
 
     def allocate(self, requests: list[SchedulingRequest], total_rb: int) -> dict[int, int]:
         if total_rb < 0:
@@ -53,12 +56,18 @@ class RoundRobinScheduler(Scheduler):
         active = self._active(requests)
         if not active or total_rb == 0:
             return {}
-        n = len(active)
+        order = sorted(active, key=lambda r: r.ue_id)
+        n = len(order)
         base, remainder = divmod(total_rb, n)
-        allocation = {r.ue_id: base for r in active}
+        allocation = {r.ue_id: base for r in order}
+        start = 0
+        if self._next_ue is not None:
+            # Resume at the stored ue_id, or the next-higher one present.
+            start = next((k for k, r in enumerate(order) if r.ue_id >= self._next_ue), 0)
         for k in range(remainder):
-            allocation[active[(self._turn + k) % n].ue_id] += 1
-        self._turn = (self._turn + remainder) % n
+            allocation[order[(start + k) % n].ue_id] += 1
+        if remainder:
+            self._next_ue = order[(start + remainder) % n].ue_id
         return {ue: rb for ue, rb in allocation.items() if rb > 0}
 
 

@@ -260,7 +260,11 @@ def _simulate_direction(
                 continue
             is_special = bool(special_sl[j])
             # Serve a due retransmission first — it displaces new data.
-            if pending and pending[0][0] <= i:
+            # A special slot only qualifies if its (shorter) TBS can carry
+            # the pending block; otherwise the retransmission waits for
+            # the next full slot and the special slot carries new data.
+            if pending and pending[0][0] <= i and \
+                    not (is_special and pending[0][1] > tbs_value_special):
                 due = pending.pop(0)
                 p_retx = min(1.0, due[3] * params.retx_error_scale)
                 ok = retx_uniforms[i] >= p_retx
@@ -455,6 +459,7 @@ def simulate_downlink_multi(
             rate = entry.spectral_efficiency * state["rank"] * 12 * symbols
             requests.append(SchedulingRequest(ue_id=k, backlog_bits=1 << 30, instantaneous_rate=rate))
         allocation = scheduler.allocate(requests, cell.grantable_rb)
+        served_bits = [0.0] * n_ues
         for k, n_rb in allocation.items():
             state = states[k]
             entry = state["table"][state["mcs"]]
@@ -476,12 +481,17 @@ def simulate_downlink_multi(
             trace.dci_format[i] = state["dci"]
             if ok:
                 trace.delivered_bits[i] = tbs
+                served_bits[k] = float(tbs)
             else:
                 trace.error[i] = True
             if params.olla_enabled:
                 state["olla"].update(ok)
-            if hasattr(scheduler, "update_average"):
-                scheduler.update_average(k, float(tbs if ok else 0))
+        if hasattr(scheduler, "update_average"):
+            # Every active UE folds this slot into its EWMA — including
+            # UEs the scheduler left out, whose 0 served bits decay the
+            # average so their PF metric recovers instead of starving.
+            for k in range(n_ues):
+                scheduler.update_average(k, served_bits[k])
     for trace in traces:
         _forward_fill_cqi(trace)
     return traces

@@ -9,6 +9,14 @@ statistics.
 
 The output volume is scaled down (full-fidelity 5 TB regeneration is
 pointless); the ``minutes_per_operator`` knob controls size.
+
+Sessions are independent by construction: the campaign is expanded into
+a flat manifest of :class:`~repro.core.runner.SessionTask` descriptors,
+each carrying a child seed derived from the campaign seed via
+``SeedSequence(spec.seed, spawn_key=(crc32(operator_key), session))``.
+The derived seed is recorded in each trace's metadata, so any exported
+trace can be regenerated in isolation with :func:`run_session`, and
+results are bit-identical for any ``jobs`` worker count.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.runner import SessionTask, derive_seed, run_tasks
 from repro.ran.simulator import simulate_downlink, simulate_uplink
 from repro.xcal.io import write_csv
 from repro.xcal.records import SlotTrace, TraceMetadata
@@ -108,46 +117,87 @@ class MeasurementCampaign:
         return paths
 
 
+def session_seed(campaign_seed: int, operator_key: str, session: int) -> int:
+    """Derived seed of one session of a campaign.
+
+    The seed depends only on ``(campaign_seed, operator_key, session)``
+    — not on the session count, the UL fraction, or which other
+    operators are in the campaign — so shrinking or reshaping a
+    campaign never perturbs the sessions it shares with a larger one.
+    """
+    return derive_seed(campaign_seed, operator_key, session)
+
+
+def run_session(profile, spec: CampaignSpec, direction: str, seed: int) -> SlotTrace:
+    """Simulate one self-contained campaign session.
+
+    All randomness (environment jitter, channel realization, link
+    simulation) flows from ``seed`` alone, which is also recorded in the
+    trace metadata: feeding a trace's ``metadata.seed`` back into this
+    function regenerates the trace bit-for-bit.
+    """
+    if direction not in ("DL", "UL"):
+        raise ValueError(f"direction must be 'DL' or 'UL', got {direction!r}")
+    rng = np.random.default_rng(seed)
+    cell = profile.primary_cell
+    jitter = spec.session_sinr_jitter_db * float(rng.standard_normal())
+    metadata = TraceMetadata(
+        operator=profile.operator, country=profile.country,
+        carrier_name=cell.name, direction=direction,
+        bandwidth_mhz=cell.bandwidth_mhz, scs_khz=cell.scs_khz,
+        seed=seed,
+    )
+    if direction == "UL":
+        channel = profile.ul_channel(jitter).realize(spec.session_s, mu=cell.mu, rng=rng)
+        return simulate_uplink(cell, channel, rng=rng, params=profile.sim_params(),
+                               max_layers=profile.ul_max_layers, metadata=metadata)
+    channel = profile.dl_channel(jitter).realize(spec.session_s, mu=cell.mu, rng=rng)
+    return simulate_downlink(cell, channel, rng=rng, params=profile.sim_params(),
+                             metadata=metadata)
+
+
+def campaign_manifest(profiles: dict, spec: CampaignSpec) -> list[SessionTask]:
+    """Expand a campaign into its flat session manifest."""
+    n_sessions = max(1, int(round(spec.minutes_per_operator * 60.0 / spec.session_s)))
+    n_ul = int(round(n_sessions * spec.ul_fraction))
+    tasks: list[SessionTask] = []
+    for key, profile in profiles.items():
+        for session in range(n_sessions):
+            direction = "UL" if session < n_ul else "DL"
+            tasks.append(SessionTask(
+                fn=run_session,
+                kwargs={"profile": profile, "spec": spec, "direction": direction},
+                seed=session_seed(spec.seed, key, session),
+                label=f"{key}/{direction}/{session:03d}",
+            ))
+    return tasks
+
+
 def generate_campaign(
     profiles: dict | None = None,
     spec: CampaignSpec | None = None,
+    jobs: int | str | None = 1,
 ) -> MeasurementCampaign:
     """Generate a synthetic campaign over the given operator profiles.
 
     ``profiles`` defaults to all operators of the study.  Per session
     the operator's environment prior is jittered, a channel realization
-    drawn, and a full-buffer DL or UL run simulated.
+    drawn, and a full-buffer DL or UL run simulated.  Sessions execute
+    through :func:`repro.core.runner.run_tasks`: ``jobs=1`` (default)
+    runs serially, ``jobs=N`` or ``jobs="auto"`` fans out to a process
+    pool with bit-identical results.
     """
     from repro.operators.profiles import ALL_PROFILES
 
     profiles = profiles if profiles is not None else ALL_PROFILES
     spec = spec or CampaignSpec()
-    rng = np.random.default_rng(spec.seed)
     campaign = MeasurementCampaign(spec=spec)
-    n_sessions = max(1, int(round(spec.minutes_per_operator * 60.0 / spec.session_s)))
-    n_ul = int(round(n_sessions * spec.ul_fraction))
-
-    for key, profile in profiles.items():
-        cell = profile.primary_cell
+    for key in profiles:
         campaign.dl_traces[key] = []
         campaign.ul_traces[key] = []
-        for session in range(n_sessions):
-            jitter = spec.session_sinr_jitter_db * float(rng.standard_normal())
-            is_ul = session < n_ul
-            metadata = TraceMetadata(
-                operator=profile.operator, country=profile.country,
-                carrier_name=cell.name, direction="UL" if is_ul else "DL",
-                bandwidth_mhz=cell.bandwidth_mhz, scs_khz=cell.scs_khz,
-                seed=spec.seed,
-            )
-            if is_ul:
-                channel = profile.ul_channel(jitter).realize(spec.session_s, mu=cell.mu, rng=rng)
-                trace = simulate_uplink(cell, channel, rng=rng, params=profile.sim_params(),
-                                        max_layers=profile.ul_max_layers, metadata=metadata)
-                campaign.ul_traces[key].append(trace)
-            else:
-                channel = profile.dl_channel(jitter).realize(spec.session_s, mu=cell.mu, rng=rng)
-                trace = simulate_downlink(cell, channel, rng=rng, params=profile.sim_params(),
-                                          metadata=metadata)
-                campaign.dl_traces[key].append(trace)
+    manifest = campaign_manifest(profiles, spec)
+    for task, trace in zip(manifest, run_tasks(manifest, jobs=jobs)):
+        key, direction, _ = task.label.split("/")
+        collection = campaign.ul_traces if direction == "UL" else campaign.dl_traces
+        collection[key].append(trace)
     return campaign

@@ -1,0 +1,105 @@
+"""Tests for repro.core.runner — manifest execution and seed derivation."""
+
+import numpy as np
+import pytest
+
+from repro.core.runner import (
+    SessionTask,
+    derive_seed,
+    derive_seeds,
+    resolve_jobs,
+    run_tasks,
+)
+
+
+def _draw(seed: int, scale: float = 1.0) -> float:
+    """Module-level session fn so tasks can cross a process boundary."""
+    return scale * float(np.random.default_rng(seed).standard_normal())
+
+
+def _no_seed(value: int) -> int:
+    return value * 2
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(2024, "V_Sp", 3) == derive_seed(2024, "V_Sp", 3)
+
+    def test_fits_uint64(self):
+        seed = derive_seed(2024, "V_Sp", 0)
+        assert 0 <= seed < 2**64
+
+    def test_children_differ_across_keys(self):
+        seeds = {derive_seed(2024, op, s) for op in ("V_Sp", "O_Sp_100", "Vzw_US")
+                 for s in range(8)}
+        assert len(seeds) == 24
+
+    def test_children_differ_across_roots(self):
+        assert derive_seed(1, "op", 0) != derive_seed(2, "op", 0)
+
+    def test_key_independent_of_siblings(self):
+        # A child's seed must not depend on how many siblings exist.
+        alone = derive_seed(7, "op", 5)
+        assert derive_seeds(7, 10, "op")[5] == alone
+
+    def test_string_and_int_parts_mix(self):
+        assert derive_seed(0, "a", 1, "b") != derive_seed(0, "a", 1, "c")
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed(0, -1)
+
+    def test_derive_seeds_length(self):
+        assert derive_seeds(0, 5) == [derive_seed(0, i) for i in range(5)]
+        assert derive_seeds(0, 0) == []
+        with pytest.raises(ValueError):
+            derive_seeds(0, -1)
+
+
+class TestResolveJobs:
+    def test_default_and_none(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_int_string(self):
+        assert resolve_jobs("4") == 4
+
+    def test_auto_at_least_one(self):
+        assert resolve_jobs("auto") >= 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+        with pytest.raises(ValueError):
+            resolve_jobs("fast")
+
+
+class TestSessionTask:
+    def test_seed_injected_into_kwargs(self):
+        task = SessionTask(fn=_draw, kwargs={"scale": 2.0}, seed=11)
+        assert task.execute() == _draw(11, scale=2.0)
+
+    def test_seedless_task(self):
+        assert SessionTask(fn=_no_seed, kwargs={"value": 21}).execute() == 42
+
+
+class TestRunTasks:
+    def _manifest(self, n=6):
+        return [SessionTask(fn=_draw, seed=derive_seed(99, "t", i), label=str(i))
+                for i in range(n)]
+
+    def test_serial_preserves_order(self):
+        manifest = self._manifest()
+        results = run_tasks(manifest, jobs=1)
+        assert results == [task.execute() for task in manifest]
+
+    def test_parallel_matches_serial(self):
+        manifest = self._manifest()
+        assert run_tasks(manifest, jobs=2) == run_tasks(manifest, jobs=1)
+
+    def test_empty_manifest(self):
+        assert run_tasks([], jobs=4) == []
+
+    def test_jobs_exceeding_tasks(self):
+        manifest = self._manifest(2)
+        assert run_tasks(manifest, jobs=8) == run_tasks(manifest, jobs=1)

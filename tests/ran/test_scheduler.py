@@ -46,6 +46,26 @@ class TestRoundRobin:
         with pytest.raises(ValueError):
             RoundRobinScheduler().allocate([_request(0)], -1)
 
+    def test_remainder_order_independent(self):
+        # Regression: the rotation is keyed on ue_id, so presenting the
+        # request list in a different order must not re-target the
+        # remainder RB.
+        forward, backward = RoundRobinScheduler(), RoundRobinScheduler()
+        for _ in range(10):
+            a = forward.allocate([_request(0), _request(1)], 245)
+            b = backward.allocate([_request(1), _request(0)], 245)
+            assert a == b
+
+    def test_remainder_survives_churn(self):
+        # Regression: after UE 0 takes the remainder the rotation points
+        # at ue_id 1; if UE 1 goes idle the remainder falls to the
+        # next-higher active ue_id, not back to list position 0.
+        scheduler = RoundRobinScheduler()
+        first = scheduler.allocate([_request(0), _request(1), _request(2)], 10)
+        assert first == {0: 4, 1: 3, 2: 3}
+        second = scheduler.allocate([_request(0), _request(2, backlog=1), _request(1, backlog=0)], 11)
+        assert second == {0: 5, 2: 6}
+
 
 class TestProportionalFair:
     def test_single_ue_gets_all(self):
@@ -90,3 +110,14 @@ class TestProportionalFair:
             ProportionalFairScheduler(ewma_alpha=0.0)
         with pytest.raises(ValueError):
             ProportionalFairScheduler().allocate([_request(0)], -5)
+
+    def test_unserved_average_decays_to_recovery(self):
+        # Regression (PF starvation): a UE whose EWMA is stuck high gets
+        # no RBs, and without zero-bit decay it would never recover.
+        scheduler = ProportionalFairScheduler(ewma_alpha=0.5)
+        scheduler.averages = {0: 1.0, 1: 1e9}
+        requests = [_request(0, rate=100.0), _request(1, rate=100.0)]
+        assert scheduler.allocate(requests, 100).get(1, 0) == 0
+        for _ in range(30):
+            scheduler.update_average(1, 0.0)
+        assert scheduler.allocate(requests, 100).get(1, 0) > 30

@@ -8,7 +8,7 @@ from repro.nr.mcs import Modulation
 from repro.nr.tdd import TddPattern
 from repro.ran.amc import RankAdapter
 from repro.ran.config import CellConfig
-from repro.ran.scheduler import RoundRobinScheduler
+from repro.ran.scheduler import ProportionalFairScheduler, RoundRobinScheduler
 from repro.ran.simulator import (
     SLOT_DL,
     SLOT_SPECIAL,
@@ -165,6 +165,60 @@ class TestMultiUser:
     def test_requires_channels(self, cell_90mhz, rng):
         with pytest.raises(ValueError):
             simulate_downlink_multi(cell_90mhz, [], RoundRobinScheduler(), rng=rng)
+
+
+class TestProportionalFairMulti:
+    def test_starved_ue_recovers(self, cell_90mhz):
+        # Regression (PF starvation): a UE entering with a stuck-high
+        # EWMA gets no RBs at first; zero-bit decay on unscheduled slots
+        # must bring it back to an even share instead of starving it
+        # for the whole run.
+        scheduler = ProportionalFairScheduler()
+        scheduler.averages = {0: 1.0, 1: 1e15}
+        channels = [_channel(20.0, seed=1), _channel(20.0, seed=2)]
+        traces = simulate_downlink_multi(cell_90mhz, channels, scheduler,
+                                         rng=np.random.default_rng(5))
+        assert traces[1].scheduled.sum() > 0
+        n = len(traces[0])
+        tail = slice(int(0.8 * n), n)
+        rb0 = int(traces[0].n_prb[tail].sum())
+        rb1 = int(traces[1].n_prb[tail].sum())
+        assert rb1 > 0.35 * (rb0 + rb1)
+
+    def test_deep_fade_share_recovers(self, cell_90mhz):
+        # One UE drops into a deep fade mid-run; once the channel comes
+        # back its RB share must return to roughly half (Fig. 14's even
+        # split), which requires its EWMA to have decayed during the fade.
+        channels = [_channel(22.0, seed=1), _channel(22.0, seed=2)]
+        n = channels[1].n_slots
+        channels[1].sinr_db[n // 4: n // 2] -= 35.0
+        traces = simulate_downlink_multi(cell_90mhz, channels,
+                                         ProportionalFairScheduler(),
+                                         rng=np.random.default_rng(6))
+        tail = slice(int(0.8 * n), n)
+        rb0 = int(traces[0].n_prb[tail].sum())
+        rb1 = int(traces[1].n_prb[tail].sum())
+        assert 0.35 < rb1 / max(1, rb0 + rb1) < 0.65
+
+
+class TestHarqSpecialSlots:
+    def test_special_slot_retx_fits_special_tbs(self, cell_90mhz, rng):
+        # Regression: a retransmission may land in a special slot only
+        # if the slot's (shorter) TBS can carry the pending block; an
+        # oversized block defers to the next full DL slot.
+        from repro.nr.mcs import MCS_TABLE_64QAM
+        from repro.nr.tbs import transport_block_size
+
+        channel = _channel(14.0, duration=10.0)
+        trace = simulate_downlink(cell_90mhz, channel, rng=rng)
+        assert trace.is_retx.sum() > 0
+        symbols = cell_90mhz.tdd.special.dl_symbols
+        for i in np.flatnonzero(trace.is_retx & (trace.slot_type == SLOT_SPECIAL)):
+            table = MCS_TABLE_64QAM if trace.dci_format[i] == 0 else cell_90mhz.mcs_table
+            entry = table[int(trace.mcs_index[i])]
+            cap = transport_block_size(int(trace.n_prb[i]), entry,
+                                       int(trace.layers[i]), symbols=symbols)
+            assert trace.tbs_bits[i] <= cap
 
 
 class TestParamsValidation:

@@ -41,6 +41,18 @@ class TestCampaign:
         assert "exported" in capsys.readouterr().out
         assert list(tmp_path.glob("*.csv"))
 
+    def test_jobs_flag_matches_serial(self, tmp_path, capsys):
+        serial, parallel = tmp_path / "serial", tmp_path / "parallel"
+        assert main(["campaign", "--minutes", "0.05", "--session", "3",
+                     "--jobs", "1", "--out", str(serial)]) == 0
+        assert main(["campaign", "--minutes", "0.05", "--session", "3",
+                     "--jobs", "2", "--out", str(parallel)]) == 0
+        capsys.readouterr()
+        names = sorted(p.name for p in serial.glob("*.csv"))
+        assert names == sorted(p.name for p in parallel.glob("*.csv"))
+        for name in names:
+            assert (serial / name).read_bytes() == (parallel / name).read_bytes()
+
 
 class TestTopLevelApi:
     def test_package_exports(self):
