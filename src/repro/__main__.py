@@ -8,16 +8,24 @@ Commands
     Regenerate one or more tables/figures (``--full`` for paper-length
     simulations).
 ``campaign``
-    Generate a synthetic measurement campaign and export it as CSV.
+    Generate a synthetic measurement campaign and export it as CSV,
+    JSONL or npz.
+``cache``
+    Inspect and maintain a session trace store (``stats`` / ``verify``
+    / ``clear`` / ``evict``).
 
-Both ``run`` and ``campaign`` accept ``--jobs N`` (or ``--jobs auto``)
-to fan independent sessions out to a process pool; results are
-bit-identical for any worker count.
+``run`` and ``campaign`` accept ``--jobs N`` (or ``--jobs auto``) to
+fan independent sessions out to a process pool, and ``--cache DIR``
+(default: the ``REPRO_CACHE`` environment variable) to memoize sessions
+in a content-addressed store — results are bit-identical for any worker
+count, cached or not.  ``REPRO_CACHE_MAX_MB`` caps the store size with
+LRU eviction.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -34,6 +42,21 @@ def _jobs_arg(value: str) -> int:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
+def _open_store(args: argparse.Namespace):
+    """The ``--cache`` / ``$REPRO_CACHE`` store, or ``None``."""
+    from repro.store import TraceStore
+
+    return TraceStore.from_env(getattr(args, "cache", None))
+
+
+def _report_store(store) -> None:
+    """One summary line per cached run, on stderr so stdout stays the
+    experiment output (CI byte-compares it across cold/warm runs)."""
+    if store is not None:
+        print(f"[cache] hits={store.hits} misses={store.misses} root={store.root}",
+              file=sys.stderr)
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     for experiment_id in EXPERIMENT_IDS:
         print(experiment_id)
@@ -46,10 +69,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         return 2
+    store = _open_store(args)
     for experiment_id in ids:
         start = time.time()
         result = run_experiment(experiment_id, seed=args.seed, quick=not args.full,
-                                jobs=args.jobs)
+                                jobs=args.jobs, store=store)
         print(result.render())
         if args.plot:
             from repro.experiments.plots import render_plots
@@ -58,6 +82,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if rendering:
                 print("\n" + rendering)
         print(f"   [{time.time() - start:.1f} s]\n")
+    _report_store(store)
     return 0
 
 
@@ -65,13 +90,43 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.xcal.dataset import CampaignSpec, generate_campaign
 
     spec = CampaignSpec(minutes_per_operator=args.minutes, session_s=args.session,
-                        seed=args.seed)
-    campaign = generate_campaign(spec=spec, jobs=args.jobs)
+                        ul_fraction=args.ul_fraction, seed=args.seed)
+    store = _open_store(args)
+    campaign = generate_campaign(spec=spec, jobs=args.jobs, store=store)
     for row in campaign.summary_rows():
         print(row)
     if args.out is not None:
-        paths = campaign.export_csv(args.out)
+        paths = campaign.export(args.out, format=args.out_format)
         print(f"exported {len(paths)} traces to {args.out}")
+    _report_store(store)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.store import CACHE_DIR_ENV, TraceStore
+
+    root = args.cache or os.environ.get(CACHE_DIR_ENV)
+    if not root:
+        print(f"no store: pass --cache DIR or set ${CACHE_DIR_ENV}", file=sys.stderr)
+        return 2
+    store = TraceStore(root)
+    if args.action == "stats":
+        print(store.stats().render())
+    elif args.action == "verify":
+        ok, bad = store.verify()
+        print(f"verified {ok} entries intact, {len(bad)} quarantined")
+        for key in bad:
+            print(f"  quarantined {key}")
+        return 1 if bad else 0
+    elif args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries")
+    elif args.action == "evict":
+        if args.max_mb is None:
+            print("evict needs --max-mb", file=sys.stderr)
+            return 2
+        evicted = store.evict(int(args.max_mb * 1e6))
+        print(f"evicted {len(evicted)} entries (cap {args.max_mb:g} MB)")
     return 0
 
 
@@ -81,6 +136,9 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("list", help="list experiment ids").set_defaults(func=_cmd_list)
 
+    cache_kwargs = dict(type=Path, default=None, metavar="DIR",
+                        help="session store directory (default: $REPRO_CACHE)")
+
     run_parser = sub.add_parser("run", help="regenerate tables/figures")
     run_parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
     run_parser.add_argument("--full", action="store_true")
@@ -89,16 +147,29 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--seed", type=int, default=2024)
     run_parser.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N|auto",
                             help="worker processes for independent sessions (default 1)")
+    run_parser.add_argument("--cache", **cache_kwargs)
     run_parser.set_defaults(func=_cmd_run)
 
     campaign_parser = sub.add_parser("campaign", help="generate a synthetic campaign")
     campaign_parser.add_argument("--minutes", type=float, default=1.0)
     campaign_parser.add_argument("--session", type=float, default=10.0)
+    campaign_parser.add_argument("--ul-fraction", type=float, default=0.3,
+                                 help="fraction of UL sessions, 0..1 (default 0.3)")
     campaign_parser.add_argument("--seed", type=int, default=2024)
     campaign_parser.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N|auto",
                                  help="worker processes for campaign sessions (default 1)")
+    campaign_parser.add_argument("--cache", **cache_kwargs)
     campaign_parser.add_argument("--out", type=Path, default=None)
+    campaign_parser.add_argument("--out-format", choices=("csv", "jsonl", "npz"),
+                                 default="csv", help="export format (default csv)")
     campaign_parser.set_defaults(func=_cmd_campaign)
+
+    cache_parser = sub.add_parser("cache", help="inspect/maintain a session store")
+    cache_parser.add_argument("action", choices=("stats", "verify", "clear", "evict"))
+    cache_parser.add_argument("--cache", **cache_kwargs)
+    cache_parser.add_argument("--max-mb", type=float, default=None,
+                              help="size cap for evict, in MB")
+    cache_parser.set_defaults(func=_cmd_cache)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -18,6 +18,12 @@ sessions.  This module gives them one execution engine:
    (``jobs=1``, the default) or on a ``ProcessPoolExecutor``
    (``jobs=N`` or ``jobs="auto"``).  Results come back in manifest
    order, so outputs are bit-identical for every worker count.
+4. **Memoization** — ``run_tasks(..., store=...)`` consults a
+   :class:`repro.store.TraceStore` first: hits are served straight from
+   disk (the process pool is never started when everything hits),
+   misses are executed and backfilled.  Because a task's fingerprint
+   covers exactly what it computes, the returned list is byte-identical
+   to an uncached run in manifest order.
 """
 
 from __future__ import annotations
@@ -120,17 +126,51 @@ def resolve_jobs(jobs: int | str | None) -> int:
     return int(jobs)
 
 
+def _dispatch(manifest: Sequence[SessionTask], workers: int) -> list[Any]:
+    """Execute tasks in order, serially or on a process pool."""
+    if workers == 1 or len(manifest) <= 1:
+        return [_execute(task) for task in manifest]
+    with ProcessPoolExecutor(max_workers=min(workers, len(manifest))) as pool:
+        return list(pool.map(_execute, manifest))
+
+
 def run_tasks(tasks: Iterable[SessionTask] | Sequence[SessionTask],
-              jobs: int | str | None = 1) -> list[Any]:
+              jobs: int | str | None = 1,
+              store: Any | None = None) -> list[Any]:
     """Execute a manifest; results are returned in manifest order.
 
     ``jobs=1`` runs in-process.  ``jobs>1`` dispatches to a process
     pool; because every task carries its own seed, results are
     bit-identical to the serial run for any worker count.
+
+    ``store`` (a :class:`repro.store.TraceStore`) turns the call into a
+    memoized run: the manifest is partitioned into hits — served from
+    the store without touching the process pool — and misses, which are
+    executed (serially or on the pool) and backfilled.  Tasks whose
+    kwargs cannot be fingerprinted, or whose results the store codec
+    does not cover, execute normally every time; the returned list is
+    identical to an uncached run either way.
     """
     manifest = list(tasks)
     workers = resolve_jobs(jobs)
-    if workers == 1 or len(manifest) <= 1:
-        return [_execute(task) for task in manifest]
-    with ProcessPoolExecutor(max_workers=min(workers, len(manifest))) as pool:
-        return list(pool.map(_execute, manifest))
+    if store is None:
+        return _dispatch(manifest, workers)
+
+    keys = [store.task_key(task) for task in manifest]
+    results: list[Any] = [None] * len(manifest)
+    miss_indices: list[int] = []
+    for index, (task, key) in enumerate(zip(manifest, keys)):
+        if key is not None:
+            try:
+                results[index] = store.get(key)
+                continue
+            except KeyError:
+                pass
+        miss_indices.append(index)
+    if miss_indices:
+        computed = _dispatch([manifest[i] for i in miss_indices], workers)
+        for index, value in zip(miss_indices, computed):
+            results[index] = value
+            if keys[index] is not None:
+                store.put(keys[index], value, task=manifest[index])
+    return results

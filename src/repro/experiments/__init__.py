@@ -56,11 +56,13 @@ EXPERIMENT_IDS = tuple(sorted(set(_MODULES)))
 
 
 def run_experiment(experiment_id: str, seed: int = 2024, quick: bool = True,
-                   jobs: int | str = 1) -> ExperimentResult:
+                   jobs: int | str = 1, store=None) -> ExperimentResult:
     """Run one experiment by id.
 
-    ``jobs`` is forwarded to experiments whose session loops run on the
-    parallel runner (:mod:`repro.core.runner`); others ignore it.
+    ``jobs`` and ``store`` are forwarded to experiments whose session
+    loops run on the parallel runner (:mod:`repro.core.runner`); others
+    ignore them.  ``store`` (a :class:`repro.store.TraceStore`) memoizes
+    sessions across runs — results are identical with or without it.
     """
     if experiment_id not in _MODULES:
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {EXPERIMENT_IDS}")
@@ -68,8 +70,11 @@ def run_experiment(experiment_id: str, seed: int = 2024, quick: bool = True,
     kwargs: dict = {"seed": seed, "quick": quick}
     if experiment_id in ("table2", "table3"):
         kwargs["which"] = experiment_id
-    if "jobs" in inspect.signature(module.run).parameters:
+    parameters = inspect.signature(module.run).parameters
+    if "jobs" in parameters:
         kwargs["jobs"] = jobs
+    if "store" in parameters and store is not None:
+        kwargs["store"] = store
     return module.run(**kwargs)
 
 

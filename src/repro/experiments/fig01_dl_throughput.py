@@ -27,7 +27,8 @@ def _us_ca_session(profile, duration_s: float, seed: int):
     )
 
 
-def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1) -> ExperimentResult:
+def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1,
+        store=None) -> ExperimentResult:
     duration = 8.0 if quick else 30.0
     eu_keys = list(targets.FIG1_EU_DL_MBPS)
     us_keys = list(targets.FIG1_US_DL_GBPS)
@@ -42,7 +43,7 @@ def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1) -> Experiment
                     seed=seed + 17, label=f"us/{key}")
         for key in us_keys
     ]
-    results = run_tasks(manifest, jobs=jobs)
+    results = run_tasks(manifest, jobs=jobs, store=store)
 
     rows: list[str] = ["-- Europe (single carrier, Mbps) --"]
     data: dict = {"eu": {}, "us": {}}

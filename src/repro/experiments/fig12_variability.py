@@ -21,7 +21,8 @@ FIG12_KEYS = ("O_Sp_100", "O_Sp_90", "V_Sp", "V_It")
 REPORT_SCALES_MS = (0.5, 8.0, 128.0, 2048.0)
 
 
-def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1) -> ExperimentResult:
+def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1,
+        store=None) -> ExperimentResult:
     duration = 20.0 if quick else 60.0
     rows: list[str] = []
     data: dict = {}
@@ -31,7 +32,7 @@ def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1) -> Experiment
                     seed=seed, label=key)
         for key in FIG12_KEYS
     ]
-    traces = dict(zip(FIG12_KEYS, run_tasks(manifest, jobs=jobs)))
+    traces = dict(zip(FIG12_KEYS, run_tasks(manifest, jobs=jobs, store=store)))
     for key in FIG12_KEYS:
         trace = traces[key]
         slot_ms = trace.slot_duration_ms

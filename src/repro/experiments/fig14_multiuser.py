@@ -63,7 +63,8 @@ def _sequential_session(label: str, duration_s: float, seed: int):
     return simulate_downlink(cell, channel, rng=rng, params=profile.sim_params())
 
 
-def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1) -> ExperimentResult:
+def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1,
+        store=None) -> ExperimentResult:
     duration = 8.0 if quick else 25.0
     profile = US_PROFILES["Vzw_US"]
     cell = profile.primary_cell
@@ -78,7 +79,7 @@ def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1) -> Experiment
                     seed=seed + offset, label=label)
         for offset, label in enumerate(("A", "B"))
     ]
-    for label, trace in zip(("A", "B"), run_tasks(manifest, jobs=jobs)):
+    for label, trace in zip(("A", "B"), run_tasks(manifest, jobs=jobs, store=store)):
         data["sequential"][label] = _stats(trace)
 
     # Simultaneous: both UEs share the cell through the scheduler.

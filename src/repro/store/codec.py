@@ -1,0 +1,65 @@
+"""Store payload codec: session results <-> columnar npz bytes.
+
+The store holds session *results*, not pickles: a payload is a
+deterministic npz blob (see :func:`repro.xcal.io.npz_bytes`) whose
+``_meta`` member describes how to rebuild the Python object.  Two
+result shapes are supported, covering every session-manifest producer:
+
+- a single :class:`~repro.xcal.records.SlotTrace` (campaign sessions,
+  per-operator figure sessions);
+- an :class:`~repro.ran.ca.AggregatedResult` (carrier-aggregation runs:
+  one prefixed column set per component carrier).
+
+``encode`` returns ``None`` for anything else — the memoizing runner
+then simply executes such tasks every time instead of caching them.
+Pickle is never used on either side, so a corrupted or adversarial
+blob can fail decoding but cannot execute code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.xcal.io import _metadata_pairs, arrays_to_trace, npz_arrays, npz_bytes, trace_to_arrays
+from repro.xcal.records import SlotTrace
+
+__all__ = ["CODEC_VERSION", "encode", "decode"]
+
+#: Folded into the store salt: bump when the payload layout changes.
+CODEC_VERSION = 1
+
+
+def encode(value) -> bytes | None:
+    """Encode a session result to npz bytes, or ``None`` if uncacheable."""
+    from repro.ran.ca import AggregatedResult
+
+    if isinstance(value, SlotTrace):
+        return npz_bytes(trace_to_arrays(value),
+                         {"kind": "trace", "trace": _metadata_pairs(value)})
+    if isinstance(value, AggregatedResult):
+        arrays: dict[str, np.ndarray] = {}
+        metas = []
+        for index, trace in enumerate(value.per_carrier):
+            arrays.update(trace_to_arrays(trace, prefix=f"cc{index}."))
+            metas.append(_metadata_pairs(trace))
+        return npz_bytes(arrays, {"kind": "ca", "traces": metas})
+    return None
+
+
+def decode(data: bytes):
+    """Rebuild a session result from :func:`encode` output.
+
+    Raises ``ValueError``/``KeyError`` on malformed payloads; the store
+    treats any decode failure as corruption (quarantine + miss).
+    """
+    from repro.ran.ca import AggregatedResult
+
+    arrays, meta = npz_arrays(data)
+    kind = meta.get("kind")
+    if kind == "trace":
+        return arrays_to_trace(arrays, meta["trace"])
+    if kind == "ca":
+        traces = [arrays_to_trace(arrays, pairs, prefix=f"cc{index}.")
+                  for index, pairs in enumerate(meta["traces"])]
+        return AggregatedResult(per_carrier=traces)
+    raise ValueError(f"unknown store payload kind {kind!r}")

@@ -21,6 +21,7 @@ results are bit-identical for any ``jobs`` worker count.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -28,8 +29,28 @@ import numpy as np
 
 from repro.core.runner import SessionTask, derive_seed, run_tasks
 from repro.ran.simulator import simulate_downlink, simulate_uplink
-from repro.xcal.io import write_csv
+from repro.xcal.io import write_csv, write_jsonl, write_npz
 from repro.xcal.records import SlotTrace, TraceMetadata
+
+#: Trace writer and file suffix per export format.
+EXPORT_FORMATS = {
+    "csv": (write_csv, ".csv"),
+    "jsonl": (write_jsonl, ".jsonl"),
+    "npz": (write_npz, ".npz"),
+}
+
+_UNSAFE_FILENAME = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _filename_key(key: str) -> str:
+    """Operator key sanitized for filenames.
+
+    Path separators, whitespace and other non-portable characters
+    collapse to ``_`` so a key like ``"O_Sp 100/shared"`` cannot escape
+    the export directory or produce unportable names.
+    """
+    cleaned = _UNSAFE_FILENAME.sub("_", key).strip("._") or "operator"
+    return cleaned
 
 
 @dataclass(frozen=True)
@@ -60,8 +81,8 @@ class CampaignSpec:
     def __post_init__(self) -> None:
         if self.minutes_per_operator <= 0 or self.session_s <= 0:
             raise ValueError("durations must be positive")
-        if not 0.0 <= self.ul_fraction < 1.0:
-            raise ValueError("ul_fraction must lie in [0, 1)")
+        if not 0.0 <= self.ul_fraction <= 1.0:
+            raise ValueError("ul_fraction must lie in [0, 1]")
 
 
 @dataclass
@@ -105,16 +126,31 @@ class MeasurementCampaign:
             rows.append(f"  {key:10s} sessions: {n_dl} DL / {n_ul} UL")
         return rows
 
-    def export_csv(self, directory: str | Path) -> list[Path]:
-        """Write every trace as CSV under ``directory``; returns paths."""
+    def export(self, directory: str | Path, format: str = "csv") -> list[Path]:
+        """Write every trace under ``directory``; returns paths.
+
+        ``format`` is one of :data:`EXPORT_FORMATS` (``csv``, ``jsonl``,
+        ``npz``).  Operator keys are sanitized for filenames.
+        """
+        try:
+            writer, suffix = EXPORT_FORMATS[format]
+        except KeyError:
+            raise ValueError(
+                f"unknown export format {format!r}; known: {sorted(EXPORT_FORMATS)}"
+            ) from None
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         paths: list[Path] = []
         for kind, collection in (("dl", self.dl_traces), ("ul", self.ul_traces)):
             for key, traces in collection.items():
+                safe = _filename_key(key)
                 for i, trace in enumerate(traces):
-                    paths.append(write_csv(trace, directory / f"{key}_{kind}_{i:03d}.csv"))
+                    paths.append(writer(trace, directory / f"{safe}_{kind}_{i:03d}{suffix}"))
         return paths
+
+    def export_csv(self, directory: str | Path) -> list[Path]:
+        """Write every trace as CSV under ``directory``; returns paths."""
+        return self.export(directory, format="csv")
 
 
 def session_seed(campaign_seed: int, operator_key: str, session: int) -> int:
@@ -177,6 +213,7 @@ def generate_campaign(
     profiles: dict | None = None,
     spec: CampaignSpec | None = None,
     jobs: int | str | None = 1,
+    store=None,
 ) -> MeasurementCampaign:
     """Generate a synthetic campaign over the given operator profiles.
 
@@ -185,7 +222,10 @@ def generate_campaign(
     drawn, and a full-buffer DL or UL run simulated.  Sessions execute
     through :func:`repro.core.runner.run_tasks`: ``jobs=1`` (default)
     runs serially, ``jobs=N`` or ``jobs="auto"`` fans out to a process
-    pool with bit-identical results.
+    pool with bit-identical results.  ``store`` (a
+    :class:`repro.store.TraceStore`) memoizes sessions: previously
+    simulated ones load from disk, new ones are simulated and
+    backfilled, and the campaign is identical either way.
     """
     from repro.operators.profiles import ALL_PROFILES
 
@@ -196,8 +236,8 @@ def generate_campaign(
         campaign.dl_traces[key] = []
         campaign.ul_traces[key] = []
     manifest = campaign_manifest(profiles, spec)
-    for task, trace in zip(manifest, run_tasks(manifest, jobs=jobs)):
-        key, direction, _ = task.label.split("/")
+    for task, trace in zip(manifest, run_tasks(manifest, jobs=jobs, store=store)):
+        key, direction, _ = task.label.rsplit("/", 2)  # key itself may contain "/"
         collection = campaign.ul_traces if direction == "UL" else campaign.dl_traces
         collection[key].append(trace)
     return campaign

@@ -9,6 +9,8 @@ MIMO layers, CQI, SINR/RSRP/RSRQ, BLER events, and delivered bits.
 
 from __future__ import annotations
 
+import types
+import typing
 from dataclasses import dataclass, field, fields as dataclass_fields
 
 import numpy as np
@@ -44,9 +46,63 @@ _INT_COLUMNS = {
 _BOOL_COLUMNS = {"scheduled", "is_retx", "error"}
 
 
+_METADATA_FIELD_TYPES: dict[str, tuple[type, bool]] | None = None
+
+
+def metadata_field_types() -> dict[str, tuple[type, bool]]:
+    """``field name -> (base type, is_optional)`` for :class:`TraceMetadata`.
+
+    Derived from the dataclass annotations themselves, so adding a new
+    int/float metadata field automatically round-trips through every
+    serializer with its declared type instead of degrading to ``str``.
+    """
+    global _METADATA_FIELD_TYPES
+    if _METADATA_FIELD_TYPES is None:
+        hints = typing.get_type_hints(TraceMetadata)
+        resolved: dict[str, tuple[type, bool]] = {}
+        for f in dataclass_fields(TraceMetadata):
+            hint = hints[f.name]
+            optional = False
+            if typing.get_origin(hint) in (typing.Union, types.UnionType):
+                args = typing.get_args(hint)
+                bases = [a for a in args if a is not type(None)]
+                optional = len(bases) < len(args)
+                hint = bases[0] if bases else str
+            resolved[f.name] = (hint, optional)
+        _METADATA_FIELD_TYPES = resolved
+    return _METADATA_FIELD_TYPES
+
+
+def coerce_metadata_value(value, base: type, optional: bool):
+    """Cast one metadata value to its declared field type.
+
+    Accepts both already-typed values (JSON/npz) and strings (CSV
+    ``key=value`` headers); ``None``/empty/"None" map to ``None`` for
+    optional fields.
+    """
+    if optional and (value is None or value in ("", "None")):
+        return None
+    if base is bool:  # before int: bool is an int subclass
+        return value if isinstance(value, bool) else str(value) in ("1", "True", "true")
+    if base is int:
+        return int(float(value)) if isinstance(value, str) else int(value)
+    if base is float:
+        return float(value)
+    if base is str:
+        return str(value)
+    return value
+
+
 @dataclass(frozen=True)
 class TraceMetadata:
-    """Run-level metadata attached to a trace."""
+    """Run-level metadata attached to a trace.
+
+    Field values are coerced to their declared types at construction
+    (an ``int`` bandwidth becomes ``float``, a stringly seed becomes
+    ``int``), so a metadata object carries identical values whether it
+    came from the simulator or from a deserialized trace — serialized
+    bytes are stable across cache round-trips.
+    """
 
     operator: str = "unknown"
     country: str = "unknown"
@@ -56,6 +112,13 @@ class TraceMetadata:
     scs_khz: int = 30
     mobility: str = "stationary"
     seed: int | None = None
+
+    def __post_init__(self) -> None:
+        for name, (base, optional) in metadata_field_types().items():
+            value = getattr(self, name)
+            coerced = coerce_metadata_value(value, base, optional)
+            if coerced is not value:
+                object.__setattr__(self, name, coerced)
 
     def as_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}

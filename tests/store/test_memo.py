@@ -1,0 +1,146 @@
+"""Tests for the memoizing runner — run_tasks(..., store=...)."""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.runner import SessionTask, derive_seed, run_tasks
+from repro.store import TraceStore
+from repro.xcal.records import SlotTrace, TraceMetadata
+
+MARKER_DIR_KW = "marker_dir"
+
+
+def _traced_session(n_slots: int, seed: int, marker_dir: str) -> SlotTrace:
+    """A deterministic fake session that leaves one marker file per call."""
+    marker = Path(marker_dir) / f"exec-{n_slots}-{seed}"
+    marker.write_text(marker.read_text() + "x" if marker.exists() else "x")
+    trace = SlotTrace.empty(n_slots, metadata=TraceMetadata(operator="memo", seed=seed))
+    trace.delivered_bits[:] = np.random.default_rng(seed).integers(0, 9000, n_slots)
+    return trace
+
+
+def _uncacheable(seed: int, blob: object = None) -> int:
+    return seed * 2
+
+
+def _manifest(marker_dir, n_tasks: int = 4) -> list[SessionTask]:
+    return [
+        SessionTask(fn=_traced_session,
+                    kwargs={"n_slots": 32 + i, MARKER_DIR_KW: str(marker_dir)},
+                    seed=derive_seed(7, "memo", i), label=f"memo/{i}")
+        for i in range(n_tasks)
+    ]
+
+
+def _executions(marker_dir) -> int:
+    return sum(len(p.read_text()) for p in Path(marker_dir).glob("exec-*"))
+
+
+def _assert_same_results(a, b):
+    assert len(a) == len(b)
+    for left, right in zip(a, b):
+        assert np.array_equal(left.delivered_bits, right.delivered_bits)
+        assert left.metadata == right.metadata
+
+
+class TestMemoizedRunTasks:
+    def test_cold_run_executes_and_backfills(self, tmp_path):
+        store = TraceStore(tmp_path / "cache")
+        results = run_tasks(_manifest(tmp_path), store=store)
+        assert _executions(tmp_path) == 4
+        assert store.misses == 4 and store.hits == 0
+        assert store.stats().entries == 4
+        assert all(r is not None for r in results)
+
+    def test_warm_run_serves_hits_without_executing(self, tmp_path):
+        store = TraceStore(tmp_path / "cache")
+        cold = run_tasks(_manifest(tmp_path), store=store)
+        warm = run_tasks(_manifest(tmp_path), store=TraceStore(tmp_path / "cache"))
+        assert _executions(tmp_path) == 4  # no new executions on the warm run
+        _assert_same_results(cold, warm)
+
+    def test_warm_run_matches_uncached_run(self, tmp_path):
+        store = TraceStore(tmp_path / "cache")
+        run_tasks(_manifest(tmp_path), store=store)
+        warm = run_tasks(_manifest(tmp_path), store=TraceStore(tmp_path / "cache"))
+        uncached = run_tasks(_manifest(tmp_path))
+        _assert_same_results(warm, uncached)
+
+    def test_partial_hits_execute_only_misses_in_order(self, tmp_path):
+        manifest = _manifest(tmp_path)
+        store = TraceStore(tmp_path / "cache")
+        # Prime tasks 1 and 3 only.
+        run_tasks([manifest[1], manifest[3]], store=store)
+        assert _executions(tmp_path) == 2
+        results = run_tasks(manifest, store=store)
+        assert _executions(tmp_path) == 4  # tasks 0 and 2 ran, 1 and 3 hit
+        assert store.hits == 2
+        _assert_same_results(results, run_tasks(manifest))
+
+    def test_parallel_warm_run_identical(self, tmp_path):
+        manifest = _manifest(tmp_path)
+        store = TraceStore(tmp_path / "cache")
+        cold = run_tasks(manifest, jobs=2, store=store)
+        warm = run_tasks(manifest, jobs=2, store=TraceStore(tmp_path / "cache"))
+        _assert_same_results(cold, warm)
+        assert _executions(tmp_path) == 4
+
+    def test_uncacheable_kwargs_always_execute(self, tmp_path):
+        store = TraceStore(tmp_path / "cache")
+        task = SessionTask(fn=_uncacheable, kwargs={"blob": object()}, seed=1)
+        assert run_tasks([task], store=store) == [2]
+        assert run_tasks([task], store=store) == [2]
+        assert store.stats().entries == 0
+
+    def test_uncacheable_result_always_executes(self, tmp_path):
+        store = TraceStore(tmp_path / "cache")
+        task = SessionTask(fn=_uncacheable, seed=21)
+        assert run_tasks([task], store=store) == [42]
+        assert run_tasks([task], store=store) == [42]
+        assert store.stats().entries == 0  # int results are not cacheable
+
+    def test_corruption_recomputes_and_heals(self, tmp_path):
+        manifest = _manifest(tmp_path, n_tasks=1)
+        store = TraceStore(tmp_path / "cache")
+        run_tasks(manifest, store=store)
+        key = store.task_key(manifest[0])
+        payload = store.root / "objects" / key[:2] / f"{key}.npz"
+        payload.write_bytes(b"\x00" * payload.stat().st_size)
+        healed = run_tasks(manifest, store=store)
+        assert _executions(tmp_path) == 2  # recomputed exactly once
+        assert store.stats().quarantined == 1
+        # ... and the store is healed: next run hits again.
+        run_tasks(manifest, store=store)
+        assert _executions(tmp_path) == 2
+        _assert_same_results(healed, run_tasks(manifest))
+
+    def test_key_excludes_label_so_renames_still_hit(self, tmp_path):
+        store = TraceStore(tmp_path / "cache")
+        manifest = _manifest(tmp_path, n_tasks=2)
+        run_tasks(manifest, store=store)
+        renamed = [SessionTask(fn=t.fn, kwargs=t.kwargs, seed=t.seed, label="other")
+                   for t in manifest]
+        run_tasks(renamed, store=store)
+        assert _executions(tmp_path) == 2
+
+
+class TestCampaignMemoization:
+    def test_campaign_csv_exports_byte_identical(self, tmp_path):
+        from repro.operators.profiles import EU_PROFILES
+        from repro.xcal.dataset import CampaignSpec, generate_campaign
+
+        profiles = {"V_Sp": EU_PROFILES["V_Sp"]}
+        spec = CampaignSpec(minutes_per_operator=0.1, session_s=3.0, seed=11)
+        cold = generate_campaign(profiles, spec, store=TraceStore(tmp_path / "cache"))
+        warm_store = TraceStore(tmp_path / "cache")
+        warm = generate_campaign(profiles, spec, store=warm_store)
+        assert warm_store.misses == 0 and warm_store.hits > 0
+        uncached = generate_campaign(profiles, spec)
+        for fmt in ("csv", "jsonl", "npz"):
+            cold_paths = cold.export(tmp_path / f"cold-{fmt}", format=fmt)
+            warm_paths = warm.export(tmp_path / f"warm-{fmt}", format=fmt)
+            plain_paths = uncached.export(tmp_path / f"plain-{fmt}", format=fmt)
+            assert [p.name for p in cold_paths] == [p.name for p in warm_paths]
+            for a, b, c in zip(cold_paths, warm_paths, plain_paths):
+                assert a.read_bytes() == b.read_bytes() == c.read_bytes()

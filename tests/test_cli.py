@@ -54,6 +54,112 @@ class TestCampaign:
             assert (serial / name).read_bytes() == (parallel / name).read_bytes()
 
 
+class TestCampaignFlags:
+    def test_ul_fraction_flag(self, tmp_path, capsys):
+        assert main(["campaign", "--minutes", "0.05", "--session", "3",
+                     "--ul-fraction", "1.0", "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        names = [p.name for p in tmp_path.glob("*.csv")]
+        assert names
+        assert all("_ul_" in name for name in names)
+
+    def test_out_format_flag(self, tmp_path, capsys):
+        for fmt in ("jsonl", "npz"):
+            out = tmp_path / fmt
+            assert main(["campaign", "--minutes", "0.05", "--session", "3",
+                         "--out", str(out), "--out-format", fmt]) == 0
+            assert list(out.glob(f"*.{fmt}"))
+        capsys.readouterr()
+
+
+class TestCacheFlag:
+    def test_run_warm_cache_hits_and_stdout_identical(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["run", "eq32", "--cache", cache]) == 0
+        cold = capsys.readouterr()
+        assert main(["run", "eq32", "--cache", cache]) == 0
+        warm = capsys.readouterr()
+        assert "misses=0" in warm.err
+        assert "hits=0" in cold.err
+
+    def test_campaign_warm_cache_byte_identical_export(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        cold_dir, warm_dir = tmp_path / "cold", tmp_path / "warm"
+        base = ["campaign", "--minutes", "0.05", "--session", "3", "--cache", cache]
+        assert main(base + ["--out", str(cold_dir)]) == 0
+        cold = capsys.readouterr()
+        assert main(base + ["--out", str(warm_dir)]) == 0
+        warm = capsys.readouterr()
+        assert "misses=0" in warm.err and "hits=0" not in warm.err
+
+        def summary(text):  # drop the "exported ... to DIR" line (paths differ)
+            return [l for l in text.splitlines() if not l.startswith("exported")]
+
+        assert summary(cold.out) == summary(warm.out)
+        names = sorted(p.name for p in cold_dir.glob("*.csv"))
+        assert names == sorted(p.name for p in warm_dir.glob("*.csv"))
+        for name in names:
+            assert (cold_dir / name).read_bytes() == (warm_dir / name).read_bytes()
+
+    def test_cache_env_variable(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "env-cache"))
+        assert main(["campaign", "--minutes", "0.05", "--session", "3"]) == 0
+        first = capsys.readouterr()
+        assert "[cache]" in first.err
+        assert main(["campaign", "--minutes", "0.05", "--session", "3"]) == 0
+        assert "misses=0" in capsys.readouterr().err
+
+    def test_no_cache_no_report(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert main(["campaign", "--minutes", "0.05", "--session", "3"]) == 0
+        assert "[cache]" not in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def _warm(self, cache, capsys):
+        assert main(["campaign", "--minutes", "0.05", "--session", "3",
+                     "--cache", cache]) == 0
+        capsys.readouterr()
+
+    def test_requires_store_dir(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert main(["cache", "stats"]) == 2
+        assert "REPRO_CACHE" in capsys.readouterr().err
+
+    def test_stats(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        self._warm(cache, capsys)
+        assert main(["cache", "stats", "--cache", cache]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "quarantined" in out
+
+    def test_verify_clean_and_corrupt(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        self._warm(str(cache), capsys)
+        assert main(["cache", "verify", "--cache", str(cache)]) == 0
+        capsys.readouterr()
+        victim = next((cache / "objects").rglob("*.npz"))
+        victim.write_bytes(b"corrupt")
+        assert main(["cache", "verify", "--cache", str(cache)]) == 1
+        assert "quarantined" in capsys.readouterr().out
+
+    def test_clear(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        self._warm(cache, capsys)
+        assert main(["cache", "clear", "--cache", cache]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache", cache]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_evict_needs_cap(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        self._warm(cache, capsys)
+        assert main(["cache", "evict", "--cache", cache]) == 2
+        assert "--max-mb" in capsys.readouterr().err
+        assert main(["cache", "evict", "--cache", cache, "--max-mb", "0"]) == 0
+        assert "evicted" in capsys.readouterr().out
+
+
 class TestTopLevelApi:
     def test_package_exports(self):
         import repro

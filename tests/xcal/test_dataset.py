@@ -24,7 +24,19 @@ class TestSpec:
         with pytest.raises(ValueError):
             CampaignSpec(minutes_per_operator=0.0)
         with pytest.raises(ValueError):
-            CampaignSpec(ul_fraction=1.0)
+            CampaignSpec(ul_fraction=1.5)
+        with pytest.raises(ValueError):
+            CampaignSpec(ul_fraction=-0.1)
+
+    def test_ul_only_campaign_expressible(self):
+        # ul_fraction=1.0 is valid: every session measures the uplink.
+        spec = CampaignSpec(minutes_per_operator=0.1, session_s=3.0,
+                            ul_fraction=1.0, seed=3)
+        campaign = generate_campaign({"V_Sp": EU_PROFILES["V_Sp"]}, spec)
+        assert campaign.dl_traces["V_Sp"] == []
+        assert len(campaign.ul_traces["V_Sp"]) == 2
+        assert all(t.metadata.direction == "UL"
+                   for t in campaign.ul_traces["V_Sp"])
 
 
 class TestCampaign:
@@ -65,6 +77,56 @@ class TestCampaign:
     def test_sessions_differ(self, small_campaign):
         a, b = small_campaign.dl_traces["V_Sp"]
         assert a.mean_throughput_mbps != b.mean_throughput_mbps
+
+
+class TestExportFormats:
+    def test_jsonl_and_npz_load_back(self, small_campaign, tmp_path):
+        from repro.xcal.io import read_jsonl, read_npz
+
+        for fmt, reader in (("jsonl", read_jsonl), ("npz", read_npz)):
+            paths = small_campaign.export(tmp_path / fmt, format=fmt)
+            assert len(paths) == 6
+            loaded = reader(paths[0])
+            assert len(loaded) > 0
+            assert loaded.metadata.operator in ("Vodafone", "Orange")
+
+    def test_unknown_format_rejected(self, small_campaign, tmp_path):
+        with pytest.raises(ValueError, match="unknown export format"):
+            small_campaign.export(tmp_path, format="parquet")
+
+    def test_operator_keys_sanitized_in_filenames(self, tmp_path):
+        from repro.xcal.dataset import _filename_key
+
+        assert _filename_key("V_Sp") == "V_Sp"
+        assert _filename_key("O Sp/100") == "O_Sp_100"
+        assert _filename_key("../../etc/passwd") == "etc_passwd"
+        assert _filename_key("***") == "operator"
+
+    def test_weird_operator_key_stays_inside_directory(self, tmp_path):
+        profiles = {"../escape me": EU_PROFILES["V_Sp"]}
+        spec = CampaignSpec(minutes_per_operator=0.1, session_s=3.0, seed=5)
+        campaign = generate_campaign(profiles, spec)
+        out = tmp_path / "exports"
+        paths = campaign.export(out)
+        assert paths
+        for path in paths:
+            assert path.parent == out
+            assert "/" not in path.name and ".." not in path.name
+
+
+class TestStoreIntegration:
+    def test_generate_campaign_warm_equals_cold(self, tmp_path):
+        from repro.store import TraceStore
+
+        profiles = {"V_Sp": EU_PROFILES["V_Sp"]}
+        spec = CampaignSpec(minutes_per_operator=0.1, session_s=3.0, seed=17)
+        cold = generate_campaign(profiles, spec, store=TraceStore(tmp_path / "c"))
+        warm_store = TraceStore(tmp_path / "c")
+        warm = generate_campaign(profiles, spec, store=warm_store)
+        assert warm_store.misses == 0
+        for a, b in zip(cold.dl_traces["V_Sp"], warm.dl_traces["V_Sp"]):
+            assert np.array_equal(a.delivered_bits, b.delivered_bits)
+            assert a.metadata == b.metadata
 
 
 class TestDeterminism:

@@ -1,11 +1,26 @@
-"""Tests for repro.xcal.io — CSV / JSONL round-trips."""
+"""Tests for repro.xcal.io — CSV / JSONL / npz round-trips."""
 
 import numpy as np
 import pytest
 
 from repro.nr.numerology import Numerology
-from repro.xcal.io import read_csv, read_jsonl, write_csv, write_jsonl
-from repro.xcal.records import TRACE_COLUMNS, SlotTrace, TraceMetadata
+from repro.xcal.io import (
+    npz_arrays,
+    npz_bytes,
+    read_csv,
+    read_jsonl,
+    read_npz,
+    trace_npz_bytes,
+    write_csv,
+    write_jsonl,
+    write_npz,
+)
+from repro.xcal.records import (
+    TRACE_COLUMNS,
+    SlotTrace,
+    TraceMetadata,
+    metadata_field_types,
+)
 
 
 @pytest.fixture
@@ -79,3 +94,121 @@ class TestJsonl:
         stripped.write_text("\n".join(lines[1:]) + "\n")
         recovered = read_jsonl(stripped)
         assert len(recovered) == len(sample_trace)
+
+
+class TestNpz:
+    def test_roundtrip(self, sample_trace, tmp_path):
+        path = write_npz(sample_trace, tmp_path / "trace.npz")
+        recovered = read_npz(path)
+        _assert_traces_equal(sample_trace, recovered)
+        assert recovered.metadata == sample_trace.metadata
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        trace = SlotTrace.empty(0)
+        recovered = read_npz(write_npz(trace, tmp_path / "empty.npz"))
+        assert len(recovered) == 0
+
+    def test_mu_preserved(self, tmp_path):
+        trace = SlotTrace.empty(10, mu=Numerology.MU_3)
+        recovered = read_npz(write_npz(trace, tmp_path / "mu3.npz"))
+        assert recovered.mu is Numerology.MU_3
+
+    def test_dtypes_exact(self, sample_trace, tmp_path):
+        recovered = read_npz(write_npz(sample_trace, tmp_path / "t.npz"))
+        for name in TRACE_COLUMNS:
+            assert recovered.column(name).dtype == sample_trace.column(name).dtype, name
+            # npz is binary-exact; no allclose tolerance needed.
+            assert np.array_equal(recovered.column(name), sample_trace.column(name)), name
+
+    def test_bytes_deterministic(self, sample_trace):
+        assert trace_npz_bytes(sample_trace) == trace_npz_bytes(sample_trace)
+
+    def test_npz_bytes_roundtrip_meta(self):
+        arrays = {"x": np.arange(4), "y": np.linspace(0.0, 1.0, 4)}
+        meta = {"operator": "a=b", "note": "", "seed": None}
+        out_arrays, out_meta = npz_arrays(npz_bytes(arrays, meta))
+        assert out_meta == meta
+        assert np.array_equal(out_arrays["x"], arrays["x"])
+        assert np.array_equal(out_arrays["y"], arrays["y"])
+
+
+class TestAwkwardMetadata:
+    """Round-trips with values that stress the key=value / JSON headers."""
+
+    def _trace_with(self, **overrides) -> SlotTrace:
+        metadata = TraceMetadata(**overrides)
+        return SlotTrace.empty(3, metadata=metadata)
+
+    @pytest.mark.parametrize("writer,reader", [
+        (write_csv, read_csv),
+        (write_jsonl, read_jsonl),
+        (write_npz, read_npz),
+    ])
+    def test_equals_sign_in_value(self, writer, reader, tmp_path):
+        trace = self._trace_with(operator="O2=Telefonica", carrier_name="n78=C1")
+        recovered = reader(writer(trace, tmp_path / "eq.dat"))
+        assert recovered.metadata.operator == "O2=Telefonica"
+        assert recovered.metadata.carrier_name == "n78=C1"
+
+    @pytest.mark.parametrize("writer,reader", [
+        (write_csv, read_csv),
+        (write_jsonl, read_jsonl),
+        (write_npz, read_npz),
+    ])
+    def test_empty_string_and_none_seed(self, writer, reader, tmp_path):
+        trace = self._trace_with(operator="", country="", seed=None)
+        recovered = reader(writer(trace, tmp_path / "none.dat"))
+        assert recovered.metadata.operator == ""
+        assert recovered.metadata.country == ""
+        assert recovered.metadata.seed is None
+
+    def test_csv_headerless_file_loads(self, sample_trace, tmp_path):
+        # A CSV without the '#' metadata preamble is a valid extract.
+        path = write_csv(sample_trace, tmp_path / "full.csv")
+        lines = path.read_text().splitlines()
+        body = [line for line in lines if not line.startswith("#")]
+        bare = tmp_path / "bare.csv"
+        bare.write_text("\n".join(body) + "\n")
+        recovered = read_csv(bare)
+        _assert_traces_equal(sample_trace, recovered)
+        assert recovered.metadata == TraceMetadata()
+
+    def test_csv_partial_metadata_loads(self, sample_trace, tmp_path):
+        # Only some metadata keys present: the rest take defaults.
+        path = write_csv(sample_trace, tmp_path / "full.csv")
+        lines = path.read_text().splitlines()
+        kept = [line for line in lines
+                if not line.startswith("#") or "operator=" in line]
+        partial = tmp_path / "partial.csv"
+        partial.write_text("\n".join(kept) + "\n")
+        recovered = read_csv(partial)
+        assert recovered.metadata.operator == sample_trace.metadata.operator
+        assert recovered.metadata.seed is None
+
+    def test_unknown_metadata_keys_ignored(self, sample_trace, tmp_path):
+        path = write_csv(sample_trace, tmp_path / "extra.csv")
+        body = path.read_text()
+        path.write_text("# extractor_version=9.1\n# gps_fix=yes\n" + body)
+        recovered = read_csv(path)
+        _assert_traces_equal(sample_trace, recovered)
+
+
+class TestMetadataFieldTypes:
+    def test_casts_derived_from_annotations(self):
+        types = metadata_field_types()
+        assert types["scs_khz"] == (int, False)
+        assert types["bandwidth_mhz"] == (float, False)
+        assert types["seed"] == (int, True)
+        assert types["operator"] == (str, False)
+
+    def test_every_dataclass_field_covered(self):
+        import dataclasses
+
+        names = {f.name for f in dataclasses.fields(TraceMetadata)}
+        assert set(metadata_field_types()) == names
+
+    def test_constructor_coerces_strings(self):
+        meta = TraceMetadata(bandwidth_mhz="90", scs_khz="30.0", seed="None")
+        assert meta.bandwidth_mhz == 90.0 and isinstance(meta.bandwidth_mhz, float)
+        assert meta.scs_khz == 30 and isinstance(meta.scs_khz, int)
+        assert meta.seed is None
