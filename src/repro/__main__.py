@@ -13,6 +13,10 @@ Commands
 ``cache``
     Inspect and maintain a session trace store (``stats`` / ``verify``
     / ``clear`` / ``evict``).
+``bench``
+    Run the tracked slot-engine benchmark and emit
+    ``BENCH_slot_engine.json`` (``--baseline`` compares against a
+    committed report and fails on hardware-normalized regressions).
 
 ``run`` and ``campaign`` accept ``--jobs N`` (or ``--jobs auto``) to
 fan independent sessions out to a process pool, and ``--cache DIR``
@@ -102,6 +106,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_tbs_cache_line() -> str:
+    from repro.nr.tbs import tbs_matrix_cache_stats
+
+    stats = tbs_matrix_cache_stats()
+    return (f"tbs-matrix cache (this process): entries={stats['entries']} "
+            f"hits={stats['hits']} misses={stats['misses']} "
+            f"hit_rate={stats['hit_rate']:.1%}")
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.store import CACHE_DIR_ENV, TraceStore
 
@@ -112,6 +125,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     store = TraceStore(root)
     if args.action == "stats":
         print(store.stats().render())
+        print(_render_tbs_cache_line())
     elif args.action == "verify":
         ok, bad = store.verify()
         print(f"verified {ok} entries intact, {len(bad)} quarantined")
@@ -127,6 +141,26 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             return 2
         evicted = store.evict(int(args.max_mb * 1e6))
         print(f"evicted {len(evicted)} entries (cap {args.max_mb:g} MB)")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.core import bench
+
+    baseline = bench.load_report(args.baseline) if args.baseline else None
+    report = bench.measure(quick=args.quick, seed=args.seed)
+    print(bench.render(report))
+    if args.out is not None:
+        bench.write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if baseline is not None:
+        failures = bench.regression_failures(report, baseline, threshold=args.threshold)
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"no regression vs {args.baseline} "
+              f"(threshold {args.threshold:.0%}, hardware-normalized)")
     return 0
 
 
@@ -163,6 +197,20 @@ def main(argv: list[str] | None = None) -> int:
     campaign_parser.add_argument("--out-format", choices=("csv", "jsonl", "npz"),
                                  default="csv", help="export format (default csv)")
     campaign_parser.set_defaults(func=_cmd_campaign)
+
+    bench_parser = sub.add_parser("bench", help="tracked slot-engine benchmark")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="short workloads, fewer repetitions (CI mode)")
+    bench_parser.add_argument("--seed", type=int, default=2024)
+    bench_parser.add_argument("--out", type=Path, default=None, metavar="FILE",
+                              help="write the JSON report here "
+                                   "(e.g. BENCH_slot_engine.json)")
+    bench_parser.add_argument("--baseline", type=Path, default=None, metavar="FILE",
+                              help="committed report to compare against; exit 1 "
+                                   "on a hardware-normalized regression")
+    bench_parser.add_argument("--threshold", type=float, default=0.30,
+                              help="allowed fractional regression (default 0.30)")
+    bench_parser.set_defaults(func=_cmd_bench)
 
     cache_parser = sub.add_parser("cache", help="inspect/maintain a session store")
     cache_parser.add_argument("action", choices=("stats", "verify", "clear", "evict"))

@@ -1,0 +1,231 @@
+"""Tracked slot-engine benchmark — the ``repro bench`` subcommand.
+
+The slot engines are the hot path under every figure, table and
+campaign, so their throughput is tracked across PRs: ``repro bench``
+measures slots/sec on the Fig. 1 single-carrier workload (the V_Sp
+n78 90 MHz deployment) for both the vectorized and the reference
+engine, single- and multi-UE, cold and warm, and emits a JSON report
+(``BENCH_slot_engine.json``) that CI diffs against the committed
+baseline.
+
+Two measurement conventions keep the numbers honest:
+
+- **cold vs warm** — "cold" is the first run after clearing the
+  process-wide TBS matrix cache (what a fresh campaign worker pays);
+  "warm" is the best of the remaining repetitions (what every
+  subsequent session in the same process pays).  Best-of, not mean:
+  simulation cost is deterministic, so the minimum is the measurement
+  and everything above it is scheduler noise.
+- **hardware normalization** — CI machines differ run to run, so a raw
+  slots/sec comparison against a committed baseline is meaningless.
+  The reference engine runs the same workload in the same process, so
+  the ratio ``reference_now / reference_baseline`` estimates the
+  machine-speed factor; the vectorized number is compared after
+  dividing that factor out (see :func:`regression_failures`).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "PRE_PR_BASELINE",
+    "load_report",
+    "measure",
+    "multi_ue_traces",
+    "regression_failures",
+    "render",
+    "single_ue_trace",
+    "write_report",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: slots/sec of the pre-rewrite scalar engine on this file's exact
+#: workloads (full mode), measured once on the machine that produced
+#: the first committed ``BENCH_slot_engine.json``.  Recorded so the
+#: report can state the speedup the vectorized engine was introduced
+#: with; CI regression checks never use these numbers (they compare
+#: hardware-normalized against the committed baseline instead).
+PRE_PR_BASELINE = {
+    "single_ue_slots_per_s": 251_345.0,
+    "multi_ue_slots_per_s": 11_134.0,
+}
+
+_BENCH_PROFILE = "V_Sp"
+_MULTI_UES = 4
+_MULTI_SINR_STEP_DB = -3.0
+
+
+def single_ue_trace(engine: str = "vectorized", duration_s: float = 5.0,
+                    seed: int = 2024):
+    """One full-buffer DL trace of the Fig. 1 V_Sp carrier."""
+    from repro.operators.profiles import get_profile
+
+    profile = get_profile(_BENCH_PROFILE)
+    cell = profile.primary_cell
+    rng = np.random.default_rng(seed)
+    channel = profile.dl_channel().realize(duration_s, mu=cell.mu, rng=rng)
+    from repro.ran.simulator import simulate_downlink
+
+    return simulate_downlink(cell, channel, rng=rng,
+                             params=profile.sim_params(engine=engine))
+
+
+def multi_ue_traces(engine: str = "vectorized", duration_s: float = 5.0,
+                    n_ues: int = _MULTI_UES, seed: int = 2024):
+    """One PF-scheduled multi-UE DL run of the Fig. 1 V_Sp carrier."""
+    from repro.operators.profiles import get_profile
+    from repro.ran.scheduler import ProportionalFairScheduler
+    from repro.ran.simulator import simulate_downlink_multi
+
+    profile = get_profile(_BENCH_PROFILE)
+    cell = profile.primary_cell
+    rng = np.random.default_rng(seed)
+    channels = [
+        profile.dl_channel(sinr_offset_db=_MULTI_SINR_STEP_DB * k)
+        .realize(duration_s, mu=cell.mu, rng=np.random.default_rng(seed + 100 + k))
+        for k in range(n_ues)
+    ]
+    return simulate_downlink_multi(cell, channels, ProportionalFairScheduler(),
+                                   rng=rng, params=profile.sim_params(engine=engine))
+
+
+def _time_engine(run: Callable[[], Any], n_slots_of: Callable[[Any], int],
+                 repetitions: int) -> dict[str, float]:
+    """Cold (first run, caches cleared) and warm (best-of-rest) slots/sec."""
+    from repro.nr.tbs import clear_tbs_matrix_cache
+
+    clear_tbs_matrix_cache()
+    start = time.perf_counter()
+    result = run()
+    cold = n_slots_of(result) / (time.perf_counter() - start)
+    warm = 0.0
+    for _ in range(max(1, repetitions - 1)):
+        start = time.perf_counter()
+        result = run()
+        warm = max(warm, n_slots_of(result) / (time.perf_counter() - start))
+    return {"cold_slots_per_s": round(cold, 1), "warm_slots_per_s": round(warm, 1)}
+
+
+def measure(quick: bool = False, seed: int = 2024,
+            repetitions: int | None = None) -> dict[str, Any]:
+    """Run the full benchmark matrix and return the report dict."""
+    duration_s = 2.0 if quick else 5.0
+    repetitions = repetitions or (3 if quick else 11)
+
+    workloads: dict[str, Any] = {}
+    single: dict[str, Any] = {}
+    for engine in ("vectorized", "reference"):
+        single[engine] = _time_engine(
+            lambda engine=engine: single_ue_trace(engine, duration_s, seed),
+            len, repetitions)
+    single["n_slots"] = len(single_ue_trace("vectorized", duration_s, seed))
+    workloads["single_ue"] = single
+
+    multi: dict[str, Any] = {}
+    for engine in ("vectorized", "reference"):
+        multi[engine] = _time_engine(
+            lambda engine=engine: multi_ue_traces(engine, duration_s, seed=seed),
+            lambda traces: len(traces[0]), repetitions)
+    multi["n_slots"] = len(multi_ue_traces("vectorized", duration_s, seed=seed)[0])
+    multi["n_ues"] = _MULTI_UES
+    workloads["multi_ue"] = multi
+
+    report: dict[str, Any] = {
+        "bench": "slot_engine",
+        "schema": BENCH_SCHEMA_VERSION,
+        "quick": quick,
+        "config": {
+            "profile": _BENCH_PROFILE,
+            "duration_s": duration_s,
+            "repetitions": repetitions,
+            "seed": seed,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "workloads": workloads,
+    }
+    if not quick:
+        report["pre_pr_baseline"] = dict(PRE_PR_BASELINE)
+        report["speedup_vs_pre_pr"] = {
+            "single_ue": round(single["vectorized"]["warm_slots_per_s"]
+                               / PRE_PR_BASELINE["single_ue_slots_per_s"], 2),
+            "multi_ue": round(multi["vectorized"]["warm_slots_per_s"]
+                              / PRE_PR_BASELINE["multi_ue_slots_per_s"], 2),
+        }
+    return report
+
+
+def regression_failures(current: dict[str, Any], baseline: dict[str, Any],
+                        threshold: float = 0.30) -> list[str]:
+    """Hardware-normalized regressions of ``current`` vs ``baseline``.
+
+    For each workload the reference engine's ratio between the two
+    reports estimates the machine-speed factor; a workload fails when
+    the vectorized engine lost more than ``threshold`` of its
+    throughput after that factor is divided out::
+
+        new_vec < (1 - threshold) * base_vec * (new_ref / base_ref)
+
+    Returns one message per failing workload (empty list = pass).
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must lie in (0, 1)")
+    failures: list[str] = []
+    for name, base in baseline.get("workloads", {}).items():
+        new = current.get("workloads", {}).get(name)
+        if new is None:
+            failures.append(f"{name}: missing from current report")
+            continue
+        base_vec = base["vectorized"]["warm_slots_per_s"]
+        base_ref = base["reference"]["warm_slots_per_s"]
+        new_vec = new["vectorized"]["warm_slots_per_s"]
+        new_ref = new["reference"]["warm_slots_per_s"]
+        scale = new_ref / base_ref
+        floor = (1.0 - threshold) * base_vec * scale
+        if new_vec < floor:
+            failures.append(
+                f"{name}: vectorized {new_vec:,.0f} slots/s < floor {floor:,.0f} "
+                f"(baseline {base_vec:,.0f} x machine factor {scale:.2f} "
+                f"x {1.0 - threshold:.2f})")
+    return failures
+
+
+def render(report: dict[str, Any]) -> str:
+    """Human-readable table of a benchmark report."""
+    lines = [f"slot-engine benchmark ({'quick' if report['quick'] else 'full'}, "
+             f"profile {report['config']['profile']}, "
+             f"{report['config']['repetitions']} reps)"]
+    for name, data in report["workloads"].items():
+        lines.append(f"  {name} ({data['n_slots']} slots"
+                     + (f", {data['n_ues']} UEs" if "n_ues" in data else "") + ")")
+        for engine in ("vectorized", "reference"):
+            e = data[engine]
+            lines.append(f"    {engine:11s} cold {e['cold_slots_per_s']:>12,.0f} slots/s"
+                         f"   warm {e['warm_slots_per_s']:>12,.0f} slots/s")
+    speedup = report.get("speedup_vs_pre_pr")
+    if speedup:
+        lines.append(f"  speedup vs pre-PR scalar engine: "
+                     f"single-UE {speedup['single_ue']:.2f}x, "
+                     f"multi-UE {speedup['multi_ue']:.2f}x")
+    return "\n".join(lines)
+
+
+def load_report(path: Path | str) -> dict[str, Any]:
+    """Read a report written by :func:`write_report`."""
+    return json.loads(Path(path).read_text())
+
+
+def write_report(report: dict[str, Any], path: Path | str) -> None:
+    """Write a report as stable, diff-friendly JSON."""
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

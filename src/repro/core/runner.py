@@ -28,6 +28,7 @@ sessions.  This module gives them one execution engine:
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import zlib
 from concurrent.futures import ProcessPoolExecutor
@@ -97,6 +98,15 @@ class SessionTask:
         if self.seed is not None:
             kwargs["seed"] = self.seed
         return self.fn(**kwargs)
+
+    def with_seed(self, root_seed: int, *key: int | str) -> "SessionTask":
+        """A copy of this task carrying ``derive_seed(root_seed, *key)``.
+
+        Manifest builders repeat the derive-then-replace dance for every
+        session; this keeps the derivation next to the task so label and
+        kwargs cannot drift from the seed key.
+        """
+        return dataclasses.replace(self, seed=derive_seed(root_seed, *key))
 
 
 def _execute(task: SessionTask) -> Any:

@@ -140,3 +140,69 @@ def tbs_lookup_matrix(
                 n_prb, entry, layers, symbols=symbols, dmrs_re_per_prb=dmrs_re_per_prb
             )
     return matrix
+
+
+# ---------------------------------------------------------------------- #
+# Process-wide TBS matrix cache
+# ---------------------------------------------------------------------- #
+# Campaigns simulate hundreds of sessions per process, and every session
+# rebuilds the same handful of (table, quantized grant, symbols) matrices.
+# The cache is keyed on table *content*, so two tables that happen to be
+# distinct objects with identical entries share one matrix.
+
+_MATRIX_CACHE: dict[tuple, np.ndarray] = {}
+_matrix_hits = 0
+_matrix_misses = 0
+
+
+def _table_signature(mcs_table) -> tuple:
+    return tuple(
+        (entry.index, entry.modulation.bits_per_symbol, entry.code_rate)
+        for entry in mcs_table
+    )
+
+
+def cached_tbs_lookup_matrix(
+    mcs_table,
+    n_prb: int,
+    max_layers: int = 4,
+    symbols: int = 14,
+    dmrs_re_per_prb: int = DEFAULT_DMRS_RE_PER_PRB,
+) -> np.ndarray:
+    """Process-wide memoized :func:`tbs_lookup_matrix`.
+
+    The returned matrix is shared across callers and marked read-only;
+    copy it before mutating.  Hit/miss counters are exposed through
+    :func:`tbs_matrix_cache_stats` (``repro cache stats`` prints them).
+    """
+    global _matrix_hits, _matrix_misses
+    key = (_table_signature(mcs_table), n_prb, max_layers, symbols, dmrs_re_per_prb)
+    matrix = _MATRIX_CACHE.get(key)
+    if matrix is None:
+        _matrix_misses += 1
+        matrix = tbs_lookup_matrix(mcs_table, n_prb, max_layers, symbols=symbols,
+                                   dmrs_re_per_prb=dmrs_re_per_prb)
+        matrix.setflags(write=False)
+        _MATRIX_CACHE[key] = matrix
+    else:
+        _matrix_hits += 1
+    return matrix
+
+
+def tbs_matrix_cache_stats() -> dict[str, int | float]:
+    """``{entries, hits, misses, hit_rate}`` of the process-wide cache."""
+    total = _matrix_hits + _matrix_misses
+    return {
+        "entries": len(_MATRIX_CACHE),
+        "hits": _matrix_hits,
+        "misses": _matrix_misses,
+        "hit_rate": (_matrix_hits / total) if total else 0.0,
+    }
+
+
+def clear_tbs_matrix_cache() -> None:
+    """Drop all cached matrices and reset the counters (tests, benches)."""
+    global _matrix_hits, _matrix_misses
+    _MATRIX_CACHE.clear()
+    _matrix_hits = 0
+    _matrix_misses = 0

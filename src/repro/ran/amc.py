@@ -51,11 +51,40 @@ class BlerModel:
     #: UE-reported channel quality, and OLLA bridges the gap.
     alpha: float = 0.60
 
+    def capacity(self, sinr_db) -> np.ndarray:
+        """Instantaneous sustainable efficiency ``eff_cap`` of the channel.
+
+        Exposed separately so the simulator can evaluate it once per
+        trace and reuse it across CQI periods (the SINR series is fixed;
+        only ``eff_mcs`` changes period to period).
+        """
+        return shannon_efficiency(sinr_db, self.alpha)
+
+    def error_probability_given_capacity(self, eff_mcs, eff_cap,
+                                         out: np.ndarray | None = None) -> np.ndarray:
+        """Decode-failure probability from a precomputed :meth:`capacity`.
+
+        ``eff_mcs`` may be a scalar or an array.  With ``out`` the whole
+        evaluation runs in-place in that buffer — same ufunc sequence,
+        so bit-identical values, but no temporaries; the simulator calls
+        this once per CQI period on a ~20-element slice, where the seven
+        allocations would otherwise dominate the arithmetic.
+        """
+        if out is None:
+            x = (eff_mcs - eff_cap - self.bias) / self.slope
+            return 1.0 / (1.0 + np.exp(-x))
+        np.subtract(eff_mcs, eff_cap, out=out)
+        out -= self.bias
+        out /= self.slope
+        np.negative(out, out=out)
+        np.exp(out, out=out)
+        out += 1.0
+        np.divide(1.0, out, out=out)
+        return out
+
     def error_probability(self, eff_mcs, sinr_db) -> np.ndarray:
         """Vectorized decode-failure probability."""
-        eff_cap = shannon_efficiency(sinr_db, self.alpha)
-        x = (np.asarray(eff_mcs, dtype=float) - eff_cap - self.bias) / self.slope
-        return 1.0 / (1.0 + np.exp(-x))
+        return self.error_probability_given_capacity(eff_mcs, self.capacity(sinr_db))
 
     def draw_errors(self, eff_mcs, sinr_db, rng: np.random.Generator) -> np.ndarray:
         """Bernoulli decode failures for an array of transmissions."""
@@ -98,15 +127,17 @@ class Olla:
 
     def update(self, acked: bool) -> None:
         """Apply one ACK/NACK observation."""
-        self.delta += self.step_up if acked else -self.step_down
-        self.delta = float(np.clip(self.delta, self.min_offset, self.max_offset))
+        # min/max instead of np.clip: same value, no array round-trip on
+        # a path the multi-UE simulator hits once per UE per slot.
+        delta = self.delta + (self.step_up if acked else -self.step_down)
+        self.delta = min(max(delta, self.min_offset), self.max_offset)
 
     def update_batch(self, n_ack: int, n_nack: int) -> None:
         """Apply a batch of observations (order-free net update)."""
         if n_ack < 0 or n_nack < 0:
             raise ValueError("counts must be non-negative")
-        self.delta += n_ack * self.step_up - n_nack * self.step_down
-        self.delta = float(np.clip(self.delta, self.min_offset, self.max_offset))
+        delta = self.delta + n_ack * self.step_up - n_nack * self.step_down
+        self.delta = min(max(delta, self.min_offset), self.max_offset)
 
 
 @dataclass(frozen=True)

@@ -12,12 +12,14 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 
-import numpy as np
 
-
-@dataclass
+@dataclass(slots=True)
 class SchedulingRequest:
-    """Per-slot scheduling input for one UE."""
+    """Per-slot scheduling input for one UE.
+
+    Slotted: the multi-UE simulator constructs (or reuses) one of these
+    per UE per slot, so attribute access is on the scheduler's hot path.
+    """
 
     ue_id: int
     backlog_bits: int
@@ -94,23 +96,53 @@ class ProportionalFairScheduler(Scheduler):
         active = self._active(requests)
         if not active or total_rb == 0:
             return {}
-        metrics = np.array([
-            r.instantaneous_rate / max(self.averages.get(r.ue_id, r.average_rate), 1e-9)
+        averages = self.averages
+        metrics = [
+            r.instantaneous_rate / max(averages.get(r.ue_id, r.average_rate), 1e-9)
             for r in active
-        ])
-        if metrics.sum() <= 0:
-            metrics = np.ones(len(active))
-        shares = metrics / metrics.sum()
-        rbs = np.floor(shares * total_rb).astype(int)
-        # Distribute the rounding remainder to the largest fractional parts.
-        remainder = total_rb - int(rbs.sum())
+        ]
+        total_metric = 0.0
+        for m in metrics:
+            total_metric += m
+        if total_metric <= 0:
+            metrics = [1.0] * len(active)
+            total_metric = float(len(active))
+        # Pure scalar arithmetic: this runs once per DL slot and the
+        # request lists are a handful of UEs, where numpy's per-call
+        # overhead dwarfs the work.
+        rbs = []
+        fractional = []
+        assigned = 0
+        for m in metrics:
+            scaled = (m / total_metric) * total_rb
+            n = int(scaled)  # floor: scaled is non-negative
+            rbs.append(n)
+            fractional.append(scaled - n)
+            assigned += n
+        # Distribute the rounding remainder to the largest fractional
+        # parts; sorted() is stable, so ties go to the lower index.
+        remainder = total_rb - assigned
         if remainder > 0:
-            fractional = shares * total_rb - rbs
-            for idx in np.argsort(-fractional)[:remainder]:
+            order = sorted(range(len(active)), key=fractional.__getitem__, reverse=True)
+            for idx in order[:remainder]:
                 rbs[idx] += 1
-        return {r.ue_id: int(n) for r, n in zip(active, rbs) if n > 0}
+        return {r.ue_id: n for r, n in zip(active, rbs) if n > 0}
 
     def update_average(self, ue_id: int, served_bits: float) -> None:
         """Fold one slot's service into the UE's EWMA throughput."""
         previous = self.averages.get(ue_id, max(served_bits, 1.0))
         self.averages[ue_id] = (1.0 - self.ewma_alpha) * previous + self.ewma_alpha * served_bits
+
+    def update_averages(self, served_bits: list[float]) -> None:
+        """Fold one slot's service for every UE at once.
+
+        Equivalent to calling :meth:`update_average` for ``ue_id`` 0..n-1
+        in order; one call per slot keeps the simulator's hot loop off
+        the per-UE method-dispatch overhead.
+        """
+        alpha = self.ewma_alpha
+        decay = 1.0 - alpha
+        averages = self.averages
+        for ue_id, served in enumerate(served_bits):
+            previous = averages.get(ue_id, max(served, 1.0))
+            averages[ue_id] = decay * previous + alpha * served

@@ -40,8 +40,11 @@ __all__ = [
 ]
 
 #: Bump to invalidate every existing store entry (format or simulator
-#: contract change).
-STORE_SCHEMA_VERSION = 1
+#: contract change).  v2: the slot engines evaluate the BLER logistic on
+#: whole CQI periods, so decode outcomes ride the platform's *vectorized*
+#: ``exp`` — bit-identical to the scalar path everywhere we have checked,
+#: but not something v1 entries were ever promised.
+STORE_SCHEMA_VERSION = 2
 
 #: Refuse to fingerprint arrays above this size: a huge array in task
 #: kwargs signals the task is not manifest-shaped, and hashing it would

@@ -180,6 +180,17 @@ class SlotTrace:
             raise KeyError(f"unknown trace column {name!r}")
         return getattr(self, name)
 
+    def fill(self, where, **values) -> None:
+        """Bulk column write: ``column[where] = value`` for each keyword.
+
+        ``where`` is any numpy index (slice, integer array, boolean
+        mask); each value may be a scalar or an array broadcastable to
+        the selection.  One call replaces a stack of per-column
+        element-wise writes in the simulator's hot loop.
+        """
+        for name, value in values.items():
+            self.column(name)[where] = value
+
     # ------------------------------------------------------------------ #
     # Derived KPIs
     # ------------------------------------------------------------------ #

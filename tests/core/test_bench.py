@@ -1,0 +1,88 @@
+"""Tests for the tracked slot-engine benchmark (``repro bench``)."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.core import bench
+
+
+def _report(single_vec=800_000.0, single_ref=600_000.0,
+            multi_vec=60_000.0, multi_ref=35_000.0) -> dict:
+    def cell(warm):
+        return {"cold_slots_per_s": warm / 2, "warm_slots_per_s": warm}
+
+    return {
+        "bench": "slot_engine",
+        "schema": bench.BENCH_SCHEMA_VERSION,
+        "quick": True,
+        "workloads": {
+            "single_ue": {"vectorized": cell(single_vec),
+                          "reference": cell(single_ref), "n_slots": 4000},
+            "multi_ue": {"vectorized": cell(multi_vec),
+                         "reference": cell(multi_ref), "n_slots": 4000,
+                         "n_ues": 4},
+        },
+    }
+
+
+class TestRegressionGate:
+    def test_identical_reports_pass(self):
+        report = _report()
+        assert bench.regression_failures(report, report) == []
+
+    def test_uniform_slowdown_is_hardware_normalized_away(self):
+        # A machine half as fast slows both engines; no regression.
+        base = _report()
+        current = copy.deepcopy(base)
+        for data in current["workloads"].values():
+            for engine in ("vectorized", "reference"):
+                data[engine]["warm_slots_per_s"] /= 2.0
+        assert bench.regression_failures(current, base) == []
+
+    def test_vectorized_only_slowdown_fails(self):
+        base = _report()
+        current = copy.deepcopy(base)
+        current["workloads"]["single_ue"]["vectorized"]["warm_slots_per_s"] /= 2.0
+        failures = bench.regression_failures(current, base, threshold=0.30)
+        assert len(failures) == 1
+        assert failures[0].startswith("single_ue:")
+
+    def test_missing_workload_fails(self):
+        base = _report()
+        current = copy.deepcopy(base)
+        del current["workloads"]["multi_ue"]
+        failures = bench.regression_failures(current, base)
+        assert failures == ["multi_ue: missing from current report"]
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            bench.regression_failures(_report(), _report(), threshold=1.5)
+
+
+class TestReportIo:
+    def test_write_then_load_roundtrip(self, tmp_path):
+        report = _report()
+        path = tmp_path / "bench.json"
+        bench.write_report(report, path)
+        assert bench.load_report(path) == report
+        # Stable output: diff-friendly, newline-terminated.
+        text = path.read_text()
+        assert text.endswith("\n")
+        bench.write_report(report, path)
+        assert path.read_text() == text
+
+
+class TestRender:
+    def test_render_lists_workloads_and_speedup(self):
+        report = _report()
+        report["quick"] = False
+        report["config"] = {"profile": "V_Sp", "duration_s": 5.0,
+                            "repetitions": 11, "seed": 2024}
+        report["speedup_vs_pre_pr"] = {"single_ue": 3.45, "multi_ue": 5.79}
+        text = bench.render(report)
+        assert "single_ue" in text and "multi_ue" in text
+        assert "vectorized" in text and "reference" in text
+        assert "3.45x" in text

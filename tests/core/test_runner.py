@@ -82,6 +82,14 @@ class TestSessionTask:
     def test_seedless_task(self):
         assert SessionTask(fn=_no_seed, kwargs={"value": 21}).execute() == 42
 
+    def test_with_seed_derives_and_preserves(self):
+        task = SessionTask(fn=_draw, kwargs={"scale": 2.0}, label="s0")
+        seeded = task.with_seed(2024, "V_Sp", 0)
+        assert seeded.seed == derive_seed(2024, "V_Sp", 0)
+        assert (seeded.fn, seeded.kwargs, seeded.label) == \
+            (task.fn, task.kwargs, task.label)
+        assert task.seed is None  # frozen original untouched
+
 
 class TestRunTasks:
     def _manifest(self, n=6):

@@ -133,6 +133,14 @@ class TestCacheCommand:
         out = capsys.readouterr().out
         assert "entries" in out and "quarantined" in out
 
+    def test_stats_reports_tbs_matrix_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        self._warm(cache, capsys)
+        assert main(["cache", "stats", "--cache", cache]) == 0
+        out = capsys.readouterr().out
+        assert "tbs-matrix cache" in out
+        assert "hit_rate=" in out
+
     def test_verify_clean_and_corrupt(self, tmp_path, capsys):
         cache = tmp_path / "cache"
         self._warm(str(cache), capsys)
