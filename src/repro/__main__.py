@@ -14,16 +14,21 @@ Commands
     Inspect and maintain a session trace store (``stats`` / ``verify``
     / ``clear`` / ``evict``).
 ``bench``
-    Run the tracked slot-engine benchmark and emit
-    ``BENCH_slot_engine.json`` (``--baseline`` compares against a
-    committed report and fails on hardware-normalized regressions).
+    Run a tracked benchmark: ``--workload slot`` (default) emits
+    ``BENCH_slot_engine.json``, ``--workload campaign`` benchmarks the
+    execution layer end to end and emits ``BENCH_campaign.json``
+    (``--baseline`` compares against a committed report and fails on
+    hardware-normalized regressions).
 
 ``run`` and ``campaign`` accept ``--jobs N`` (or ``--jobs auto``) to
 fan independent sessions out to a process pool, and ``--cache DIR``
 (default: the ``REPRO_CACHE`` environment variable) to memoize sessions
 in a content-addressed store — results are bit-identical for any worker
 count, cached or not.  ``REPRO_CACHE_MAX_MB`` caps the store size with
-LRU eviction.
+LRU eviction.  With ``--jobs`` above 1 both commands share one warm
+worker pool (a :class:`repro.core.runner.CampaignExecutor`) across all
+sessions, and when a store is configured workers write results to it
+directly — only content keys travel over the process pipe.
 """
 
 from __future__ import annotations
@@ -53,12 +58,26 @@ def _open_store(args: argparse.Namespace):
     return TraceStore.from_env(getattr(args, "cache", None))
 
 
-def _report_store(store) -> None:
-    """One summary line per cached run, on stderr so stdout stays the
-    experiment output (CI byte-compares it across cold/warm runs)."""
+def _make_executor(args: argparse.Namespace, store):
+    """One warm pool for the whole command when ``--jobs`` exceeds 1."""
+    if getattr(args, "jobs", 1) <= 1:
+        return None
+    from repro.core.runner import CampaignExecutor
+
+    return CampaignExecutor(jobs=args.jobs, store=store)
+
+
+def _report_store(store, executor=None) -> None:
+    """Summary lines per cached/parallel run, on stderr so stdout stays
+    the experiment output (CI byte-compares it across cold/warm runs)."""
     if store is not None:
-        print(f"[cache] hits={store.hits} misses={store.misses} root={store.root}",
+        print(f"[cache] hits={store.hits} misses={store.misses} "
+              f"read_mb={store.bytes_read / 1e6:.2f} "
+              f"written_mb={store.bytes_written / 1e6:.2f} "
+              f"root={store.root}",
               file=sys.stderr)
+    if executor is not None:
+        print(f"[pool] {executor.render_stats()}", file=sys.stderr)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -74,19 +93,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         return 2
     store = _open_store(args)
-    for experiment_id in ids:
-        start = time.time()
-        result = run_experiment(experiment_id, seed=args.seed, quick=not args.full,
-                                jobs=args.jobs, store=store)
-        print(result.render())
-        if args.plot:
-            from repro.experiments.plots import render_plots
+    executor = _make_executor(args, store)
+    try:
+        for experiment_id in ids:
+            start = time.time()
+            result = run_experiment(experiment_id, seed=args.seed, quick=not args.full,
+                                    jobs=args.jobs, store=store, executor=executor)
+            print(result.render())
+            if args.plot:
+                from repro.experiments.plots import render_plots
 
-            rendering = render_plots(result)
-            if rendering:
-                print("\n" + rendering)
-        print(f"   [{time.time() - start:.1f} s]\n")
-    _report_store(store)
+                rendering = render_plots(result)
+                if rendering:
+                    print("\n" + rendering)
+            print(f"   [{time.time() - start:.1f} s]\n")
+    finally:
+        if executor is not None:
+            executor.close()
+    _report_store(store, executor)
     return 0
 
 
@@ -96,13 +120,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     spec = CampaignSpec(minutes_per_operator=args.minutes, session_s=args.session,
                         ul_fraction=args.ul_fraction, seed=args.seed)
     store = _open_store(args)
-    campaign = generate_campaign(spec=spec, jobs=args.jobs, store=store)
+    executor = _make_executor(args, store)
+    try:
+        campaign = generate_campaign(spec=spec, jobs=args.jobs, store=store,
+                                     executor=executor)
+    finally:
+        if executor is not None:
+            executor.close()
     for row in campaign.summary_rows():
         print(row)
     if args.out is not None:
         paths = campaign.export(args.out, format=args.out_format)
         print(f"exported {len(paths)} traces to {args.out}")
-    _report_store(store)
+    _report_store(store, executor)
     return 0
 
 
@@ -148,13 +178,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.core import bench
 
     baseline = bench.load_report(args.baseline) if args.baseline else None
-    report = bench.measure(quick=args.quick, seed=args.seed)
-    print(bench.render(report))
+    expected = "campaign" if args.workload == "campaign" else "slot_engine"
+    if baseline is not None and baseline.get("bench") != expected:
+        print(f"baseline {args.baseline} is a {baseline.get('bench')!r} report, "
+              f"not {expected!r}", file=sys.stderr)
+        return 2
+    if args.workload == "campaign":
+        report = bench.measure_campaign(quick=args.quick, seed=args.seed,
+                                        jobs=args.jobs)
+        rendered, regressions = bench.render_campaign, bench.campaign_regression_failures
+    else:
+        report = bench.measure(quick=args.quick, seed=args.seed)
+        rendered, regressions = bench.render, bench.regression_failures
+    print(rendered(report))
     if args.out is not None:
         bench.write_report(report, args.out)
         print(f"wrote {args.out}")
     if baseline is not None:
-        failures = bench.regression_failures(report, baseline, threshold=args.threshold)
+        failures = regressions(report, baseline, threshold=args.threshold)
         for failure in failures:
             print(f"REGRESSION {failure}", file=sys.stderr)
         if failures:
@@ -198,13 +239,20 @@ def main(argv: list[str] | None = None) -> int:
                                  default="csv", help="export format (default csv)")
     campaign_parser.set_defaults(func=_cmd_campaign)
 
-    bench_parser = sub.add_parser("bench", help="tracked slot-engine benchmark")
+    bench_parser = sub.add_parser("bench", help="tracked benchmarks")
+    bench_parser.add_argument("--workload", choices=("slot", "campaign"),
+                              default="slot",
+                              help="slot engines (default) or the campaign "
+                                   "execution layer")
     bench_parser.add_argument("--quick", action="store_true",
                               help="short workloads, fewer repetitions (CI mode)")
     bench_parser.add_argument("--seed", type=int, default=2024)
+    bench_parser.add_argument("--jobs", type=_jobs_arg, default="auto", metavar="N|auto",
+                              help="worker count for the campaign workload "
+                                   "(default auto)")
     bench_parser.add_argument("--out", type=Path, default=None, metavar="FILE",
-                              help="write the JSON report here "
-                                   "(e.g. BENCH_slot_engine.json)")
+                              help="write the JSON report here (e.g. "
+                                   "BENCH_slot_engine.json, BENCH_campaign.json)")
     bench_parser.add_argument("--baseline", type=Path, default=None, metavar="FILE",
                               help="committed report to compare against; exit 1 "
                                    "on a hardware-normalized regression")

@@ -7,7 +7,10 @@ autocorrelation decays exponentially with distance (Gudmundson model):
 
 Along a sampled route the process is generated recursively as an AR(1)
 sequence driven by the per-step displacement, which reproduces the
-correct correlation for *any* (even non-uniform) sampling.
+correct correlation for *any* (even non-uniform) sampling.  The
+recursion is evaluated with the vectorized varying-coefficient scan of
+:func:`repro.channel.fading.ar1_scan` instead of a per-sample Python
+loop.
 """
 
 from __future__ import annotations
@@ -15,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.channel.fading import ar1_scan
 
 
 @dataclass(frozen=True)
@@ -59,12 +64,8 @@ class CorrelatedShadowing:
             return np.zeros(n)
         rho = self.correlation(displacements)
         innovations = rng.standard_normal(n)
-        series = np.empty(n)
-        series[0] = self.sigma_db * innovations[0]
-        for i in range(1, n):
-            r = rho[i]
-            series[i] = r * series[i - 1] + self.sigma_db * np.sqrt(1.0 - r * r) * innovations[i]
-        return series
+        noise = self.sigma_db * np.sqrt(1.0 - rho * rho) * innovations
+        return ar1_scan(rho, noise, init=self.sigma_db * innovations[0])
 
     def sample_stationary(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """IID shadowing samples (for a stationary UE re-draws are a single

@@ -22,7 +22,15 @@ from repro.core.qoe import QoeMetrics, normalized_bitrate, stall_percentage
 from repro.core.e2e import E2eLatencyModel, ServerPlacement, placement_sweep
 from repro.core.plotting import bar_chart, cdf_plot, line_plot, sparkline
 from repro.core.prediction import ThroughputPredictor, extract_features
-from repro.core.runner import SessionTask, derive_seed, derive_seeds, resolve_jobs, run_tasks
+from repro.core.runner import (
+    CampaignExecutor,
+    SessionTask,
+    derive_seed,
+    derive_seeds,
+    dispatch_chunksize,
+    resolve_jobs,
+    run_tasks,
+)
 
 __all__ = [
     "scaled_variability",
@@ -50,9 +58,11 @@ __all__ = [
     "sparkline",
     "ThroughputPredictor",
     "extract_features",
+    "CampaignExecutor",
     "SessionTask",
     "derive_seed",
     "derive_seeds",
+    "dispatch_chunksize",
     "resolve_jobs",
     "run_tasks",
 ]

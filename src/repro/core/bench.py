@@ -1,12 +1,18 @@
-"""Tracked slot-engine benchmark — the ``repro bench`` subcommand.
+"""Tracked benchmarks — the ``repro bench`` subcommand.
 
-The slot engines are the hot path under every figure, table and
-campaign, so their throughput is tracked across PRs: ``repro bench``
-measures slots/sec on the Fig. 1 single-carrier workload (the V_Sp
-n78 90 MHz deployment) for both the vectorized and the reference
-engine, single- and multi-UE, cold and warm, and emits a JSON report
-(``BENCH_slot_engine.json``) that CI diffs against the committed
-baseline.
+Two tracked workloads, selected with ``--workload``:
+
+- ``slot`` (default) — the slot engines, the hot path under every
+  figure, table and campaign: slots/sec on the Fig. 1 single-carrier
+  workload (the V_Sp n78 90 MHz deployment) for both the vectorized
+  and the reference engine, single- and multi-UE, cold and warm.
+  Report: ``BENCH_slot_engine.json``.
+- ``campaign`` — the execution layer end to end: sessions/sec of a
+  four-operator campaign through :func:`repro.core.runner.run_tasks`
+  under every transport (serial jobs=1 cold and warm, the legacy
+  pipe transport at jobs=auto, and store-routed jobs=auto cold and
+  warm on a persistent :class:`~repro.core.runner.CampaignExecutor`
+  pool).  Report: ``BENCH_campaign.json``.
 
 Two measurement conventions keep the numbers honest:
 
@@ -18,10 +24,12 @@ Two measurement conventions keep the numbers honest:
   and everything above it is scheduler noise.
 - **hardware normalization** — CI machines differ run to run, so a raw
   slots/sec comparison against a committed baseline is meaningless.
-  The reference engine runs the same workload in the same process, so
-  the ratio ``reference_now / reference_baseline`` estimates the
-  machine-speed factor; the vectorized number is compared after
-  dividing that factor out (see :func:`regression_failures`).
+  A reference workload runs in the same process (the reference engine
+  for ``slot``, the serial jobs=1 cold run for ``campaign``), so the
+  ratio ``reference_now / reference_baseline`` estimates the
+  machine-speed factor; tracked numbers are compared after dividing
+  that factor out (see :func:`regression_failures` and
+  :func:`campaign_regression_failures`).
 """
 
 from __future__ import annotations
@@ -37,11 +45,15 @@ import numpy as np
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "PRE_PR_BASELINE",
+    "campaign_regression_failures",
+    "campaign_tasks",
     "load_report",
     "measure",
+    "measure_campaign",
     "multi_ue_traces",
     "regression_failures",
     "render",
+    "render_campaign",
     "single_ue_trace",
     "write_report",
 ]
@@ -218,6 +230,184 @@ def render(report: dict[str, Any]) -> str:
         lines.append(f"  speedup vs pre-PR scalar engine: "
                      f"single-UE {speedup['single_ue']:.2f}x, "
                      f"multi-UE {speedup['multi_ue']:.2f}x")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# Campaign workload — the execution layer end to end
+# --------------------------------------------------------------------- #
+
+#: Operators of the campaign workload: two Spanish and two German
+#: deployments spanning 40–90 MHz carriers (a representative slice of
+#: the study without the full nine-operator cost).
+_CAMPAIGN_PROFILE_KEYS = ("V_Sp", "O_Sp_100", "T_Ge", "V_Ge")
+
+#: Workloads whose sessions/sec the campaign gate tracks (everything
+#: the execution-layer rewrite is responsible for); ``pipe_cold`` and
+#: ``jobs1_cold`` are informational / the normalization reference.
+_CAMPAIGN_GATED = ("jobs1_warm", "store_routed_cold", "store_routed_warm")
+
+
+def campaign_tasks(quick: bool = False, seed: int = 2024) -> list:
+    """The benchmark campaign's session manifest (fixed shape per mode)."""
+    from repro.operators.profiles import EU_PROFILES
+    from repro.xcal.dataset import CampaignSpec, campaign_manifest
+
+    spec = CampaignSpec(
+        minutes_per_operator=0.15 if quick else 0.5,
+        session_s=3.0 if quick else 5.0,
+        seed=seed,
+    )
+    profiles = {key: EU_PROFILES[key] for key in _CAMPAIGN_PROFILE_KEYS}
+    return campaign_manifest(profiles, spec)
+
+
+def _time_campaign(manifest: list, **run_kwargs: Any) -> dict[str, float]:
+    """sessions/sec of one ``run_tasks`` execution, TBS caches cleared."""
+    from repro.core.runner import run_tasks
+    from repro.nr.tbs import clear_tbs_matrix_cache
+
+    clear_tbs_matrix_cache()
+    start = time.perf_counter()
+    run_tasks(manifest, **run_kwargs)
+    wall = time.perf_counter() - start
+    return {"sessions_per_s": round(len(manifest) / wall, 3),
+            "wall_s": round(wall, 3)}
+
+
+def measure_campaign(quick: bool = False, seed: int = 2024,
+                     jobs: int | str = "auto") -> dict[str, Any]:
+    """Run the campaign benchmark matrix and return the report dict.
+
+    Five timed variants, each on its own seed (so every "cold" run is
+    genuinely cold — no key overlap with a previous variant's store)
+    and its own store directory:
+
+    - ``jobs1_cold`` / ``jobs1_warm`` — serial runner, empty store then
+      fully warm store.  ``jobs1_cold`` is the hardware-normalization
+      reference (the path least affected by the execution layer).
+    - ``pipe_cold`` — jobs=auto on a transient pool with full results
+      pickled back over the pipe: the pre-PR parallel path, kept as
+      the comparator the store-routed speedup is quoted against.
+    - ``store_routed_cold`` / ``store_routed_warm`` — jobs=auto on a
+      persistent :class:`~repro.core.runner.CampaignExecutor` pool
+      whose workers write payloads to the store and return keys.
+    """
+    import tempfile
+
+    from repro.core.runner import CampaignExecutor, resolve_jobs
+    from repro.store import TraceStore
+
+    workers = resolve_jobs(jobs)
+    workloads: dict[str, Any] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-campaign-") as tmpdir:
+        tmp = Path(tmpdir)
+        serial_manifest = campaign_tasks(quick, seed)
+        workloads["jobs1_cold"] = _time_campaign(
+            serial_manifest, jobs=1, store=TraceStore(tmp / "jobs1"))
+        workloads["jobs1_warm"] = _time_campaign(
+            serial_manifest, jobs=1, store=TraceStore(tmp / "jobs1"))
+
+        pipe_manifest = campaign_tasks(quick, seed + 1)
+        workloads["pipe_cold"] = _time_campaign(
+            pipe_manifest, jobs=workers, store=TraceStore(tmp / "pipe"),
+            transport="pipe")
+
+        routed_manifest = campaign_tasks(quick, seed + 2)
+        routed_store = TraceStore(tmp / "routed")
+        with CampaignExecutor(jobs=workers, store=routed_store) as executor:
+            workloads["store_routed_cold"] = _time_campaign(
+                routed_manifest, store=routed_store, executor=executor,
+                transport="store")
+            workloads["store_routed_warm"] = _time_campaign(
+                routed_manifest, store=TraceStore(tmp / "routed"),
+                executor=executor)
+            pool_stats = executor.stats()
+
+    pipe = workloads["pipe_cold"]["sessions_per_s"]
+    report: dict[str, Any] = {
+        "bench": "campaign",
+        "schema": BENCH_SCHEMA_VERSION,
+        "quick": quick,
+        "config": {
+            "profiles": list(_CAMPAIGN_PROFILE_KEYS),
+            "n_sessions": len(serial_manifest),
+            "jobs": workers,
+            "seed": seed,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "pool": pool_stats,
+        "workloads": workloads,
+        "speedup": {
+            "routed_cold_vs_pipe_cold": round(
+                workloads["store_routed_cold"]["sessions_per_s"] / pipe, 2),
+            "warm_vs_pre_pr_pipe": round(
+                workloads["store_routed_warm"]["sessions_per_s"] / pipe, 2),
+        },
+    }
+    return report
+
+
+def campaign_regression_failures(current: dict[str, Any],
+                                 baseline: dict[str, Any],
+                                 threshold: float = 0.30) -> list[str]:
+    """Hardware-normalized regressions of a campaign report.
+
+    The serial ``jobs1_cold`` run is the reference workload: its ratio
+    between the two reports estimates the machine-speed factor, and a
+    gated workload fails when it lost more than ``threshold`` of its
+    sessions/sec after that factor is divided out (same convention as
+    :func:`regression_failures`).
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must lie in (0, 1)")
+    failures: list[str] = []
+    try:
+        base_ref = baseline["workloads"]["jobs1_cold"]["sessions_per_s"]
+        new_ref = current["workloads"]["jobs1_cold"]["sessions_per_s"]
+    except KeyError:
+        return ["jobs1_cold: reference workload missing from a report"]
+    scale = new_ref / base_ref
+    for name in _CAMPAIGN_GATED:
+        base = baseline.get("workloads", {}).get(name)
+        if base is None:
+            continue
+        new = current.get("workloads", {}).get(name)
+        if new is None:
+            failures.append(f"{name}: missing from current report")
+            continue
+        floor = (1.0 - threshold) * base["sessions_per_s"] * scale
+        if new["sessions_per_s"] < floor:
+            failures.append(
+                f"{name}: {new['sessions_per_s']:,.2f} sessions/s < floor "
+                f"{floor:,.2f} (baseline {base['sessions_per_s']:,.2f} "
+                f"x machine factor {scale:.2f} x {1.0 - threshold:.2f})")
+    return failures
+
+
+def render_campaign(report: dict[str, Any]) -> str:
+    """Human-readable table of a campaign benchmark report."""
+    config = report["config"]
+    lines = [f"campaign benchmark ({'quick' if report['quick'] else 'full'}, "
+             f"{len(config['profiles'])} operators, "
+             f"{config['n_sessions']} sessions, jobs={config['jobs']})"]
+    for name, data in report["workloads"].items():
+        lines.append(f"  {name:18s} {data['sessions_per_s']:>8,.2f} sessions/s"
+                     f"   ({data['wall_s']:.2f} s)")
+    speedup = report.get("speedup", {})
+    if speedup:
+        lines.append(
+            f"  store-routed warm vs pre-PR pipe path: "
+            f"{speedup['warm_vs_pre_pr_pipe']:.2f}x "
+            f"(routed cold {speedup['routed_cold_vs_pipe_cold']:.2f}x)")
+    pool = report.get("pool")
+    if pool:
+        lines.append(f"  pool: workers={pool['workers']} pools={pool['pools_created']} "
+                     f"dispatches={pool['dispatches']} tasks={pool['tasks_executed']} "
+                     f"routed={pool['tasks_routed']}")
     return "\n".join(lines)
 
 

@@ -16,14 +16,26 @@ sessions.  This module gives them one execution engine:
    is what makes per-session traces reproducible in isolation.
 3. **Dispatch** — :func:`run_tasks` executes the manifest serially
    (``jobs=1``, the default) or on a ``ProcessPoolExecutor``
-   (``jobs=N`` or ``jobs="auto"``).  Results come back in manifest
-   order, so outputs are bit-identical for every worker count.
-4. **Memoization** — ``run_tasks(..., store=...)`` consults a
-   :class:`repro.store.TraceStore` first: hits are served straight from
-   disk (the process pool is never started when everything hits),
-   misses are executed and backfilled.  Because a task's fingerprint
-   covers exactly what it computes, the returned list is byte-identical
-   to an uncached run in manifest order.
+   (``jobs=N`` or ``jobs="auto"``) with adaptive chunking.  Results
+   come back in manifest order, so outputs are bit-identical for every
+   worker count.
+4. **Memoization and store routing** — ``run_tasks(..., store=...)``
+   consults a :class:`repro.store.TraceStore` first: hits are served
+   straight from disk (the process pool is never started when
+   everything hits), misses are executed.  On a parallel run each
+   *worker* serializes its result into the store itself and returns
+   only ``(key, bytes written)`` over the pipe; the parent materializes
+   results from disk in manifest order.  Large trace arrays therefore
+   never cross a process boundary — the pipe carries kilobytes of keys
+   instead of megabytes of pickles.  ``transport="pipe"`` forces the
+   legacy pickle-the-result path (the pre-store-routing behaviour,
+   kept for benchmarks and cross-checks); results are byte-identical
+   either way.
+5. **Pool reuse** — :class:`CampaignExecutor` keeps one warm process
+   pool alive across many ``run_tasks`` calls (a whole ``repro
+   campaign`` / multi-experiment ``repro run``), with a worker
+   initializer that opens the per-worker store handle once and
+   pre-warms the TBS lookup-matrix cache.
 """
 
 from __future__ import annotations
@@ -31,19 +43,27 @@ from __future__ import annotations
 import dataclasses
 import os
 import zlib
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
 __all__ = [
+    "CampaignExecutor",
     "SessionTask",
     "derive_seed",
     "derive_seeds",
+    "dispatch_chunksize",
+    "prewarm_worker_caches",
     "resolve_jobs",
     "run_tasks",
 ]
+
+#: Cap on the number of tasks batched into one worker round-trip.  Keeps
+#: chunks small enough that a warm pool load-balances many-small-task
+#: manifests while still amortizing the per-message IPC cost.
+_MAX_CHUNK = 32
 
 
 def _key_part(part: int | str) -> int:
@@ -136,17 +156,240 @@ def resolve_jobs(jobs: int | str | None) -> int:
     return int(jobs)
 
 
-def _dispatch(manifest: Sequence[SessionTask], workers: int) -> list[Any]:
+def dispatch_chunksize(n_tasks: int, workers: int) -> int:
+    """Adaptive chunk size for dispatching ``n_tasks`` to ``workers``.
+
+    Aims for ~4 chunks per worker so stragglers rebalance, capped so a
+    many-small-task manifest stops paying one IPC round-trip per task
+    without serializing the whole manifest into one message.
+    """
+    if workers <= 1 or n_tasks <= workers:
+        return 1
+    return max(1, min(_MAX_CHUNK, n_tasks // (workers * 4)))
+
+
+# ---------------------------------------------------------------------- #
+# Worker-side state
+# ---------------------------------------------------------------------- #
+# One store handle per worker process, opened once by the pool
+# initializer instead of per task; ``None`` in pipe-transport pools.
+
+_WORKER_STORE: Any = None
+
+
+def prewarm_worker_caches() -> None:
+    """Pre-build the TBS lookup matrices campaign sessions need.
+
+    Every session starts by building the lookup matrix for its carrier's
+    full grant; warming them in the pool initializer moves that cost out
+    of the first task of every worker.  Best-effort: a profile that
+    fails to warm simply pays the build on first use.
+    """
+    try:
+        from repro.nr.tdd import SlotType
+        from repro.operators.profiles import ALL_PROFILES
+        from repro.ran.simulator import prewarm_tbs_matrices
+
+        for profile in ALL_PROFILES.values():
+            prewarm_tbs_matrices(profile.primary_cell, SlotType.DL)
+            prewarm_tbs_matrices(profile.primary_cell, SlotType.UL,
+                                 max_layers=profile.ul_max_layers)
+    except Exception:
+        pass
+
+
+def _pool_initializer(store_config: tuple[str, int | None] | None,
+                      prewarm: bool) -> None:
+    global _WORKER_STORE
+    if store_config is not None:
+        from repro.store import TraceStore
+
+        _WORKER_STORE = TraceStore(store_config[0], max_bytes=store_config[1])
+    if prewarm:
+        prewarm_worker_caches()
+
+
+def _execute_chunk_routed(chunk: list[tuple[int, SessionTask, str | None]]
+                          ) -> list[tuple[int, str | None, Any, int]]:
+    """Worker side of the store-routed path.
+
+    Executes each ``(index, task, key)``; results the worker store
+    accepts stay on disk and only ``(index, key, None, bytes_written)``
+    returns over the pipe.  Uncacheable results (no key, codec refusal,
+    no worker store) fall back to the pipe as ``(index, None, value, 0)``.
+    """
+    out: list[tuple[int, str | None, Any, int]] = []
+    for index, task, key in chunk:
+        value = task.execute()
+        if key is not None and _WORKER_STORE is not None:
+            before = _WORKER_STORE.bytes_written
+            if _WORKER_STORE.put(key, value, task=task):
+                out.append((index, key, None, _WORKER_STORE.bytes_written - before))
+                continue
+        out.append((index, None, value, 0))
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Persistent pool
+# ---------------------------------------------------------------------- #
+class CampaignExecutor:
+    """A warm worker pool shared across many ``run_tasks`` calls.
+
+    A campaign-scale ``repro run``/``repro campaign`` used to build a
+    fresh ``ProcessPoolExecutor`` per experiment, paying interpreter
+    start-up, imports and cold caches every time.  A ``CampaignExecutor``
+    keeps one pool alive for the whole command::
+
+        with CampaignExecutor(jobs="auto", store=store) as executor:
+            for spec in specs:
+                generate_campaign(spec=spec, store=store, executor=executor)
+
+    The pool is created lazily on first parallel dispatch, with an
+    initializer that opens each worker's store handle once (enabling
+    store-routed results) and pre-warms the TBS lookup-matrix cache.
+    ``stats()`` reports what the pool actually did — dispatches, tasks
+    executed, and how many results were routed through the store versus
+    pickled back.
+    """
+
+    def __init__(self, jobs: int | str | None = "auto", store: Any = None,
+                 prewarm: bool = True) -> None:
+        self.workers = resolve_jobs(jobs)
+        self.store = store
+        self.prewarm = prewarm
+        self._pool: ProcessPoolExecutor | None = None
+        self.pools_created = 0
+        self.dispatches = 0
+        self.tasks_executed = 0
+        self.tasks_routed = 0
+
+    @property
+    def store_config(self) -> tuple[str, int | None] | None:
+        if self.store is None:
+            return None
+        return (str(self.store.root), self.store.max_bytes)
+
+    def routes_for(self, store: Any) -> bool:
+        """Whether this executor's workers write into ``store``."""
+        return (store is not None and self.store is not None
+                and str(self.store.root) == str(store.root))
+
+    def pool(self) -> ProcessPoolExecutor:
+        """The shared pool, created on first use."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_pool_initializer,
+                initargs=(self.store_config, self.prewarm),
+            )
+            self.pools_created += 1
+        return self._pool
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "workers": self.workers,
+            "pools_created": self.pools_created,
+            "dispatches": self.dispatches,
+            "tasks_executed": self.tasks_executed,
+            "tasks_routed": self.tasks_routed,
+        }
+
+    def render_stats(self) -> str:
+        s = self.stats()
+        return (f"pool workers={s['workers']} pools={s['pools_created']} "
+                f"dispatches={s['dispatches']} tasks={s['tasks_executed']} "
+                f"routed={s['tasks_routed']}")
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "CampaignExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------- #
+# Dispatch
+# ---------------------------------------------------------------------- #
+def _chunked(items: list, size: int) -> list[list]:
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def _dispatch(manifest: Sequence[SessionTask], workers: int,
+              executor: CampaignExecutor | None = None) -> list[Any]:
     """Execute tasks in order, serially or on a process pool."""
     if workers == 1 or len(manifest) <= 1:
         return [_execute(task) for task in manifest]
+    chunksize = dispatch_chunksize(len(manifest), workers)
+    if executor is not None:
+        executor.dispatches += 1
+        executor.tasks_executed += len(manifest)
+        return list(executor.pool().map(_execute, manifest, chunksize=chunksize))
     with ProcessPoolExecutor(max_workers=min(workers, len(manifest))) as pool:
-        return list(pool.map(_execute, manifest))
+        return list(pool.map(_execute, manifest, chunksize=chunksize))
+
+
+def _dispatch_routed(manifest: Sequence[SessionTask], indices: list[int],
+                     keys: list[str | None], store: Any, workers: int,
+                     results: list[Any],
+                     executor: CampaignExecutor | None) -> None:
+    """Store-routed parallel execution of the miss set, in place.
+
+    Workers write results into the store and return keys; completed
+    chunks stream back via ``as_completed`` (no buffering until the
+    whole miss set finishes).  The parent materializes routed results
+    from disk in manifest order at the end; a result evicted between
+    the worker's write and the parent's read is recomputed in-process,
+    so the output never depends on store retention.
+    """
+    chunksize = dispatch_chunksize(len(indices), workers)
+    chunks = _chunked([(i, manifest[i], keys[i]) for i in indices], chunksize)
+
+    def _consume(outcomes: Iterable[tuple[int, str | None, Any, int]],
+                 routed: dict[int, str]) -> None:
+        for index, key, value, nbytes in outcomes:
+            if key is not None:
+                routed[index] = key
+                store.note_routed_write(nbytes)
+                if executor is not None:
+                    executor.tasks_routed += 1
+            else:
+                results[index] = value
+
+    routed: dict[int, str] = {}
+    if executor is not None:
+        executor.dispatches += 1
+        executor.tasks_executed += len(indices)
+        pool = executor.pool()
+        futures = [pool.submit(_execute_chunk_routed, chunk) for chunk in chunks]
+        for future in as_completed(futures):
+            _consume(future.result(), routed)
+    else:
+        config = (str(store.root), store.max_bytes)
+        with ProcessPoolExecutor(max_workers=min(workers, len(indices)),
+                                 initializer=_pool_initializer,
+                                 initargs=(config, True)) as pool:
+            futures = [pool.submit(_execute_chunk_routed, chunk) for chunk in chunks]
+            for future in as_completed(futures):
+                _consume(future.result(), routed)
+
+    for index in sorted(routed):
+        try:
+            results[index] = store.read(routed[index])
+        except KeyError:  # evicted/corrupted since the worker wrote it
+            results[index] = manifest[index].execute()
 
 
 def run_tasks(tasks: Iterable[SessionTask] | Sequence[SessionTask],
               jobs: int | str | None = 1,
-              store: Any | None = None) -> list[Any]:
+              store: Any | None = None,
+              executor: CampaignExecutor | None = None,
+              transport: str = "auto") -> list[Any]:
     """Execute a manifest; results are returned in manifest order.
 
     ``jobs=1`` runs in-process.  ``jobs>1`` dispatches to a process
@@ -156,15 +399,28 @@ def run_tasks(tasks: Iterable[SessionTask] | Sequence[SessionTask],
     ``store`` (a :class:`repro.store.TraceStore`) turns the call into a
     memoized run: the manifest is partitioned into hits — served from
     the store without touching the process pool — and misses, which are
-    executed (serially or on the pool) and backfilled.  Tasks whose
-    kwargs cannot be fingerprinted, or whose results the store codec
-    does not cover, execute normally every time; the returned list is
-    identical to an uncached run either way.
+    executed and written back.  On a parallel run misses are
+    *store-routed*: each worker writes its result into the store and
+    only the key crosses the pipe (see :func:`_dispatch_routed`).
+    Tasks whose kwargs cannot be fingerprinted, or whose results the
+    store codec does not cover, execute normally every time; the
+    returned list is identical to an uncached run either way.
+
+    ``executor`` (a :class:`CampaignExecutor`) supplies a persistent
+    pool shared across calls; it overrides ``jobs`` with its own worker
+    count.  ``transport`` selects how parallel miss results travel:
+    ``"auto"`` routes through the store whenever the workers share one,
+    ``"pipe"`` forces the legacy pickle-the-result path, ``"store"``
+    requires routing (raises if no store is configured).
     """
+    if transport not in ("auto", "pipe", "store"):
+        raise ValueError(f"transport must be 'auto', 'pipe' or 'store', got {transport!r}")
     manifest = list(tasks)
-    workers = resolve_jobs(jobs)
+    workers = executor.workers if executor is not None else resolve_jobs(jobs)
     if store is None:
-        return _dispatch(manifest, workers)
+        if transport == "store":
+            raise ValueError("transport='store' requires a configured store")
+        return _dispatch(manifest, workers, executor=executor)
 
     keys = [store.task_key(task) for task in manifest]
     results: list[Any] = [None] * len(manifest)
@@ -177,10 +433,39 @@ def run_tasks(tasks: Iterable[SessionTask] | Sequence[SessionTask],
             except KeyError:
                 pass
         miss_indices.append(index)
-    if miss_indices:
-        computed = _dispatch([manifest[i] for i in miss_indices], workers)
-        for index, value in zip(miss_indices, computed):
+    if not miss_indices:
+        return results
+
+    routable = executor.routes_for(store) if executor is not None else True
+    route = transport == "store" or (transport == "auto" and routable)
+    if workers == 1 or len(miss_indices) == 1:
+        # Serial path: execute in manifest order, stream each write.
+        for index in miss_indices:
+            value = manifest[index].execute()
             results[index] = value
             if keys[index] is not None:
                 store.put(keys[index], value, task=manifest[index])
+    elif route:
+        _dispatch_routed(manifest, miss_indices, keys, store, workers,
+                         results, executor)
+    else:
+        # Pipe transport: results pickle back; backfill streams with the
+        # (ordered) result iterator instead of waiting for the full set.
+        misses = [manifest[i] for i in miss_indices]
+        chunksize = dispatch_chunksize(len(misses), workers)
+        if executor is not None:
+            executor.dispatches += 1
+            executor.tasks_executed += len(misses)
+            computed = executor.pool().map(_execute, misses, chunksize=chunksize)
+            for index, value in zip(miss_indices, computed):
+                results[index] = value
+                if keys[index] is not None:
+                    store.put(keys[index], value, task=manifest[index])
+        else:
+            with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
+                for index, value in zip(miss_indices,
+                                        pool.map(_execute, misses, chunksize=chunksize)):
+                    results[index] = value
+                    if keys[index] is not None:
+                        store.put(keys[index], value, task=manifest[index])
     return results

@@ -56,13 +56,16 @@ EXPERIMENT_IDS = tuple(sorted(set(_MODULES)))
 
 
 def run_experiment(experiment_id: str, seed: int = 2024, quick: bool = True,
-                   jobs: int | str = 1, store=None) -> ExperimentResult:
+                   jobs: int | str = 1, store=None, executor=None) -> ExperimentResult:
     """Run one experiment by id.
 
-    ``jobs`` and ``store`` are forwarded to experiments whose session
-    loops run on the parallel runner (:mod:`repro.core.runner`); others
-    ignore them.  ``store`` (a :class:`repro.store.TraceStore`) memoizes
-    sessions across runs — results are identical with or without it.
+    ``jobs``, ``store`` and ``executor`` are forwarded to experiments
+    whose session loops run on the parallel runner
+    (:mod:`repro.core.runner`); others ignore them.  ``store`` (a
+    :class:`repro.store.TraceStore`) memoizes sessions across runs —
+    results are identical with or without it.  ``executor`` (a
+    :class:`repro.core.runner.CampaignExecutor`) shares one warm worker
+    pool across experiments instead of forking a fresh pool per call.
     """
     if experiment_id not in _MODULES:
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {EXPERIMENT_IDS}")
@@ -75,6 +78,8 @@ def run_experiment(experiment_id: str, seed: int = 2024, quick: bool = True,
         kwargs["jobs"] = jobs
     if "store" in parameters and store is not None:
         kwargs["store"] = store
+    if "executor" in parameters and executor is not None:
+        kwargs["executor"] = executor
     return module.run(**kwargs)
 
 

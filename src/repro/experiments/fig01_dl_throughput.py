@@ -28,7 +28,7 @@ def _us_ca_session(profile, duration_s: float, seed: int):
 
 
 def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1,
-        store=None) -> ExperimentResult:
+        store=None, executor=None) -> ExperimentResult:
     duration = 8.0 if quick else 30.0
     eu_keys = list(targets.FIG1_EU_DL_MBPS)
     us_keys = list(targets.FIG1_US_DL_GBPS)
@@ -43,7 +43,7 @@ def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1,
                     seed=seed + 17, label=f"us/{key}")
         for key in us_keys
     ]
-    results = run_tasks(manifest, jobs=jobs, store=store)
+    results = run_tasks(manifest, jobs=jobs, store=store, executor=executor)
 
     rows: list[str] = ["-- Europe (single carrier, Mbps) --"]
     data: dict = {"eu": {}, "us": {}}

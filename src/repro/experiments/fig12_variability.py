@@ -22,7 +22,7 @@ REPORT_SCALES_MS = (0.5, 8.0, 128.0, 2048.0)
 
 
 def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1,
-        store=None) -> ExperimentResult:
+        store=None, executor=None) -> ExperimentResult:
     duration = 20.0 if quick else 60.0
     rows: list[str] = []
     data: dict = {}
@@ -32,7 +32,7 @@ def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1,
                     seed=seed, label=key)
         for key in FIG12_KEYS
     ]
-    traces = dict(zip(FIG12_KEYS, run_tasks(manifest, jobs=jobs, store=store)))
+    traces = dict(zip(FIG12_KEYS, run_tasks(manifest, jobs=jobs, store=store, executor=executor)))
     for key in FIG12_KEYS:
         trace = traces[key]
         slot_ms = trace.slot_duration_ms

@@ -64,7 +64,7 @@ def _sequential_session(label: str, duration_s: float, seed: int):
 
 
 def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1,
-        store=None) -> ExperimentResult:
+        store=None, executor=None) -> ExperimentResult:
     duration = 8.0 if quick else 25.0
     profile = US_PROFILES["Vzw_US"]
     cell = profile.primary_cell
@@ -79,7 +79,7 @@ def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1,
                     seed=seed + offset, label=label)
         for offset, label in enumerate(("A", "B"))
     ]
-    for label, trace in zip(("A", "B"), run_tasks(manifest, jobs=jobs, store=store)):
+    for label, trace in zip(("A", "B"), run_tasks(manifest, jobs=jobs, store=store, executor=executor)):
         data["sequential"][label] = _stats(trace)
 
     # Simultaneous: both UEs share the cell through the scheduler.

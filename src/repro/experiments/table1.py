@@ -15,13 +15,13 @@ from repro.xcal.dataset import CampaignSpec, generate_campaign
 
 
 def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1,
-        store=None) -> ExperimentResult:
+        store=None, executor=None) -> ExperimentResult:
     spec = CampaignSpec(
         minutes_per_operator=0.5 if quick else 2.0,
         session_s=10.0 if quick else 20.0,
         seed=seed,
     )
-    campaign = generate_campaign(spec=spec, jobs=jobs, store=store)
+    campaign = generate_campaign(spec=spec, jobs=jobs, store=store, executor=executor)
     paper = targets.TABLE1
 
     countries = sorted({p.country for p in ALL_PROFILES.values()})

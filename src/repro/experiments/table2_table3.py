@@ -46,7 +46,7 @@ def _profile_entry(key: str, profile) -> tuple[list[str], list[dict]]:
 
 
 def run(seed: int = 2024, quick: bool = True, which: str = "table2",
-        jobs: int | str = 1, store=None) -> ExperimentResult:
+        jobs: int | str = 1, store=None, executor=None) -> ExperimentResult:
     profiles = EU_PROFILES if which == "table2" else US_PROFILES
     manifest = [
         SessionTask(fn=_profile_entry, kwargs={"key": key, "profile": profile}, label=key)
@@ -54,7 +54,7 @@ def run(seed: int = 2024, quick: bool = True, which: str = "table2",
     ]
     rows: list[str] = []
     data: dict = {}
-    for key, (profile_rows, records) in zip(profiles, run_tasks(manifest, jobs=jobs, store=store)):
+    for key, (profile_rows, records) in zip(profiles, run_tasks(manifest, jobs=jobs, store=store, executor=executor)):
         rows.extend(profile_rows)
         data[key] = records
     title = "EU network configs (Table 2)" if which == "table2" else "U.S. network configs (Table 3)"

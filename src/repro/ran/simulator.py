@@ -233,6 +233,25 @@ class _TbsCache:
         return self._cache[key]
 
 
+def prewarm_tbs_matrices(cell: CellConfig, direction: SlotType = SlotType.DL,
+                         max_layers: int | None = None) -> None:
+    """Populate the process-wide TBS matrix cache for a carrier.
+
+    Builds the full-grant (and special-slot) matrices for the primary
+    and fallback MCS tables — the matrices every full-buffer session on
+    this carrier resolves first.  Campaign worker pools call this from
+    their initializer so the first session of each worker starts warm;
+    grant sizes trimmed by background load still build lazily.
+    """
+    if direction is SlotType.UL and cell.max_modulation is not Modulation.QAM64:
+        cell = replace(cell, max_modulation=Modulation.QAM64)
+    layers = cell.max_layers if max_layers is None else min(max_layers, cell.max_layers)
+    cache = _TbsCache(cell, layers, direction)
+    full_grant = cache.quantize(cell.grantable_rb)
+    cache.get("primary", full_grant)
+    cache.get("fallback", full_grant)
+
+
 class _Period:
     """Per-CQI-period context shared by the slot engines.
 

@@ -56,12 +56,16 @@ class StoreStats:
     quarantined: int
     hits: int
     misses: int
+    bytes_read: int = 0
+    bytes_written: int = 0
 
     def render(self) -> str:
         return (f"store {self.root}: {self.entries} entries, "
                 f"{self.total_bytes / 1e6:.2f} MB, "
                 f"{self.quarantined} quarantined; "
-                f"session hits={self.hits} misses={self.misses}")
+                f"session hits={self.hits} misses={self.misses} "
+                f"read={self.bytes_read / 1e6:.2f}MB "
+                f"written={self.bytes_written / 1e6:.2f}MB")
 
 
 class TraceStore:
@@ -75,6 +79,12 @@ class TraceStore:
         self.salt = STORE_SCHEMA_VERSION * 1000 + codec.CODEC_VERSION
         self.hits = 0
         self.misses = 0
+        #: Payload bytes this process moved through the store.  Reads
+        #: count hits *and* store-routed materializations; writes count
+        #: local puts plus routed worker writes reported via
+        #: :meth:`note_routed_write`.
+        self.bytes_read = 0
+        self.bytes_written = 0
         (self.root / "objects").mkdir(parents=True, exist_ok=True)
         (self.root / "quarantine").mkdir(parents=True, exist_ok=True)
 
@@ -111,39 +121,63 @@ class TraceStore:
     # ------------------------------------------------------------------ #
     # Get / put
     # ------------------------------------------------------------------ #
-    def get(self, key: str) -> Any:
-        """Decoded result for ``key``; raises ``KeyError`` on a miss.
+    def _load(self, key: str) -> Any:
+        """Verified decode of ``key``; raises ``KeyError`` without
+        touching the hit/miss counters (callers layer accounting on top).
 
         A corrupted entry (hash mismatch, unreadable sidecar, decode
-        failure) is quarantined and reported as a miss.
+        failure) is quarantined so it is recomputed, not re-read.
         """
         payload_path, sidecar_path = self._paths(key)
         try:
             sidecar = json.loads(sidecar_path.read_text())
             data = payload_path.read_bytes()
         except FileNotFoundError:
-            self.misses += 1
             raise KeyError(key) from None
         except (json.JSONDecodeError, UnicodeDecodeError, OSError):
             self._quarantine(key)
-            self.misses += 1
             raise KeyError(key) from None
         if sha256(data).hexdigest() != sidecar.get("sha256"):
             self._quarantine(key)
-            self.misses += 1
             raise KeyError(key) from None
         try:
             value = codec.decode(data)
         except Exception:
             self._quarantine(key)
-            self.misses += 1
             raise KeyError(key) from None
         try:
             os.utime(sidecar_path)  # LRU clock
         except OSError:
             pass  # concurrently evicted; the value is still good
+        self.bytes_read += len(data)
+        return value
+
+    def get(self, key: str) -> Any:
+        """Decoded result for ``key``; raises ``KeyError`` on a miss.
+
+        A corrupted entry (hash mismatch, unreadable sidecar, decode
+        failure) is quarantined and reported as a miss.
+        """
+        try:
+            value = self._load(key)
+        except KeyError:
+            self.misses += 1
+            raise
         self.hits += 1
         return value
+
+    def read(self, key: str) -> Any:
+        """Like :meth:`get` but outside the hit/miss tally.
+
+        The store-routed runner uses this to materialize results its
+        *workers* just wrote: those sessions were computed, so counting
+        the read-back as a cache hit would misreport the run.
+        """
+        return self._load(key)
+
+    def note_routed_write(self, n_bytes: int) -> None:
+        """Account payload bytes a worker process wrote on our behalf."""
+        self.bytes_written += int(n_bytes)
 
     def put(self, key: str, value: Any, *, task: Any = None, label: str = "") -> bool:
         """Store a session result; returns ``False`` for uncacheable values."""
@@ -165,6 +199,7 @@ class TraceStore:
             sidecar["seed"] = task.seed
         self._atomic_write(payload_path, data)
         self._atomic_write(sidecar_path, json.dumps(sidecar, sort_keys=True).encode())
+        self.bytes_written += len(data)
         if self.max_bytes is not None:
             self.evict(self.max_bytes)
         return True
@@ -197,7 +232,8 @@ class TraceStore:
             entries += 1
         quarantined = sum(1 for p in (self.root / "quarantine").glob("*.npz"))
         return StoreStats(root=str(self.root), entries=entries, total_bytes=total,
-                          quarantined=quarantined, hits=self.hits, misses=self.misses)
+                          quarantined=quarantined, hits=self.hits, misses=self.misses,
+                          bytes_read=self.bytes_read, bytes_written=self.bytes_written)
 
     def verify(self) -> tuple[int, list[str]]:
         """Re-hash every entry; quarantine mismatches.

@@ -214,6 +214,8 @@ def generate_campaign(
     spec: CampaignSpec | None = None,
     jobs: int | str | None = 1,
     store=None,
+    executor=None,
+    transport: str = "auto",
 ) -> MeasurementCampaign:
     """Generate a synthetic campaign over the given operator profiles.
 
@@ -225,7 +227,10 @@ def generate_campaign(
     pool with bit-identical results.  ``store`` (a
     :class:`repro.store.TraceStore`) memoizes sessions: previously
     simulated ones load from disk, new ones are simulated and
-    backfilled, and the campaign is identical either way.
+    backfilled, and the campaign is identical either way.  ``executor``
+    (a :class:`repro.core.runner.CampaignExecutor`) reuses one warm
+    worker pool across campaigns; ``transport`` selects how worker
+    results travel back (see :func:`repro.core.runner.run_tasks`).
     """
     from repro.operators.profiles import ALL_PROFILES
 
@@ -236,7 +241,9 @@ def generate_campaign(
         campaign.dl_traces[key] = []
         campaign.ul_traces[key] = []
     manifest = campaign_manifest(profiles, spec)
-    for task, trace in zip(manifest, run_tasks(manifest, jobs=jobs, store=store)):
+    results = run_tasks(manifest, jobs=jobs, store=store,
+                        executor=executor, transport=transport)
+    for task, trace in zip(manifest, results):
         key, direction, _ = task.label.rsplit("/", 2)  # key itself may contain "/"
         collection = campaign.ul_traces if direction == "UL" else campaign.dl_traces
         collection[key].append(trace)

@@ -3,7 +3,69 @@
 import numpy as np
 import pytest
 
-from repro.channel.fading import Ar1Fading, coherence_time_s, doppler_hz
+from repro.channel.fading import Ar1Fading, ar1_scan, coherence_time_s, doppler_hz
+
+
+def _scan_loop(coeff, noise, init):
+    """Direct recursion — the reference ar1_scan must reproduce."""
+    coeff = np.broadcast_to(coeff, np.shape(noise))
+    x = np.empty(len(noise))
+    x[0] = init
+    for t in range(1, len(noise)):
+        x[t] = coeff[t] * x[t - 1] + noise[t]
+    return x
+
+
+class TestAr1Scan:
+    def test_scalar_coeff_matches_loop(self, rng):
+        for a in (0.999, 0.5, 0.01, -0.7):
+            noise = rng.standard_normal(3000)
+            got = ar1_scan(a, noise, init=1.5)
+            np.testing.assert_allclose(got, _scan_loop(a, noise, 1.5),
+                                       rtol=1e-9, atol=1e-12)
+
+    def test_varying_coeff_matches_loop(self, rng):
+        coeff = rng.uniform(0.0, 1.0, 2500)
+        noise = rng.standard_normal(2500)
+        got = ar1_scan(coeff, noise, init=float(noise[0]))
+        np.testing.assert_allclose(got, _scan_loop(coeff, noise, float(noise[0])),
+                                   rtol=1e-9, atol=1e-12)
+
+    def test_zero_coefficients_restart_recursion(self, rng):
+        coeff = rng.uniform(0.5, 0.99, 400)
+        coeff[[1, 50, 399]] = 0.0
+        noise = rng.standard_normal(400)
+        got = ar1_scan(coeff, noise, init=0.0)
+        np.testing.assert_allclose(got, _scan_loop(coeff, noise, 0.0),
+                                   rtol=1e-9, atol=1e-12)
+        # A zero coefficient makes the output exactly the innovation.
+        assert got[50] == noise[50]
+
+    def test_extreme_coefficients_stay_finite(self, rng):
+        # Coefficients small enough that the scaled scan would overflow
+        # must fall back to the exact per-element recursion.
+        coeff = np.full(100, 1e-280)
+        noise = rng.standard_normal(100)
+        got = ar1_scan(coeff, noise, init=1.0)
+        assert np.all(np.isfinite(got))
+        np.testing.assert_allclose(got, _scan_loop(coeff, noise, 1.0),
+                                   rtol=1e-9, atol=1e-12)
+
+    def test_long_run_short_coherence_no_overflow(self, rng):
+        # |log a| accumulation over 200k steps must chunk, not overflow.
+        got = ar1_scan(0.6, rng.standard_normal(200_000), init=0.0)
+        assert np.all(np.isfinite(got))
+
+    def test_single_element(self):
+        assert ar1_scan(0.9, np.array([5.0]), init=3.0) == np.array([3.0])
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            ar1_scan(0.5, np.array([]), init=0.0)
+        with pytest.raises(ValueError):
+            ar1_scan(0.5, np.ones((3, 3)), init=0.0)
+        with pytest.raises(ValueError):
+            ar1_scan(np.ones(5), np.ones(7), init=0.0)
 
 
 class TestDoppler:
@@ -75,3 +137,19 @@ class TestAr1:
             Ar1Fading(coherence_slots=0.0)
         with pytest.raises(ValueError):
             Ar1Fading().sample(0, rng)
+
+    def test_sample_matches_direct_recursion(self):
+        # The scan must equal x[t] = rho x[t-1] + sigma sqrt(1-rho^2) w[t].
+        fading = Ar1Fading(sigma_db=2.5, coherence_slots=30.0)
+        w = np.random.default_rng(5).standard_normal(5000)
+        a = fading.rho
+        b = fading.sigma_db * np.sqrt(1.0 - a * a)
+        got = fading.sample(5000, np.random.default_rng(5))
+        np.testing.assert_allclose(got, _scan_loop(a, b * w, fading.sigma_db * w[0]),
+                                   rtol=1e-9, atol=1e-12)
+
+    def test_underflowing_rho_stays_finite(self, rng):
+        # coherence so short that rho underflows to exactly 0: the
+        # series degenerates to IID draws instead of NaN.
+        series = Ar1Fading(sigma_db=2.0, coherence_slots=1e-6).sample(64, rng)
+        assert np.all(np.isfinite(series))

@@ -57,3 +57,44 @@ class TestSampling:
             CorrelatedShadowing(sigma_db=-1.0)
         with pytest.raises(ValueError):
             CorrelatedShadowing(decorrelation_distance_m=0.0)
+
+
+class TestVectorizedScan:
+    """sample_along is a vectorized AR(1) scan; it must equal the
+    per-sample recursion it replaced, for any (non-uniform) route."""
+
+    def _loop_reference(self, model, displacements, rng):
+        rho = model.correlation(displacements)
+        innovations = rng.standard_normal(len(displacements))
+        series = np.empty(len(displacements))
+        series[0] = model.sigma_db * innovations[0]
+        for i in range(1, len(displacements)):
+            r = rho[i]
+            series[i] = (r * series[i - 1]
+                         + model.sigma_db * np.sqrt(1.0 - r * r) * innovations[i])
+        return series
+
+    def test_matches_loop_on_nonuniform_route(self):
+        model = CorrelatedShadowing(sigma_db=4.0, decorrelation_distance_m=37.0)
+        disp = np.random.default_rng(0).exponential(10.0, 4000)
+        got = model.sample_along(disp, np.random.default_rng(1))
+        want = self._loop_reference(model, disp, np.random.default_rng(1))
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-12)
+
+    def test_matches_loop_with_pauses_and_jumps(self):
+        # Zero displacements (rho == 1) and huge jumps (rho underflows
+        # to exactly 0) exercise both scan edge cases.
+        model = CorrelatedShadowing(sigma_db=6.0, decorrelation_distance_m=10.0)
+        rng_route = np.random.default_rng(2)
+        disp = rng_route.exponential(5.0, 2000)
+        disp[rng_route.integers(0, 2000, 200)] = 0.0
+        disp[rng_route.integers(0, 2000, 200)] = 1e6
+        got = model.sample_along(disp, np.random.default_rng(3))
+        want = self._loop_reference(model, disp, np.random.default_rng(3))
+        assert np.all(np.isfinite(got))
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-12)
+
+    def test_single_sample_route(self):
+        model = CorrelatedShadowing(sigma_db=4.0)
+        out = model.sample_along(np.array([12.0]), np.random.default_rng(4))
+        assert out.shape == (1,)

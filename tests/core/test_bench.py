@@ -62,6 +62,102 @@ class TestRegressionGate:
             bench.regression_failures(_report(), _report(), threshold=1.5)
 
 
+def _campaign_report(jobs1_cold=50.0, jobs1_warm=400.0, pipe=90.0,
+                     routed_cold=150.0, routed_warm=420.0) -> dict:
+    def cell(rate):
+        return {"sessions_per_s": rate, "wall_s": round(12.0 / rate, 3)}
+
+    return {
+        "bench": "campaign",
+        "schema": bench.BENCH_SCHEMA_VERSION,
+        "quick": True,
+        "config": {"profiles": ["V_Sp", "O_Sp_100", "T_Ge", "V_Ge"],
+                   "n_sessions": 12, "jobs": 2, "seed": 2024},
+        "pool": {"workers": 2, "pools_created": 1, "dispatches": 2,
+                 "tasks_executed": 12, "tasks_routed": 12},
+        "workloads": {
+            "jobs1_cold": cell(jobs1_cold),
+            "jobs1_warm": cell(jobs1_warm),
+            "pipe_cold": cell(pipe),
+            "store_routed_cold": cell(routed_cold),
+            "store_routed_warm": cell(routed_warm),
+        },
+        "speedup": {
+            "routed_cold_vs_pipe_cold": round(routed_cold / pipe, 2),
+            "warm_vs_pre_pr_pipe": round(routed_warm / pipe, 2),
+        },
+    }
+
+
+class TestCampaignRegressionGate:
+    def test_identical_reports_pass(self):
+        report = _campaign_report()
+        assert bench.campaign_regression_failures(report, report) == []
+
+    def test_uniform_slowdown_is_hardware_normalized_away(self):
+        base = _campaign_report()
+        current = copy.deepcopy(base)
+        for data in current["workloads"].values():
+            data["sessions_per_s"] /= 2.0
+        assert bench.campaign_regression_failures(current, base) == []
+
+    def test_routed_only_slowdown_fails(self):
+        base = _campaign_report()
+        current = copy.deepcopy(base)
+        current["workloads"]["store_routed_cold"]["sessions_per_s"] /= 2.0
+        failures = bench.campaign_regression_failures(current, base, threshold=0.30)
+        assert len(failures) == 1
+        assert failures[0].startswith("store_routed_cold:")
+
+    def test_pipe_path_is_not_gated(self):
+        # The legacy comparator may drift; only the tracked paths gate.
+        base = _campaign_report()
+        current = copy.deepcopy(base)
+        current["workloads"]["pipe_cold"]["sessions_per_s"] /= 10.0
+        assert bench.campaign_regression_failures(current, base) == []
+
+    def test_missing_gated_workload_fails(self):
+        base = _campaign_report()
+        current = copy.deepcopy(base)
+        del current["workloads"]["store_routed_warm"]
+        failures = bench.campaign_regression_failures(current, base)
+        assert failures == ["store_routed_warm: missing from current report"]
+
+    def test_missing_reference_reports_cleanly(self):
+        base = _campaign_report()
+        current = copy.deepcopy(base)
+        del current["workloads"]["jobs1_cold"]
+        failures = bench.campaign_regression_failures(current, base)
+        assert failures == ["jobs1_cold: reference workload missing from a report"]
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            bench.campaign_regression_failures(_campaign_report(),
+                                               _campaign_report(), threshold=0.0)
+
+
+class TestCampaignRender:
+    def test_render_lists_workloads_speedup_and_pool(self):
+        text = bench.render_campaign(_campaign_report())
+        assert "store_routed_cold" in text and "pipe_cold" in text
+        assert "4.67x" in text  # 420 / 90 warm-vs-pipe speedup
+        assert "workers=2" in text and "routed=12" in text
+
+
+class TestCampaignWorkloadShape:
+    def test_manifest_is_deterministic_and_covers_profiles(self):
+        a = bench.campaign_tasks(quick=True, seed=2024)
+        b = bench.campaign_tasks(quick=True, seed=2024)
+        assert [t.label for t in a] == [t.label for t in b]
+        assert [t.seed for t in a] == [t.seed for t in b]
+        operators = {t.label.rsplit("/", 2)[0] for t in a}
+        assert operators == {"V_Sp", "O_Sp_100", "T_Ge", "V_Ge"}
+
+    def test_quick_mode_is_smaller(self):
+        assert len(bench.campaign_tasks(quick=True)) <= \
+            len(bench.campaign_tasks(quick=False))
+
+
 class TestReportIo:
     def test_write_then_load_roundtrip(self, tmp_path):
         report = _report()

@@ -4,9 +4,11 @@ import numpy as np
 import pytest
 
 from repro.core.runner import (
+    CampaignExecutor,
     SessionTask,
     derive_seed,
     derive_seeds,
+    dispatch_chunksize,
     resolve_jobs,
     run_tasks,
 )
@@ -111,3 +113,90 @@ class TestRunTasks:
     def test_jobs_exceeding_tasks(self):
         manifest = self._manifest(2)
         assert run_tasks(manifest, jobs=8) == run_tasks(manifest, jobs=1)
+
+    def test_transport_validated(self):
+        with pytest.raises(ValueError):
+            run_tasks([], transport="carrier-pigeon")
+
+    def test_store_transport_requires_store(self):
+        with pytest.raises(ValueError):
+            run_tasks(self._manifest(2), jobs=2, transport="store")
+
+
+class TestDispatchChunksize:
+    def test_serial_is_one(self):
+        assert dispatch_chunksize(1000, 1) == 1
+
+    def test_fewer_tasks_than_workers_is_one(self):
+        assert dispatch_chunksize(3, 4) == 1
+        assert dispatch_chunksize(4, 4) == 1
+
+    def test_targets_four_chunks_per_worker(self):
+        assert dispatch_chunksize(256, 4) == 16
+        assert dispatch_chunksize(64, 2) == 8
+
+    def test_floor_one(self):
+        # Just above the worker count still yields chunksize 1.
+        assert dispatch_chunksize(9, 4) == 1
+
+    def test_capped_for_huge_manifests(self):
+        assert dispatch_chunksize(1_000_000, 4) == 32
+
+
+class TestCampaignExecutor:
+    def _manifest(self, n=6):
+        return [SessionTask(fn=_draw, seed=derive_seed(99, "t", i), label=str(i))
+                for i in range(n)]
+
+    def test_pool_is_lazy(self):
+        with CampaignExecutor(jobs=2) as executor:
+            assert executor.stats()["pools_created"] == 0
+
+    def test_pool_reused_across_dispatches(self):
+        manifest = self._manifest()
+        serial = run_tasks(manifest, jobs=1)
+        with CampaignExecutor(jobs=2) as executor:
+            assert run_tasks(manifest, executor=executor) == serial
+            assert run_tasks(manifest, executor=executor) == serial
+            stats = executor.stats()
+        assert stats["pools_created"] == 1
+        assert stats["dispatches"] == 2
+        assert stats["tasks_executed"] == 12
+
+    def test_executor_overrides_jobs(self):
+        # The executor's worker count wins over the jobs argument.
+        manifest = self._manifest()
+        with CampaignExecutor(jobs=2) as executor:
+            assert run_tasks(manifest, jobs=1, executor=executor) == \
+                run_tasks(manifest, jobs=1)
+            assert executor.stats()["dispatches"] == 1
+
+    def test_routes_for(self, tmp_path):
+        from repro.store import TraceStore
+
+        store = TraceStore(tmp_path / "cache")
+        other = TraceStore(tmp_path / "other")
+        same_root = TraceStore(tmp_path / "cache")
+        with CampaignExecutor(jobs=2, store=store) as executor:
+            assert executor.routes_for(store)
+            assert executor.routes_for(same_root)
+            assert not executor.routes_for(other)
+            assert not executor.routes_for(None)
+        with CampaignExecutor(jobs=2) as storeless:
+            assert not storeless.routes_for(store)
+
+    def test_close_idempotent_and_reopens(self):
+        executor = CampaignExecutor(jobs=2)
+        manifest = self._manifest(4)
+        first = run_tasks(manifest, executor=executor)
+        executor.close()
+        executor.close()
+        # A closed executor builds a fresh pool on the next dispatch.
+        assert run_tasks(manifest, executor=executor) == first
+        assert executor.stats()["pools_created"] == 2
+        executor.close()
+
+    def test_render_stats_mentions_counters(self):
+        with CampaignExecutor(jobs=3) as executor:
+            text = executor.render_stats()
+        assert "workers=3" in text and "routed=" in text

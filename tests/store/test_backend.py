@@ -172,6 +172,40 @@ class TestLruEviction:
         assert store.max_bytes == int(2.5e6)
 
 
+class TestAccounting:
+    def test_get_counts_hits_and_bytes_read(self, store):
+        store.put(_key("a"), _trace())
+        assert store.bytes_written > 0
+        before = store.bytes_read
+        store.get(_key("a"))
+        assert store.hits == 1 and store.misses == 0
+        assert store.bytes_read > before
+
+    def test_read_is_outside_the_tally(self, store):
+        """The store-routed runner's read-back must not look like a hit."""
+        store.put(_key("a"), _trace())
+        loaded = store.read(_key("a"))
+        assert loaded is not None
+        assert store.hits == 0 and store.misses == 0
+        assert store.bytes_read > 0  # bytes moved are still accounted
+
+    def test_read_miss_raises_without_counting(self, store):
+        with pytest.raises(KeyError):
+            store.read(_key("0"))
+        assert store.hits == 0 and store.misses == 0
+
+    def test_note_routed_write_accumulates(self, store):
+        store.note_routed_write(1000)
+        store.note_routed_write(500)
+        assert store.bytes_written == 1500
+
+    def test_stats_render_includes_bytes(self, store):
+        store.put(_key("a"), _trace())
+        store.get(_key("a"))
+        text = store.stats().render()
+        assert "read=" in text and "written=" in text
+
+
 _WRITER_SNIPPET = """
 import sys
 import numpy as np
@@ -192,6 +226,25 @@ for round_ in range(5):
             assert len(loaded) == n
         except KeyError:
             pass  # concurrently mid-replace is fine; torn reads are not
+print("ok")
+"""
+
+
+_DISTINCT_WRITER_SNIPPET = """
+import sys
+import numpy as np
+from repro.store import TraceStore
+from repro.xcal.records import SlotTrace, TraceMetadata
+
+root, worker = sys.argv[1], int(sys.argv[2])
+store = TraceStore(root)
+for item in range(6):
+    key = (f"{worker}{item}" * 32)[:64]
+    n = 16 + worker + item
+    trace = SlotTrace.empty(n, metadata=TraceMetadata(operator=str(worker), seed=item))
+    trace.delivered_bits[:] = np.random.default_rng(worker * 10 + item).integers(0, 9000, n)
+    store.put(key, trace)
+    assert len(store.read(key)) == n
 print("ok")
 """
 
@@ -219,3 +272,29 @@ class TestConcurrentWriters:
         for tag in "abcd":
             assert len(store.get((tag * 64)[:64])) == 64 + ord(tag)
         assert not list(root.rglob("*.tmp"))
+
+    def test_parallel_processes_on_distinct_keys(self, tmp_path):
+        """Workers writing disjoint key sets (the store-routed campaign
+        pattern) must leave every entry intact and quarantine nothing."""
+        root = tmp_path / "shared"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        workers = [
+            subprocess.Popen(
+                [sys.executable, "-c", _DISTINCT_WRITER_SNIPPET, str(root), str(i)],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+            for i in range(4)
+        ]
+        for proc in workers:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            assert out.strip() == "ok"
+        store = TraceStore(root)
+        ok, bad = store.verify()
+        assert ok == 4 * 6
+        assert bad == []
+        assert store.stats().quarantined == 0
+        for worker in range(4):
+            for item in range(6):
+                key = (f"{worker}{item}" * 32)[:64]
+                assert len(store.read(key)) == 16 + worker + item

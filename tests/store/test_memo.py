@@ -4,8 +4,9 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.runner import SessionTask, derive_seed, run_tasks
+from repro.core.runner import CampaignExecutor, SessionTask, derive_seed, run_tasks
 from repro.store import TraceStore
+from repro.store.codec import encode
 from repro.xcal.records import SlotTrace, TraceMetadata
 
 MARKER_DIR_KW = "marker_dir"
@@ -123,6 +124,67 @@ class TestMemoizedRunTasks:
                    for t in manifest]
         run_tasks(renamed, store=store)
         assert _executions(tmp_path) == 2
+
+
+class TestStoreRoutedTransport:
+    def test_routed_cold_counts_misses_not_hits(self, tmp_path):
+        """Materializing worker-written results must not count as hits."""
+        store = TraceStore(tmp_path / "cache")
+        with CampaignExecutor(jobs=2, store=store) as executor:
+            run_tasks(_manifest(tmp_path), store=store, executor=executor,
+                      transport="store")
+            assert executor.stats()["tasks_routed"] == 4
+        assert store.misses == 4 and store.hits == 0
+        assert store.stats().entries == 4
+        assert store.bytes_read > 0 and store.bytes_written > 0
+
+    def test_routed_executions_happen_in_workers(self, tmp_path):
+        store = TraceStore(tmp_path / "cache")
+        with CampaignExecutor(jobs=2, store=store) as executor:
+            run_tasks(_manifest(tmp_path), store=store, executor=executor)
+        assert _executions(tmp_path) == 4
+
+    def test_mismatched_store_falls_back_to_pipe(self, tmp_path):
+        """An executor warmed for one store must not route into another."""
+        pool_store = TraceStore(tmp_path / "pool-cache")
+        other = TraceStore(tmp_path / "other-cache")
+        manifest = _manifest(tmp_path)
+        with CampaignExecutor(jobs=2, store=pool_store) as executor:
+            results = run_tasks(manifest, store=other, executor=executor)
+            assert executor.stats()["tasks_routed"] == 0
+        assert other.stats().entries == 4  # parent backfilled over the pipe
+        assert pool_store.stats().entries == 0
+        _assert_same_results(results, run_tasks(manifest))
+
+    def test_transient_pool_routes_without_executor(self, tmp_path):
+        store = TraceStore(tmp_path / "cache")
+        results = run_tasks(_manifest(tmp_path), jobs=2, store=store)
+        assert _executions(tmp_path) == 4
+        assert store.stats().entries == 4
+        _assert_same_results(results, run_tasks(_manifest(tmp_path),
+                                                store=TraceStore(tmp_path / "cache")))
+
+    def test_determinism_matrix_byte_identical(self, tmp_path):
+        """Every transport and worker count must produce the same bytes.
+
+        jobs=1, jobs=2 pipe, jobs=2 store-routed (executor and
+        transient pool) and a warm re-read are compared through the
+        store codec — the same serialization campaign exports use.
+        """
+        manifest = _manifest(tmp_path)
+        reference = [encode(r) for r in run_tasks(manifest)]
+
+        pipe = run_tasks(manifest, jobs=2, store=TraceStore(tmp_path / "pipe"),
+                         transport="pipe")
+        routed_store = TraceStore(tmp_path / "routed")
+        with CampaignExecutor(jobs=2, store=routed_store) as executor:
+            routed = run_tasks(manifest, store=routed_store, executor=executor,
+                               transport="store")
+            warm = run_tasks(manifest, store=TraceStore(tmp_path / "routed"),
+                             executor=executor)
+        transient = run_tasks(manifest, jobs=2, store=TraceStore(tmp_path / "tr"))
+        for results in (pipe, routed, warm, transient):
+            assert [encode(r) for r in results] == reference
 
 
 class TestCampaignMemoization:

@@ -115,6 +115,39 @@ class TestCacheFlag:
         assert "[cache]" not in capsys.readouterr().err
 
 
+class TestExecutorPlumbing:
+    def test_parallel_cached_run_reports_pool_and_bytes(self, tmp_path, capsys):
+        base = ["campaign", "--minutes", "0.05", "--session", "3",
+                "--jobs", "2", "--cache", str(tmp_path / "cache")]
+        assert main(base) == 0
+        cold = capsys.readouterr()
+        assert "[pool]" in cold.err and "routed=" in cold.err
+        assert "read_mb=" in cold.err and "written_mb=" in cold.err
+        assert main(base) == 0
+        warm = capsys.readouterr()
+        assert "misses=0" in warm.err
+
+    def test_serial_run_has_no_pool_line(self, tmp_path, capsys):
+        assert main(["campaign", "--minutes", "0.05", "--session", "3",
+                     "--cache", str(tmp_path / "cache")]) == 0
+        assert "[pool]" not in capsys.readouterr().err
+
+
+class TestBenchWorkloadFlag:
+    def test_baseline_workload_mismatch_rejected(self, tmp_path, capsys):
+        import json
+
+        baseline = tmp_path / "BENCH_slot_engine.json"
+        baseline.write_text(json.dumps({"bench": "slot_engine", "workloads": {}}))
+        assert main(["bench", "--workload", "campaign", "--quick",
+                     "--baseline", str(baseline)]) == 2
+        assert "slot_engine" in capsys.readouterr().err
+
+    def test_unknown_workload_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "--workload", "sessions"])
+
+
 class TestCacheCommand:
     def _warm(self, cache, capsys):
         assert main(["campaign", "--minutes", "0.05", "--session", "3",
