@@ -16,9 +16,10 @@ Commands
 ``bench``
     Run a tracked benchmark: ``--workload slot`` (default) emits
     ``BENCH_slot_engine.json``, ``--workload campaign`` benchmarks the
-    execution layer end to end and emits ``BENCH_campaign.json``
-    (``--baseline`` compares against a committed report and fails on
-    hardware-normalized regressions).
+    execution layer end to end and emits ``BENCH_campaign.json``,
+    ``--workload reduce`` benchmarks the streaming-reduction path and
+    emits ``BENCH_reduce.json`` (``--baseline`` compares against a
+    committed report and fails on hardware-normalized regressions).
 
 ``run`` and ``campaign`` accept ``--jobs N`` (or ``--jobs auto``) to
 fan independent sessions out to a process pool, and ``--cache DIR``
@@ -29,6 +30,13 @@ LRU eviction.  With ``--jobs`` above 1 both commands share one warm
 worker pool (a :class:`repro.core.runner.CampaignExecutor`) across all
 sessions, and when a store is configured workers write results to it
 directly — only content keys travel over the process pipe.
+
+``--reduce`` (on ``run`` for fig01/fig12/table1, and on ``campaign``)
+streams sessions through mergeable KPI sketches instead of
+materializing per-slot traces, bounding peak memory by worker count
+rather than campaign size; printed KPIs match the exact path within the
+documented sketch tolerances (see :mod:`repro.core.reduce`), and a
+``[reduce]`` accounting line goes to stderr.
 """
 
 from __future__ import annotations
@@ -80,6 +88,15 @@ def _report_store(store, executor=None) -> None:
         print(f"[pool] {executor.render_stats()}", file=sys.stderr)
 
 
+def _report_reduce(stats: dict) -> None:
+    """The ``[reduce]`` accounting line (stderr, like ``[cache]``)."""
+    print(f"[reduce] sessions={stats.get('sessions', 0)} "
+          f"folded_local={stats.get('folded_local', 0)} "
+          f"folded_workers={stats.get('folded_workers', 0)} "
+          f"memo={stats.get('memo', 'off')}",
+          file=sys.stderr)
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     for experiment_id in EXPERIMENT_IDS:
         print(experiment_id)
@@ -92,14 +109,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         return 2
+    if args.reduce:
+        from repro.experiments import supports_reduce
+
+        unsupported = sorted(i for i in ids if not supports_reduce(i))
+        if unsupported:
+            print(f"--reduce is not supported by: {unsupported}", file=sys.stderr)
+            return 2
     store = _open_store(args)
     executor = _make_executor(args, store)
     try:
         for experiment_id in ids:
             start = time.time()
             result = run_experiment(experiment_id, seed=args.seed, quick=not args.full,
-                                    jobs=args.jobs, store=store, executor=executor)
+                                    jobs=args.jobs, store=store, executor=executor,
+                                    reduce=args.reduce)
             print(result.render())
+            if args.reduce and "reduce_stats" in result.data:
+                _report_reduce(result.data["reduce_stats"])
             if args.plot:
                 from repro.experiments.plots import render_plots
 
@@ -119,11 +146,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     spec = CampaignSpec(minutes_per_operator=args.minutes, session_s=args.session,
                         ul_fraction=args.ul_fraction, seed=args.seed)
+    if args.reduce and args.out is not None:
+        print("--reduce keeps no per-slot traces, so --out has nothing to "
+              "export; drop one of the two", file=sys.stderr)
+        return 2
     store = _open_store(args)
     executor = _make_executor(args, store)
     try:
         campaign = generate_campaign(spec=spec, jobs=args.jobs, store=store,
-                                     executor=executor)
+                                     executor=executor, reduce=args.reduce)
     finally:
         if executor is not None:
             executor.close()
@@ -133,6 +164,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         paths = campaign.export(args.out, format=args.out_format)
         print(f"exported {len(paths)} traces to {args.out}")
     _report_store(store, executor)
+    if args.reduce:
+        _report_reduce(campaign.reduction.stats)
     return 0
 
 
@@ -178,7 +211,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.core import bench
 
     baseline = bench.load_report(args.baseline) if args.baseline else None
-    expected = "campaign" if args.workload == "campaign" else "slot_engine"
+    expected = {"campaign": "campaign", "reduce": "reduce"}.get(args.workload,
+                                                                "slot_engine")
     if baseline is not None and baseline.get("bench") != expected:
         print(f"baseline {args.baseline} is a {baseline.get('bench')!r} report, "
               f"not {expected!r}", file=sys.stderr)
@@ -187,6 +221,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         report = bench.measure_campaign(quick=args.quick, seed=args.seed,
                                         jobs=args.jobs)
         rendered, regressions = bench.render_campaign, bench.campaign_regression_failures
+    elif args.workload == "reduce":
+        report = bench.measure_reduce(quick=args.quick, seed=args.seed,
+                                      jobs=args.jobs)
+        rendered, regressions = bench.render_reduce, bench.reduce_regression_failures
     else:
         report = bench.measure(quick=args.quick, seed=args.seed)
         rendered, regressions = bench.render, bench.regression_failures
@@ -223,6 +261,10 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N|auto",
                             help="worker processes for independent sessions (default 1)")
     run_parser.add_argument("--cache", **cache_kwargs)
+    run_parser.add_argument("--reduce", action="store_true",
+                            help="stream sessions through mergeable KPI "
+                                 "sketches instead of materializing traces "
+                                 "(fig01/fig12/table1)")
     run_parser.set_defaults(func=_cmd_run)
 
     campaign_parser = sub.add_parser("campaign", help="generate a synthetic campaign")
@@ -237,13 +279,19 @@ def main(argv: list[str] | None = None) -> int:
     campaign_parser.add_argument("--out", type=Path, default=None)
     campaign_parser.add_argument("--out-format", choices=("csv", "jsonl", "npz"),
                                  default="csv", help="export format (default csv)")
+    campaign_parser.add_argument("--reduce", action="store_true",
+                                 help="fold sessions into streaming KPI "
+                                      "sketches; peak memory stays bounded by "
+                                      "worker count, not campaign size "
+                                      "(incompatible with --out)")
     campaign_parser.set_defaults(func=_cmd_campaign)
 
     bench_parser = sub.add_parser("bench", help="tracked benchmarks")
-    bench_parser.add_argument("--workload", choices=("slot", "campaign"),
+    bench_parser.add_argument("--workload", choices=("slot", "campaign", "reduce"),
                               default="slot",
-                              help="slot engines (default) or the campaign "
-                                   "execution layer")
+                              help="slot engines (default), the campaign "
+                                   "execution layer, or the streaming "
+                                   "reduction path")
     bench_parser.add_argument("--quick", action="store_true",
                               help="short workloads, fewer repetitions (CI mode)")
     bench_parser.add_argument("--seed", type=int, default=2024)

@@ -1,6 +1,6 @@
 """Tracked benchmarks — the ``repro bench`` subcommand.
 
-Two tracked workloads, selected with ``--workload``:
+Three tracked workloads, selected with ``--workload``:
 
 - ``slot`` (default) — the slot engines, the hot path under every
   figure, table and campaign: slots/sec on the Fig. 1 single-carrier
@@ -13,23 +13,37 @@ Two tracked workloads, selected with ``--workload``:
   pipe transport at jobs=auto, and store-routed jobs=auto cold and
   warm on a persistent :class:`~repro.core.runner.CampaignExecutor`
   pool).  Report: ``BENCH_campaign.json``.
+- ``reduce`` — the streaming-reduction path (``run_tasks(...,
+  reduce=...)``): sessions/sec and tracemalloc peaks of the campaign
+  workload folded into KPI sketches, against the materializing exact
+  path, plus an exact-vs-sketch KPI oracle and (full mode) a
+  10^4-session bounded-memory demonstration.
+  Report: ``BENCH_reduce.json``.
 
-Two measurement conventions keep the numbers honest:
+Three measurement conventions keep the numbers honest:
 
 - **cold vs warm** — "cold" is the first run after clearing the
   process-wide TBS matrix cache (what a fresh campaign worker pays);
   "warm" is the best of the remaining repetitions (what every
   subsequent session in the same process pays).  Best-of, not mean:
   simulation cost is deterministic, so the minimum is the measurement
-  and everything above it is scheduler noise.
+  and everything above it is scheduler noise.  Cold *variants* (the
+  campaign/reduce workloads) repeat the whole cold run on a fresh
+  store directory and keep the best repetition for the same reason.
+- **untimed process warmup** — lazy imports, numpy ufunc caches and
+  other one-time process costs fire once before any timed run, so
+  they don't all land on whichever variant happens to be timed first
+  (they used to land on the vectorized engine's cold number).
 - **hardware normalization** — CI machines differ run to run, so a raw
   slots/sec comparison against a committed baseline is meaningless.
   A reference workload runs in the same process (the reference engine
-  for ``slot``, the serial jobs=1 cold run for ``campaign``), so the
-  ratio ``reference_now / reference_baseline`` estimates the
-  machine-speed factor; tracked numbers are compared after dividing
-  that factor out (see :func:`regression_failures` and
-  :func:`campaign_regression_failures`).
+  for ``slot``, the serial jobs=1 cold run for ``campaign``, the
+  exact materializing run for ``reduce``), so the ratio
+  ``reference_now / reference_baseline`` estimates the machine-speed
+  factor; tracked numbers are compared after dividing that factor out
+  (see :func:`regression_failures`,
+  :func:`campaign_regression_failures` and
+  :func:`reduce_regression_failures`).
 """
 
 from __future__ import annotations
@@ -50,10 +64,14 @@ __all__ = [
     "load_report",
     "measure",
     "measure_campaign",
+    "measure_reduce",
     "multi_ue_traces",
+    "reduce_demo_tasks",
+    "reduce_regression_failures",
     "regression_failures",
     "render",
     "render_campaign",
+    "render_reduce",
     "single_ue_trace",
     "write_report",
 ]
@@ -110,6 +128,21 @@ def multi_ue_traces(engine: str = "vectorized", duration_s: float = 5.0,
                                    rng=rng, params=profile.sim_params(engine=engine))
 
 
+def _warm_process(seed: int) -> None:
+    """Untimed process warmup before any timed engine run.
+
+    Lazy imports, numpy ufunc caches and other one-time process costs
+    used to land entirely on whichever engine was timed first (the
+    vectorized one), making its "cold" number look far worse than the
+    reference engine's.  Tiny untimed sessions of both engines pay
+    those costs up front; the TBS matrix cache is cleared again before
+    each timed cold run, so "cold" still means what it says.
+    """
+    for engine in ("vectorized", "reference"):
+        single_ue_trace(engine, 0.2, seed)
+        multi_ue_traces(engine, 0.2, seed=seed)
+
+
 def _time_engine(run: Callable[[], Any], n_slots_of: Callable[[Any], int],
                  repetitions: int) -> dict[str, float]:
     """Cold (first run, caches cleared) and warm (best-of-rest) slots/sec."""
@@ -132,6 +165,7 @@ def measure(quick: bool = False, seed: int = 2024,
     """Run the full benchmark matrix and return the report dict."""
     duration_s = 2.0 if quick else 5.0
     repetitions = repetitions or (3 if quick else 11)
+    _warm_process(seed)
 
     workloads: dict[str, Any] = {}
     single: dict[str, Any] = {}
@@ -242,10 +276,29 @@ def render(report: dict[str, Any]) -> str:
 #: the study without the full nine-operator cost).
 _CAMPAIGN_PROFILE_KEYS = ("V_Sp", "O_Sp_100", "T_Ge", "V_Ge")
 
-#: Workloads whose sessions/sec the campaign gate tracks (everything
-#: the execution-layer rewrite is responsible for); ``pipe_cold`` and
+#: Workloads whose sessions/sec the campaign gate tracks against the
+#: baseline after hardware normalization; ``pipe_cold`` and
 #: ``jobs1_cold`` are informational / the normalization reference.
-_CAMPAIGN_GATED = ("jobs1_warm", "store_routed_cold", "store_routed_warm")
+#: The warm workloads are *not* here: their per-session cost is
+#: dominated by fixed store-read and pool-dispatch overhead, so their
+#: sessions/s does not scale with the cold-simulation machine factor
+#: across quick/full modes — they gate intra-report via
+#: ``_WARM_VS_COLD_FLOOR`` instead.
+_CAMPAIGN_GATED = ("store_routed_cold",)
+
+#: A warm (fully memoized) campaign must beat its own cold run by at
+#: least this factor within the same report (observed 3-9x); below it
+#: the memo path is recomputing sessions.
+_WARM_VS_COLD_FLOOR = 2.0
+
+#: Floor on ``routed_cold_vs_pipe_cold`` inside one report.  The
+#: committed artifact must show >= 1.0x (store routing is not allowed
+#: to cost anything on a cold campaign); the CI gate allows 10%
+#: run-to-run jitter below that so a noisy shared runner doesn't
+#: flake.  Quick reports get extra slack — pool spawn dominates their
+#: sub-second walls, so the ratio is noisier.
+_ROUTED_VS_PIPE_FLOOR = 0.9
+_ROUTED_VS_PIPE_FLOOR_QUICK = 0.75
 
 
 def campaign_tasks(quick: bool = False, seed: int = 2024) -> list:
@@ -292,37 +345,66 @@ def measure_campaign(quick: bool = False, seed: int = 2024,
     - ``store_routed_cold`` / ``store_routed_warm`` — jobs=auto on a
       persistent :class:`~repro.core.runner.CampaignExecutor` pool
       whose workers write payloads to the store and return keys.
+
+    Every cold variant repeats on a fresh store directory (and, for
+    the routed variant, a fresh executor — pool spawn stays inside the
+    timing for pipe and routed alike) and keeps the best repetition;
+    one noisy scheduler hiccup otherwise decides ratios like
+    ``routed_cold_vs_pipe_cold``.
     """
     import tempfile
 
-    from repro.core.runner import CampaignExecutor, resolve_jobs
+    from repro.core.runner import CampaignExecutor, resolve_jobs, run_tasks
     from repro.store import TraceStore
 
     workers = resolve_jobs(jobs)
+    cold_reps = 2 if quick else 3
+    run_tasks(campaign_tasks(True, seed + 9)[:2], jobs=1)  # untimed warmup
+
+    def best(runs: list[dict[str, float]]) -> dict[str, float]:
+        return max(runs, key=lambda r: r["sessions_per_s"])
+
     workloads: dict[str, Any] = {}
     with tempfile.TemporaryDirectory(prefix="repro-bench-campaign-") as tmpdir:
         tmp = Path(tmpdir)
         serial_manifest = campaign_tasks(quick, seed)
-        workloads["jobs1_cold"] = _time_campaign(
-            serial_manifest, jobs=1, store=TraceStore(tmp / "jobs1"))
-        workloads["jobs1_warm"] = _time_campaign(
-            serial_manifest, jobs=1, store=TraceStore(tmp / "jobs1"))
+        workloads["jobs1_cold"] = best([
+            _time_campaign(serial_manifest, jobs=1,
+                           store=TraceStore(tmp / f"jobs1-{rep}"))
+            for rep in range(cold_reps)
+        ])
+        workloads["jobs1_warm"] = best([
+            _time_campaign(serial_manifest, jobs=1,
+                           store=TraceStore(tmp / "jobs1-0"))
+            for _ in range(2)
+        ])
 
         pipe_manifest = campaign_tasks(quick, seed + 1)
-        workloads["pipe_cold"] = _time_campaign(
-            pipe_manifest, jobs=workers, store=TraceStore(tmp / "pipe"),
-            transport="pipe")
+        workloads["pipe_cold"] = best([
+            _time_campaign(pipe_manifest, jobs=workers,
+                           store=TraceStore(tmp / f"pipe-{rep}"),
+                           transport="pipe")
+            for rep in range(cold_reps)
+        ])
 
         routed_manifest = campaign_tasks(quick, seed + 2)
-        routed_store = TraceStore(tmp / "routed")
-        with CampaignExecutor(jobs=workers, store=routed_store) as executor:
-            workloads["store_routed_cold"] = _time_campaign(
-                routed_manifest, store=routed_store, executor=executor,
-                transport="store")
-            workloads["store_routed_warm"] = _time_campaign(
-                routed_manifest, store=TraceStore(tmp / "routed"),
-                executor=executor)
-            pool_stats = executor.stats()
+        routed_cold_runs: list[dict[str, float]] = []
+        for rep in range(cold_reps):
+            routed_store = TraceStore(tmp / f"routed-{rep}")
+            with CampaignExecutor(jobs=workers, store=routed_store) as executor:
+                routed_cold_runs.append(_time_campaign(
+                    routed_manifest, store=routed_store, executor=executor,
+                    transport="store"))
+                if rep == cold_reps - 1:
+                    warm_store = TraceStore(tmp / f"routed-{rep}")
+                    routed_warm = best([
+                        _time_campaign(routed_manifest, store=warm_store,
+                                       executor=executor)
+                        for _ in range(2)
+                    ])
+                    pool_stats = executor.stats()
+        workloads["store_routed_cold"] = best(routed_cold_runs)
+        workloads["store_routed_warm"] = routed_warm
 
     pipe = workloads["pipe_cold"]["sessions_per_s"]
     report: dict[str, Any] = {
@@ -333,6 +415,7 @@ def measure_campaign(quick: bool = False, seed: int = 2024,
             "profiles": list(_CAMPAIGN_PROFILE_KEYS),
             "n_sessions": len(serial_manifest),
             "jobs": workers,
+            "cold_reps": cold_reps,
             "seed": seed,
         },
         "environment": {
@@ -361,10 +444,39 @@ def campaign_regression_failures(current: dict[str, Any],
     gated workload fails when it lost more than ``threshold`` of its
     sessions/sec after that factor is divided out (same convention as
     :func:`regression_failures`).
+
+    On top of the baseline comparison, the *current* report must show
+    store routing at least breaking even against the pipe transport on
+    a cold campaign (``routed_cold_vs_pipe_cold`` >=
+    ``_ROUTED_VS_PIPE_FLOOR``, relaxed for quick reports) — the two
+    variants run the same sessions, so routing may not cost
+    throughput — and each warm (memoized) run must beat its own cold
+    run by ``_WARM_VS_COLD_FLOOR``.
     """
     if not 0.0 < threshold < 1.0:
         raise ValueError("threshold must lie in (0, 1)")
     failures: list[str] = []
+    pipe_floor = (_ROUTED_VS_PIPE_FLOOR_QUICK if current.get("quick")
+                  else _ROUTED_VS_PIPE_FLOOR)
+    ratio = current.get("speedup", {}).get("routed_cold_vs_pipe_cold")
+    if ratio is not None and ratio < pipe_floor:
+        failures.append(
+            f"routed_cold_vs_pipe_cold: {ratio:.2f}x < floor "
+            f"{pipe_floor:.2f}x (store routing must not cost "
+            f"throughput on a cold campaign)")
+    for warm_name, cold_name in (("jobs1_warm", "jobs1_cold"),
+                                 ("store_routed_warm", "store_routed_cold")):
+        cold = current.get("workloads", {}).get(cold_name, {})
+        warm = current.get("workloads", {}).get(warm_name)
+        if warm is None:
+            failures.append(f"{warm_name}: missing from current report")
+        elif cold.get("sessions_per_s") and (warm["sessions_per_s"] <
+                                             _WARM_VS_COLD_FLOOR *
+                                             cold["sessions_per_s"]):
+            failures.append(
+                f"{warm_name}: {warm['sessions_per_s']:,.2f} sessions/s < "
+                f"{_WARM_VS_COLD_FLOOR:.0f}x its own cold run "
+                f"{cold['sessions_per_s']:,.2f} (memo replay is recomputing)")
     try:
         base_ref = baseline["workloads"]["jobs1_cold"]["sessions_per_s"]
         new_ref = current["workloads"]["jobs1_cold"]["sessions_per_s"]
@@ -408,6 +520,339 @@ def render_campaign(report: dict[str, Any]) -> str:
         lines.append(f"  pool: workers={pool['workers']} pools={pool['pools_created']} "
                      f"dispatches={pool['dispatches']} tasks={pool['tasks_executed']} "
                      f"routed={pool['tasks_routed']}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# Reduce workload — the streaming-reduction path
+# --------------------------------------------------------------------- #
+
+#: Workloads the reduce gate tracks against the baseline after hardware
+#: normalization; ``exact_cold`` is the normalization reference.  The
+#: memo-hit workload (``reduce_store_warm``) is *not* here: its cost is
+#: a fixed store fetch + decode, so its sessions/s scales with the
+#: manifest size rather than machine speed and cannot be normalized
+#: across quick/full modes.  It gates intra-report instead via
+#: ``_MEMO_WARM_FLOOR``.
+_REDUCE_GATED = ("reduce_cold",)
+
+#: Replaying a memoized campaign sketch must beat re-reducing it by at
+#: least this factor within the same report (observed >100x in both
+#: quick and full modes); below it the memo path is recomputing.
+_MEMO_WARM_FLOOR = 10.0
+
+#: The streaming path holds at most one in-flight trace, so its
+#: tracemalloc peak must sit well below the materializing run that
+#: holds the whole campaign.  The quick campaign is only ~12 sessions;
+#: at scale the gap widens, so 0.5x is a loose bound that still fails
+#: the moment the reduce path starts accumulating traces.
+_REDUCE_PEAK_FRACTION = 0.5
+
+#: The 10^4-session demonstration may not peak meaningfully above the
+#: ~10-session timed variant — that *is* the bounded-memory claim
+#: (peak tracks chunk size, not campaign size).
+_DEMO_PEAK_FACTOR = 2.0
+
+
+def reduce_demo_tasks(seed: int = 2024) -> list:
+    """~10^4 one-second sessions across the four campaign operators —
+    the full-mode bounded-memory demonstration manifest."""
+    from repro.operators.profiles import EU_PROFILES
+    from repro.xcal.dataset import CampaignSpec, campaign_manifest
+
+    spec = CampaignSpec(minutes_per_operator=2500.0 / 60.0, session_s=1.0,
+                        seed=seed)
+    profiles = {key: EU_PROFILES[key] for key in _CAMPAIGN_PROFILE_KEYS}
+    return campaign_manifest(profiles, spec)
+
+
+def _time_reduce(n_sessions: int, fn: Callable[[], Any]) -> dict[str, float]:
+    """sessions/sec and tracemalloc peak of one run, TBS caches cleared.
+
+    tracemalloc stays on through the timed region, so absolute
+    sessions/sec runs lower than the campaign workload reports; it is
+    consistent within the report and across baselines, which is all
+    the normalized gate compares.
+    """
+    import tracemalloc
+
+    from repro.nr.tbs import clear_tbs_matrix_cache
+
+    clear_tbs_matrix_cache()
+    tracemalloc.start()
+    start = time.perf_counter()
+    fn()
+    wall = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {"sessions_per_s": round(n_sessions / wall, 3),
+            "wall_s": round(wall, 3),
+            "peak_mb": round(peak / 1e6, 3)}
+
+
+def _reduce_kpi_check(manifest: list, traces: list, sketch: Any,
+                      reduction: Any) -> dict[str, Any]:
+    """Exact-vs-sketch oracle over every reduction group.
+
+    Counts, min/max and total bits must match exactly; means within
+    1e-9 relative (Neumaier-compensated sums); stds within 1e-6
+    relative (pairwise moment merge); percentiles within one
+    quantile-sketch bin (the documented sketch error bound).
+    """
+    from repro.core.stats import summarize
+
+    samples: dict[str, list] = {}
+    bits: dict[str, int] = {}
+    for task, trace in zip(manifest, traces):
+        key = reduction._group_key(task)
+        samples.setdefault(key, []).append(trace.mean_throughput_mbps)
+        per_carrier = getattr(trace, "per_carrier", None)
+        total = (sum(t.total_bits for t in per_carrier) if per_carrier is not None
+                 else trace.total_bits)
+        bits[key] = bits.get(key, 0) + int(total)
+
+    tolerance = ((reduction.quantile_hi - reduction.quantile_lo)
+                 / reduction.quantile_bins)
+    worst = {"mean_rel": 0.0, "std_rel": 0.0, "pct_abs": 0.0}
+    ok = set(samples) == set(sketch.groups)
+    for key, values in samples.items():
+        group = sketch.groups.get(key)
+        if group is None:
+            continue
+        want = summarize(np.asarray(values))
+        have = group.summary()
+        ok &= (have.n == want.n and have.minimum == want.minimum
+               and have.maximum == want.maximum
+               and group.total_bits == bits[key])
+        worst["mean_rel"] = max(worst["mean_rel"], abs(have.mean - want.mean)
+                                / max(abs(want.mean), 1e-12))
+        worst["std_rel"] = max(worst["std_rel"], abs(have.std - want.std)
+                               / max(abs(want.std), 1e-12))
+        for q in ("p25", "median", "p75"):
+            worst["pct_abs"] = max(worst["pct_abs"],
+                                   abs(getattr(have, q) - getattr(want, q)))
+    ok &= (worst["mean_rel"] <= 1e-9 and worst["std_rel"] <= 1e-6
+           and worst["pct_abs"] <= tolerance)
+    return {
+        "ok": bool(ok),
+        "groups": len(samples),
+        "max_mean_rel_err": worst["mean_rel"],
+        "max_std_rel_err": worst["std_rel"],
+        "max_percentile_err": worst["pct_abs"],
+        "percentile_tolerance": tolerance,
+    }
+
+
+def measure_reduce(quick: bool = False, seed: int = 2024,
+                   jobs: int | str = "auto") -> dict[str, Any]:
+    """Run the reduce benchmark matrix and return the report dict.
+
+    Timed variants (each cold variant best-of-reps on a fresh store):
+
+    - ``exact_cold`` — the materializing path holding every trace of
+      the campaign at once: the normalization reference and the peak
+      the memory gate compares against.
+    - ``reduce_cold`` — the same campaign folded into KPI sketches,
+      serial, no store: one in-flight trace at a time.
+    - ``reduce_store_cold`` / ``reduce_store_warm`` — the reduce path
+      with a store: cold writes sessions and the campaign-level memo;
+      warm replays the whole campaign from the single memo entry.
+
+    The report also carries the exact-vs-sketch oracle (``kpi_check``)
+    and, in full mode, a ~10^4-session reduce-only demonstration whose
+    peak must stay flat relative to the tiny timed variant (``demo``).
+    """
+    import tempfile
+
+    from repro.core.runner import resolve_jobs, run_tasks
+    from repro.store import TraceStore
+    from repro.xcal.dataset import campaign_reduction
+
+    workers = resolve_jobs(jobs)
+    cold_reps = 2 if quick else 3
+    manifest = campaign_tasks(quick, seed)
+    n = len(manifest)
+    run_tasks(campaign_tasks(True, seed + 9)[:2], jobs=1)  # untimed warmup
+
+    def best(runs: list[dict[str, float]]) -> dict[str, float]:
+        return max(runs, key=lambda r: r["sessions_per_s"])
+
+    captured: dict[str, Any] = {}
+
+    def exact_run() -> None:
+        captured["traces"] = run_tasks(manifest, jobs=1)
+
+    def reduce_run() -> None:
+        reduction = campaign_reduction()
+        captured["sketch"] = run_tasks(manifest, jobs=1, reduce=reduction)
+        captured["reduction"] = reduction
+
+    workloads: dict[str, Any] = {}
+    workloads["exact_cold"] = best([_time_reduce(n, exact_run)
+                                    for _ in range(cold_reps)])
+    workloads["reduce_cold"] = best([_time_reduce(n, reduce_run)
+                                     for _ in range(cold_reps)])
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-reduce-") as tmpdir:
+        tmp = Path(tmpdir)
+
+        def store_run(store: TraceStore) -> Callable[[], None]:
+            def go() -> None:
+                run_tasks(manifest, jobs=workers, store=store,
+                          reduce=campaign_reduction())
+            return go
+
+        workloads["reduce_store_cold"] = best([
+            _time_reduce(n, store_run(TraceStore(tmp / f"store-{rep}")))
+            for rep in range(cold_reps)
+        ])
+        warm_store = TraceStore(tmp / f"store-{cold_reps - 1}")
+        workloads["reduce_store_warm"] = best([
+            _time_reduce(n, store_run(warm_store)) for _ in range(2)
+        ])
+
+    kpi_check = _reduce_kpi_check(manifest, captured["traces"],
+                                  captured["sketch"], captured["reduction"])
+
+    report: dict[str, Any] = {
+        "bench": "reduce",
+        "schema": BENCH_SCHEMA_VERSION,
+        "quick": quick,
+        "config": {
+            "profiles": list(_CAMPAIGN_PROFILE_KEYS),
+            "n_sessions": n,
+            "jobs": workers,
+            "cold_reps": cold_reps,
+            "seed": seed,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "workloads": workloads,
+        "kpi_check": kpi_check,
+        "speedup": {
+            "reduce_cold_vs_exact_cold": round(
+                workloads["reduce_cold"]["sessions_per_s"]
+                / workloads["exact_cold"]["sessions_per_s"], 2),
+            "memo_warm_vs_cold": round(
+                workloads["reduce_store_warm"]["sessions_per_s"]
+                / workloads["reduce_store_cold"]["sessions_per_s"], 2),
+        },
+        "memory": {
+            "reduce_vs_exact_peak": round(
+                workloads["reduce_cold"]["peak_mb"]
+                / workloads["exact_cold"]["peak_mb"], 3),
+        },
+    }
+    if not quick:
+        demo_manifest = reduce_demo_tasks(seed + 5)
+
+        def demo_run() -> None:
+            run_tasks(demo_manifest, jobs=1, reduce=campaign_reduction())
+
+        demo = _time_reduce(len(demo_manifest), demo_run)
+        demo["n_sessions"] = len(demo_manifest)
+        demo["peak_vs_reduce_cold"] = round(
+            demo["peak_mb"] / workloads["reduce_cold"]["peak_mb"], 3)
+        report["demo"] = demo
+    return report
+
+
+def reduce_regression_failures(current: dict[str, Any],
+                               baseline: dict[str, Any],
+                               threshold: float = 0.30) -> list[str]:
+    """Regressions of a reduce report: normalized speed, oracle, memory.
+
+    ``exact_cold`` is the reference workload for hardware
+    normalization (same convention as
+    :func:`campaign_regression_failures`).  Independent of the
+    baseline, the *current* report must pass the exact-vs-sketch
+    oracle, keep the memo-hit speedup above ``_MEMO_WARM_FLOOR``,
+    keep the reduce peak under ``_REDUCE_PEAK_FRACTION`` of the exact
+    peak, and (when the demonstration ran) keep the 10^4-session peak
+    within ``_DEMO_PEAK_FACTOR`` of the tiny timed variant's.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must lie in (0, 1)")
+    failures: list[str] = []
+    try:
+        base_ref = baseline["workloads"]["exact_cold"]["sessions_per_s"]
+        new_ref = current["workloads"]["exact_cold"]["sessions_per_s"]
+    except KeyError:
+        return ["exact_cold: reference workload missing from a report"]
+    scale = new_ref / base_ref
+    for name in _REDUCE_GATED:
+        base = baseline.get("workloads", {}).get(name)
+        if base is None:
+            continue
+        new = current.get("workloads", {}).get(name)
+        if new is None:
+            failures.append(f"{name}: missing from current report")
+            continue
+        floor = (1.0 - threshold) * base["sessions_per_s"] * scale
+        if new["sessions_per_s"] < floor:
+            failures.append(
+                f"{name}: {new['sessions_per_s']:,.2f} sessions/s < floor "
+                f"{floor:,.2f} (baseline {base['sessions_per_s']:,.2f} "
+                f"x machine factor {scale:.2f} x {1.0 - threshold:.2f})")
+    kpi = current.get("kpi_check")
+    if not kpi or not kpi.get("ok"):
+        failures.append("kpi_check: exact-vs-sketch oracle failed "
+                        f"({kpi!r})")
+    memo = current.get("speedup", {}).get("memo_warm_vs_cold")
+    if memo is not None and memo < _MEMO_WARM_FLOOR:
+        failures.append(
+            f"memo_warm_vs_cold: {memo:.1f}x < {_MEMO_WARM_FLOOR:.0f}x "
+            "(sketch memo replay is not beating recomputation)")
+    workloads = current.get("workloads", {})
+    exact_peak = workloads.get("exact_cold", {}).get("peak_mb")
+    reduce_peak = workloads.get("reduce_cold", {}).get("peak_mb")
+    if exact_peak and reduce_peak:
+        if reduce_peak > _REDUCE_PEAK_FRACTION * exact_peak:
+            failures.append(
+                f"reduce_cold peak {reduce_peak:.2f} MB > "
+                f"{_REDUCE_PEAK_FRACTION:.0%} of exact_cold peak "
+                f"{exact_peak:.2f} MB (streaming path is accumulating traces)")
+    demo = current.get("demo")
+    if demo and reduce_peak:
+        if demo["peak_mb"] > _DEMO_PEAK_FACTOR * reduce_peak:
+            failures.append(
+                f"demo peak {demo['peak_mb']:.2f} MB > "
+                f"{_DEMO_PEAK_FACTOR:.1f}x reduce_cold peak {reduce_peak:.2f} MB "
+                f"(peak must track chunk size, not campaign size)")
+    return failures
+
+
+def render_reduce(report: dict[str, Any]) -> str:
+    """Human-readable table of a reduce benchmark report."""
+    config = report["config"]
+    lines = [f"reduce benchmark ({'quick' if report['quick'] else 'full'}, "
+             f"{len(config['profiles'])} operators, "
+             f"{config['n_sessions']} sessions, jobs={config['jobs']})"]
+    for name, data in report["workloads"].items():
+        lines.append(f"  {name:18s} {data['sessions_per_s']:>8,.2f} sessions/s"
+                     f"   ({data['wall_s']:.2f} s, peak {data['peak_mb']:.2f} MB)")
+    kpi = report.get("kpi_check", {})
+    if kpi:
+        lines.append(
+            f"  kpi oracle: {'PASS' if kpi.get('ok') else 'FAIL'} over "
+            f"{kpi.get('groups')} groups (mean rel err "
+            f"{kpi.get('max_mean_rel_err', 0.0):.2e}, percentile err "
+            f"{kpi.get('max_percentile_err', 0.0):.3f} <= "
+            f"{kpi.get('percentile_tolerance', 0.0):.3f} Mbps)")
+    memory = report.get("memory", {})
+    if memory:
+        lines.append(f"  reduce peak = {memory['reduce_vs_exact_peak']:.2f}x "
+                     f"exact peak")
+    demo = report.get("demo")
+    if demo:
+        lines.append(
+            f"  demo: {demo['n_sessions']} sessions at "
+            f"{demo['sessions_per_s']:,.2f} sessions/s, peak "
+            f"{demo['peak_mb']:.2f} MB "
+            f"({demo['peak_vs_reduce_cold']:.2f}x the "
+            f"{config['n_sessions']}-session variant)")
     return "\n".join(lines)
 
 

@@ -36,6 +36,16 @@ sessions.  This module gives them one execution engine:
    campaign`` / multi-experiment ``repro run``), with a worker
    initializer that opens the per-worker store handle once and
    pre-warms the TBS lookup-matrix cache.
+6. **Streaming reduction** — ``run_tasks(..., reduce=...)`` replaces
+   the materialized result list with a merged sketch (see
+   :mod:`repro.core.reduce`): each worker folds its session result into
+   a per-task sketch and ships only the sketch; the parent left-folds
+   sketches in manifest order, so the merge tree — and therefore the
+   output, byte for byte — is independent of worker count and
+   transport, and peak memory is bounded by one in-flight trace per
+   worker instead of the campaign size.  With a store, the merged
+   campaign-level sketch is itself memoized under a key covering the
+   reduction config and every member task.
 """
 
 from __future__ import annotations
@@ -43,8 +53,9 @@ from __future__ import annotations
 import dataclasses
 import os
 import zlib
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -173,8 +184,11 @@ def dispatch_chunksize(n_tasks: int, workers: int) -> int:
 # ---------------------------------------------------------------------- #
 # One store handle per worker process, opened once by the pool
 # initializer instead of per task; ``None`` in pipe-transport pools.
+# Routed writes go through a single-thread writer pool so npz encoding
+# of session *i* overlaps the simulation of session *i+1*.
 
 _WORKER_STORE: Any = None
+_WORKER_WRITER: ThreadPoolExecutor | None = None
 
 
 def prewarm_worker_caches() -> None:
@@ -209,6 +223,23 @@ def _pool_initializer(store_config: tuple[str, int | None] | None,
         prewarm_worker_caches()
 
 
+def _writer_pool() -> ThreadPoolExecutor:
+    global _WORKER_WRITER
+    if _WORKER_WRITER is None:
+        _WORKER_WRITER = ThreadPoolExecutor(max_workers=1)
+    return _WORKER_WRITER
+
+
+def _store_put_job(key: str, task: SessionTask, value: Any) -> tuple[bool, int]:
+    """Writer-thread body: serialize + write one result, report
+    ``(accepted, payload bytes)``.  Only this single thread touches
+    ``bytes_written`` while a chunk is executing, so the delta is the
+    write's own payload size."""
+    before = _WORKER_STORE.bytes_written
+    accepted = _WORKER_STORE.put(key, value, task=task)
+    return accepted, _WORKER_STORE.bytes_written - before
+
+
 def _execute_chunk_routed(chunk: list[tuple[int, SessionTask, str | None]]
                           ) -> list[tuple[int, str | None, Any, int]]:
     """Worker side of the store-routed path.
@@ -217,16 +248,78 @@ def _execute_chunk_routed(chunk: list[tuple[int, SessionTask, str | None]]
     accepts stay on disk and only ``(index, key, None, bytes_written)``
     returns over the pipe.  Uncacheable results (no key, codec refusal,
     no worker store) fall back to the pipe as ``(index, None, value, 0)``.
+
+    Serialization is off the critical path: each result's npz encode and
+    disk write run on the worker's single writer thread while the *next*
+    task simulates, with at most one write pending (bounding the worker
+    to two live results).  Chunk output order is preserved.
     """
     out: list[tuple[int, str | None, Any, int]] = []
+    pending: tuple[int, Any, str, Any] | None = None
+
+    def _finish(entry: tuple[int, Any, str, Any]) -> None:
+        index, value, key, future = entry
+        accepted, nbytes = future.result()
+        if accepted:
+            out.append((index, key, None, nbytes))
+        else:
+            out.append((index, None, value, 0))
+
     for index, task, key in chunk:
         value = task.execute()
         if key is not None and _WORKER_STORE is not None:
-            before = _WORKER_STORE.bytes_written
-            if _WORKER_STORE.put(key, value, task=task):
-                out.append((index, key, None, _WORKER_STORE.bytes_written - before))
-                continue
+            entry = (index, value, key, _writer_pool().submit(_store_put_job,
+                                                              key, task, value))
+            if pending is not None:
+                _finish(pending)
+            pending = entry
+            continue
+        if pending is not None:
+            _finish(pending)
+            pending = None
         out.append((index, None, value, 0))
+    if pending is not None:
+        _finish(pending)
+    return out
+
+
+def _execute_chunk_reduced(chunk: list[tuple[int, SessionTask, str | None]],
+                           reduction: Any,
+                           ) -> list[tuple[int, Any, str | None, int]]:
+    """Worker side of the reducing path.
+
+    Each result folds into a per-task sketch; only the sketch (a few KB,
+    independent of session length) crosses the pipe.  When the chunk
+    carries keys and the worker has a store handle, the full result is
+    *also* written to the store on the writer thread — the campaign
+    stays cache-warm for later exact runs — but the parent never reads
+    those entries back.  Output order matches chunk order.
+    """
+    out: list[tuple[int, Any, str | None, int]] = []
+    pending: tuple[int, Any, str, Any] | None = None
+
+    def _finish(entry: tuple[int, Any, str, Any]) -> None:
+        index, sketch, key, future = entry
+        accepted, nbytes = future.result()
+        out.append((index, sketch, key if accepted else None,
+                    nbytes if accepted else 0))
+
+    for index, task, key in chunk:
+        value = task.execute()
+        sketch = reduction.fold(task, value)
+        if key is not None and _WORKER_STORE is not None:
+            entry = (index, sketch, key, _writer_pool().submit(_store_put_job,
+                                                               key, task, value))
+            if pending is not None:
+                _finish(pending)
+            pending = entry
+            continue
+        if pending is not None:
+            _finish(pending)
+            pending = None
+        out.append((index, sketch, None, 0))
+    if pending is not None:
+        _finish(pending)
     return out
 
 
@@ -263,6 +356,7 @@ class CampaignExecutor:
         self.dispatches = 0
         self.tasks_executed = 0
         self.tasks_routed = 0
+        self.tasks_recomputed = 0
 
     @property
     def store_config(self) -> tuple[str, int | None] | None:
@@ -271,9 +365,18 @@ class CampaignExecutor:
         return (str(self.store.root), self.store.max_bytes)
 
     def routes_for(self, store: Any) -> bool:
-        """Whether this executor's workers write into ``store``."""
-        return (store is not None and self.store is not None
-                and str(self.store.root) == str(store.root))
+        """Whether this executor's workers write into ``store``.
+
+        Roots compare *resolved* (absolute, symlinks followed): a
+        relative and an absolute spelling of the same directory are the
+        same store, and must not silently disable routing.
+        """
+        if store is None or self.store is None:
+            return False
+        try:
+            return Path(self.store.root).resolve() == Path(store.root).resolve()
+        except OSError:  # unresolvable path: fall back to textual identity
+            return str(self.store.root) == str(store.root)
 
     def pool(self) -> ProcessPoolExecutor:
         """The shared pool, created on first use."""
@@ -293,13 +396,14 @@ class CampaignExecutor:
             "dispatches": self.dispatches,
             "tasks_executed": self.tasks_executed,
             "tasks_routed": self.tasks_routed,
+            "tasks_recomputed": self.tasks_recomputed,
         }
 
     def render_stats(self) -> str:
         s = self.stats()
         return (f"pool workers={s['workers']} pools={s['pools_created']} "
                 f"dispatches={s['dispatches']} tasks={s['tasks_executed']} "
-                f"routed={s['tasks_routed']}")
+                f"routed={s['tasks_routed']} recomputed={s['tasks_recomputed']}")
 
     def close(self) -> None:
         if self._pool is not None:
@@ -382,14 +486,148 @@ def _dispatch_routed(manifest: Sequence[SessionTask], indices: list[int],
         try:
             results[index] = store.read(routed[index])
         except KeyError:  # evicted/corrupted since the worker wrote it
-            results[index] = manifest[index].execute()
+            value = manifest[index].execute()
+            results[index] = value
+            # Heal the store and account the extra execution, or a warm
+            # replay after mid-flight eviction silently degrades.
+            store.put(routed[index], value, task=manifest[index])
+            if executor is not None:
+                executor.tasks_recomputed += 1
+
+
+def _run_reduced(manifest: list[SessionTask], workers: int, store: Any,
+                 executor: CampaignExecutor | None, transport: str,
+                 reduction: Any) -> Any:
+    """Reducing execution: fold every session into one merged sketch.
+
+    The parent sweeps the manifest in order, folding store hits locally
+    (one decoded result live at a time) and absorbing workers' per-task
+    sketches from the ordered chunk stream, so the left-fold order — and
+    the merged sketch, byte for byte — matches the serial run for any
+    worker count and either transport.  With a store, the merged
+    campaign-level sketch is memoized under
+    :func:`repro.store.keys.reduce_key`; a later identical call is a
+    single store read.
+    """
+    stats = reduction.stats if isinstance(getattr(reduction, "stats", None), dict) else None
+    n_tasks = len(manifest)
+    keys = ([store.task_key(task) for task in manifest] if store is not None
+            else [None] * n_tasks)
+
+    # Campaign-level sketch memo: one entry covering the whole manifest.
+    memo_state = "off"
+    memo_key = None
+    if (store is not None and manifest and hasattr(reduction, "fingerprint")
+            and all(key is not None for key in keys)):
+        from repro.store.keys import reduce_key
+
+        memo_key = reduce_key(reduction.fingerprint(), keys, salt=store.salt)
+        memo_state = "miss"
+        if store.contains(memo_key):
+            try:
+                cached = store.get(memo_key)
+            except KeyError:
+                pass
+            else:
+                if hasattr(cached, "groups") and hasattr(cached, "merge"):
+                    if stats is not None:
+                        stats.update(sessions=n_tasks, folded_local=0,
+                                     folded_workers=0, memo="hit")
+                    return cached
+
+    acc: Any = None
+    folded_local = 0
+    folded_workers = 0
+
+    def _fold_local(index: int, value: Any) -> None:
+        nonlocal acc, folded_local
+        sketch = reduction.fold(manifest[index], value)
+        acc = sketch if acc is None else reduction.merge(acc, sketch)
+        folded_local += 1
+
+    def _absorb(sketch: Any) -> None:
+        nonlocal acc, folded_workers
+        acc = sketch if acc is None else reduction.merge(acc, sketch)
+        folded_workers += 1
+
+    hit = [key is not None and store.contains(key) for key in keys] \
+        if store is not None else [False] * n_tasks
+    miss_indices = [index for index in range(n_tasks) if not hit[index]]
+
+    def _fold_hit(index: int) -> None:
+        try:
+            value = store.get(keys[index])
+        except KeyError:  # evicted/corrupted since the probe
+            value = manifest[index].execute()
+            store.put(keys[index], value, task=manifest[index])
+        _fold_local(index, value)
+
+    if workers == 1 or len(miss_indices) <= 1:
+        for index in range(n_tasks):
+            if hit[index]:
+                _fold_hit(index)
+            else:
+                value = manifest[index].execute()
+                if store is not None and keys[index] is not None:
+                    store.put(keys[index], value, task=manifest[index])
+                _fold_local(index, value)
+    else:
+        routable = executor.routes_for(store) if executor is not None else True
+        route = store is not None and (
+            transport == "store" or (transport == "auto" and routable))
+        chunksize = dispatch_chunksize(len(miss_indices), workers)
+        chunks = _chunked([(i, manifest[i], keys[i] if route else None)
+                           for i in miss_indices], chunksize)
+
+        def _sweep(futures: list) -> None:
+            stream = (outcome for future in futures for outcome in future.result())
+            for index in range(n_tasks):
+                if hit[index]:
+                    _fold_hit(index)
+                    continue
+                out_index, sketch, routed_key, nbytes = next(stream)
+                if out_index != index:
+                    raise RuntimeError(
+                        f"reduce stream out of order: got task {out_index}, "
+                        f"expected {index}")
+                if routed_key is not None:
+                    store.note_routed_write(nbytes)
+                    if executor is not None:
+                        executor.tasks_routed += 1
+                _absorb(sketch)
+
+        if executor is not None:
+            executor.dispatches += 1
+            executor.tasks_executed += len(miss_indices)
+            pool = executor.pool()
+            _sweep([pool.submit(_execute_chunk_reduced, chunk, reduction)
+                    for chunk in chunks])
+        else:
+            config = ((str(store.root), store.max_bytes)
+                      if store is not None and route else None)
+            with ProcessPoolExecutor(max_workers=min(workers, len(miss_indices)),
+                                     initializer=_pool_initializer,
+                                     initargs=(config, True)) as pool:
+                _sweep([pool.submit(_execute_chunk_reduced, chunk, reduction)
+                        for chunk in chunks])
+
+    if acc is None:
+        acc = reduction.empty() if hasattr(reduction, "empty") else None
+    if memo_key is not None and acc is not None and memo_state == "miss":
+        if store.put(memo_key, acc, label=f"reduce[{n_tasks}]"):
+            memo_state = "write"
+    if stats is not None:
+        stats.update(sessions=n_tasks, folded_local=folded_local,
+                     folded_workers=folded_workers, memo=memo_state)
+    return acc
 
 
 def run_tasks(tasks: Iterable[SessionTask] | Sequence[SessionTask],
               jobs: int | str | None = 1,
               store: Any | None = None,
               executor: CampaignExecutor | None = None,
-              transport: str = "auto") -> list[Any]:
+              transport: str = "auto",
+              reduce: Any | None = None) -> Any:
     """Execute a manifest; results are returned in manifest order.
 
     ``jobs=1`` runs in-process.  ``jobs>1`` dispatches to a process
@@ -412,14 +650,29 @@ def run_tasks(tasks: Iterable[SessionTask] | Sequence[SessionTask],
     ``"auto"`` routes through the store whenever the workers share one,
     ``"pipe"`` forces the legacy pickle-the-result path, ``"store"``
     requires routing (raises if no store is configured).
+
+    ``reduce`` (e.g. a :class:`repro.core.reduce.CampaignReduction`)
+    switches the call into streaming-reduction mode: instead of the
+    result list, the return value is the merged sketch of
+    ``reduce.fold(task, result)`` over the manifest, left-folded in
+    manifest order.  Results are never materialized in the parent —
+    peak memory is bounded by one in-flight result per worker — and the
+    merged sketch is byte-identical for any ``jobs``/transport
+    combination.  With a store, misses still warm the cache and the
+    campaign-level sketch itself is memoized.
     """
     if transport not in ("auto", "pipe", "store"):
         raise ValueError(f"transport must be 'auto', 'pipe' or 'store', got {transport!r}")
+    if transport == "store" and store is None:
+        raise ValueError("transport='store' requires a configured store")
     manifest = list(tasks)
     workers = executor.workers if executor is not None else resolve_jobs(jobs)
+    if reduce is not None:
+        if not (callable(getattr(reduce, "fold", None))
+                and callable(getattr(reduce, "merge", None))):
+            raise TypeError("reduce must provide fold(task, value) and merge(acc, sketch)")
+        return _run_reduced(manifest, workers, store, executor, transport, reduce)
     if store is None:
-        if transport == "store":
-            raise ValueError("transport='store' requires a configured store")
         return _dispatch(manifest, workers, executor=executor)
 
     keys = [store.task_key(task) for task in manifest]

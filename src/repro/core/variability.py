@@ -21,38 +21,82 @@ from dataclasses import dataclass
 
 import numpy as np
 
+#: Default fraction of a window's samples that must be valid (non-NaN)
+#: for the window average to count; sparser windows become NaN and their
+#: first differences drop out of V(t).
+MIN_VALID_FRACTION = 0.5
 
-def block_averages(samples: np.ndarray, block: int) -> np.ndarray:
+
+def block_averages(samples: np.ndarray, block: int,
+                   min_valid_fraction: float = MIN_VALID_FRACTION) -> np.ndarray:
     """Averages of consecutive non-overlapping blocks of length ``block``.
 
     The trailing partial block is dropped (each window must cover a full
-    ``t`` interval).
+    ``t`` interval).  NaN samples (outage gaps) are excluded from their
+    window's average; a window with fewer than ``min_valid_fraction`` of
+    its samples valid averages to NaN.  Gap-free input takes the exact
+    ``mean(axis=1)`` path, bit-identical to the pre-NaN-aware behavior.
     """
     samples = np.asarray(samples, dtype=float)
     if block < 1:
         raise ValueError("block must be a positive number of samples")
+    if not 0.0 < min_valid_fraction <= 1.0:
+        raise ValueError("min_valid_fraction must be in (0, 1]")
     m = samples.size // block
     if m == 0:
         return np.array([])
-    return samples[: m * block].reshape(m, block).mean(axis=1)
+    windows = samples[: m * block].reshape(m, block)
+    invalid = np.isnan(windows)
+    if not invalid.any():
+        return windows.mean(axis=1)
+    n_valid = block - invalid.sum(axis=1)
+    sums = np.where(invalid, 0.0, windows).sum(axis=1)
+    with np.errstate(invalid="ignore"):
+        averages = sums / n_valid
+    averages[n_valid < min_valid_fraction * block] = np.nan
+    return averages
 
 
-def scaled_variability(samples: np.ndarray, block: int) -> float:
+def abs_diff_stats(samples: np.ndarray, block: int,
+                   min_valid_fraction: float = MIN_VALID_FRACTION) -> tuple[float, int]:
+    """``(sum, count)`` of valid absolute first differences at one scale.
+
+    The mergeable form of :func:`scaled_variability`: V(t) is exactly
+    ``sum / count``, and per-session ``(sum, count)`` pairs add across a
+    campaign to pool the metric.  Differences touching a NaN window
+    average are dropped from both the sum and the count.
+    """
+    averaged = block_averages(samples, block, min_valid_fraction)
+    if averaged.size < 2:
+        return 0.0, 0
+    diffs = np.abs(np.diff(averaged))
+    invalid = np.isnan(diffs)
+    if invalid.any():
+        diffs = diffs[~invalid]
+    if diffs.size == 0:
+        return 0.0, 0
+    return float(diffs.sum()), int(diffs.size)
+
+
+def scaled_variability(samples: np.ndarray, block: int,
+                       min_valid_fraction: float = MIN_VALID_FRACTION) -> float:
     """V(t) for time scale ``t = block * tau`` (eq. 1).
 
-    Returns ``nan`` when fewer than two full windows exist (the metric
-    is undefined).
+    Returns ``nan`` when fewer than two full windows exist or every
+    first difference touches a below-threshold (NaN) window average —
+    the metric is undefined there.
     """
-    averaged = block_averages(samples, block)
-    if averaged.size < 2:
+    total, count = abs_diff_stats(samples, block, min_valid_fraction)
+    if count == 0:
         return float("nan")
-    return float(np.mean(np.abs(np.diff(averaged))))
+    return total / count
 
 
 def variability_profile(
     samples: np.ndarray,
     base_interval_ms: float,
     max_scale_ms: float = 2000.0,
+    min_valid_fraction: float = MIN_VALID_FRACTION,
 ) -> tuple[np.ndarray, np.ndarray]:
     """V(t) across dyadic time scales ``t = 2^k * tau`` (Fig. 12).
 
@@ -67,7 +111,7 @@ def variability_profile(
     values: list[float] = []
     block = 1
     while block * base_interval_ms <= max_scale_ms:
-        v = scaled_variability(samples, block)
+        v = scaled_variability(samples, block, min_valid_fraction)
         if not np.isnan(v):
             scales.append(block * base_interval_ms)
             values.append(v)

@@ -55,8 +55,17 @@ _MODULES = {
 EXPERIMENT_IDS = tuple(sorted(set(_MODULES)))
 
 
+def supports_reduce(experiment_id: str) -> bool:
+    """Whether an experiment implements the streaming-reduction path."""
+    if experiment_id not in _MODULES:
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {EXPERIMENT_IDS}")
+    module = importlib.import_module(_MODULES[experiment_id])
+    return "reduce" in inspect.signature(module.run).parameters
+
+
 def run_experiment(experiment_id: str, seed: int = 2024, quick: bool = True,
-                   jobs: int | str = 1, store=None, executor=None) -> ExperimentResult:
+                   jobs: int | str = 1, store=None, executor=None,
+                   reduce: bool = False) -> ExperimentResult:
     """Run one experiment by id.
 
     ``jobs``, ``store`` and ``executor`` are forwarded to experiments
@@ -66,6 +75,10 @@ def run_experiment(experiment_id: str, seed: int = 2024, quick: bool = True,
     results are identical with or without it.  ``executor`` (a
     :class:`repro.core.runner.CampaignExecutor`) shares one warm worker
     pool across experiments instead of forking a fresh pool per call.
+    ``reduce=True`` asks the experiment to fold sessions into streaming
+    KPI sketches instead of materializing traces (see
+    :mod:`repro.core.reduce`); experiments without a reduction path
+    raise ``ValueError`` — probe with :func:`supports_reduce`.
     """
     if experiment_id not in _MODULES:
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {EXPERIMENT_IDS}")
@@ -80,7 +93,12 @@ def run_experiment(experiment_id: str, seed: int = 2024, quick: bool = True,
         kwargs["store"] = store
     if "executor" in parameters and executor is not None:
         kwargs["executor"] = executor
+    if reduce:
+        if "reduce" not in parameters:
+            raise ValueError(
+                f"experiment {experiment_id!r} has no streaming-reduction path")
+        kwargs["reduce"] = True
     return module.run(**kwargs)
 
 
-__all__ = ["ExperimentResult", "EXPERIMENT_IDS", "run_experiment"]
+__all__ = ["ExperimentResult", "EXPERIMENT_IDS", "run_experiment", "supports_reduce"]

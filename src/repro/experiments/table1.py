@@ -15,13 +15,16 @@ from repro.xcal.dataset import CampaignSpec, generate_campaign
 
 
 def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1,
-        store=None, executor=None) -> ExperimentResult:
+        store=None, executor=None, reduce: bool = False) -> ExperimentResult:
     spec = CampaignSpec(
         minutes_per_operator=0.5 if quick else 2.0,
         session_s=10.0 if quick else 20.0,
         seed=seed,
     )
-    campaign = generate_campaign(spec=spec, jobs=jobs, store=store, executor=executor)
+    # With reduce=True this is a CampaignSummary — same reporting
+    # surface, no materialized traces (see repro.xcal.dataset).
+    campaign = generate_campaign(spec=spec, jobs=jobs, store=store,
+                                 executor=executor, reduce=reduce)
     paper = targets.TABLE1
 
     countries = sorted({p.country for p in ALL_PROFILES.values()})
@@ -40,4 +43,6 @@ def run(seed: int = 2024, quick: bool = True, jobs: int | str = 1,
         "operators": campaign.operators,
         "countries": countries,
     }
+    if reduce:
+        data["reduce_stats"] = dict(campaign.reduction.stats)
     return ExperimentResult("table1", "campaign statistics (Table 1)", rows, data)

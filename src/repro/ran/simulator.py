@@ -348,6 +348,34 @@ class _ReferenceEngine:
         pass
 
 
+#: Recycled (decoded, txmask) scratch pairs for :class:`_VectorizedEngine`,
+#: keyed by trace length.  Campaigns simulate thousands of same-length
+#: sessions back to back in one process; reusing the two trace-length
+#: boolean arrays keeps the per-session allocation cost off the critical
+#: path (the first session still pays it once).  Not thread-safe — the
+#: engine runs sessions sequentially within a process, workers each hold
+#: their own module state.
+_ENGINE_BUFFERS: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+_ENGINE_BUFFERS_CAP = 8
+
+
+def _borrow_engine_buffers(n_slots: int) -> tuple[np.ndarray, np.ndarray]:
+    pool = _ENGINE_BUFFERS.get(n_slots)
+    if pool:
+        decoded, txmask = pool.pop()
+        # ``decoded`` is read only where ``txmask`` was set, and every
+        # such slot is written first — stale contents are unreachable.
+        txmask[:] = False
+        return decoded, txmask
+    return np.empty(n_slots, dtype=bool), np.zeros(n_slots, dtype=bool)
+
+
+def _release_engine_buffers(decoded: np.ndarray, txmask: np.ndarray) -> None:
+    pool = _ENGINE_BUFFERS.setdefault(decoded.size, [])
+    if len(pool) < _ENGINE_BUFFERS_CAP:
+        pool.append((decoded, txmask))
+
+
 class _VectorizedEngine:
     """Segment-batched fast path.
 
@@ -381,8 +409,8 @@ class _VectorizedEngine:
         self._cum_both = self._prefix_counts(self._tx_both)
         self._cum_full_only = self._prefix_counts(self._tx_full_only)
         self._cum_special_only = self._prefix_counts(self._tx_special_only)
-        self._decoded = np.empty(n_slots, dtype=bool)
-        self._txmask = np.zeros(n_slots, dtype=bool)
+        self._decoded, self._txmask = _borrow_engine_buffers(n_slots)
+        self._released = False
         self._scratch: np.ndarray | None = None
         # Per-chunk constants (one chunk per committed segment).
         self._counts: list[int] = []
@@ -570,6 +598,9 @@ class _VectorizedEngine:
             trace.tbs_bits[ridx] = rtbs
             trace.delivered_bits[ridx] = np.where(rok, rtbs, 0)
             trace.error[ridx] = ~rok
+        if not self._released:
+            self._released = True
+            _release_engine_buffers(self._decoded, self._txmask)
 
 
 _SLOT_ENGINES = {

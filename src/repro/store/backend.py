@@ -166,6 +166,15 @@ class TraceStore:
         self.hits += 1
         return value
 
+    def contains(self, key: str) -> bool:
+        """Cheap existence probe (sidecar stat, no verification).
+
+        A ``True`` here is advisory — the entry can still fail its hash
+        check or vanish under concurrent eviction by the time it is
+        read; callers must keep a recompute fallback.
+        """
+        return self._paths(key)[1].exists()
+
     def read(self, key: str) -> Any:
         """Like :meth:`get` but outside the hit/miss tally.
 

@@ -8,7 +8,10 @@ result shapes are supported, covering every session-manifest producer:
 - a single :class:`~repro.xcal.records.SlotTrace` (campaign sessions,
   per-operator figure sessions);
 - an :class:`~repro.ran.ca.AggregatedResult` (carrier-aggregation runs:
-  one prefixed column set per component carrier).
+  one prefixed column set per component carrier);
+- a :class:`~repro.core.reduce.CampaignSketch` (campaign-level merged
+  KPI sketch memoized by the reducing runner: quantile histograms as
+  arrays, scalar accumulators as exact JSON in ``_meta``).
 
 ``encode`` returns ``None`` for anything else — the memoizing runner
 then simply executes such tasks every time instead of caching them.
@@ -31,6 +34,7 @@ CODEC_VERSION = 1
 
 def encode(value) -> bytes | None:
     """Encode a session result to npz bytes, or ``None`` if uncacheable."""
+    from repro.core.reduce import CampaignSketch
     from repro.ran.ca import AggregatedResult
 
     if isinstance(value, SlotTrace):
@@ -43,6 +47,9 @@ def encode(value) -> bytes | None:
             arrays.update(trace_to_arrays(trace, prefix=f"cc{index}."))
             metas.append(_metadata_pairs(trace))
         return npz_bytes(arrays, {"kind": "ca", "traces": metas})
+    if isinstance(value, CampaignSketch):
+        arrays, meta = value.to_arrays()
+        return npz_bytes(arrays, {"kind": "sketch", "sketch": meta})
     return None
 
 
@@ -52,6 +59,7 @@ def decode(data: bytes):
     Raises ``ValueError``/``KeyError`` on malformed payloads; the store
     treats any decode failure as corruption (quarantine + miss).
     """
+    from repro.core.reduce import CampaignSketch
     from repro.ran.ca import AggregatedResult
 
     arrays, meta = npz_arrays(data)
@@ -62,4 +70,6 @@ def decode(data: bytes):
         traces = [arrays_to_trace(arrays, pairs, prefix=f"cc{index}.")
                   for index, pairs in enumerate(meta["traces"])]
         return AggregatedResult(per_carrier=traces)
+    if kind == "sketch":
+        return CampaignSketch.from_arrays(arrays, meta["sketch"])
     raise ValueError(f"unknown store payload kind {kind!r}")

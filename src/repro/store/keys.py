@@ -36,6 +36,7 @@ __all__ = [
     "STORE_SCHEMA_VERSION",
     "UnfingerprintableTask",
     "canonical_json",
+    "reduce_key",
     "task_fingerprint",
 ]
 
@@ -119,6 +120,24 @@ def task_fingerprint(task: Any, *, salt: int = STORE_SCHEMA_VERSION) -> str:
         "fn": f"{fn.__module__}:{fn.__qualname__}",
         "kwargs": _canonical(dict(task.kwargs)),
         "seed": None if task.seed is None else int(task.seed),
+    }
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def reduce_key(reduction_fingerprint: str, task_keys: list[str], *,
+               salt: int = STORE_SCHEMA_VERSION) -> str:
+    """Key of a *campaign-level* merged sketch.
+
+    Covers the reduction configuration fingerprint plus every member
+    task key in manifest order (order matters: the merged sketch is a
+    left-fold), salted like session entries so schema bumps invalidate
+    memoized sketches too.
+    """
+    payload = {
+        "salt": int(salt),
+        "reduce": reduction_fingerprint,
+        "tasks": list(task_keys),
     }
     encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()

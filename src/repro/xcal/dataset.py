@@ -153,6 +153,78 @@ class MeasurementCampaign:
         return self.export(directory, format="csv")
 
 
+@dataclass
+class CampaignSummary:
+    """Reduced campaign: per-group KPI sketches, no materialized traces.
+
+    The streaming-reduction counterpart of :class:`MeasurementCampaign`,
+    mirroring its reporting surface (``operators``, ``total_minutes``,
+    ``total_data_gb``, ``summary_rows``) so Table 1 renders identically
+    from either.  Session counts and delivered bits are exact; minutes
+    come from a compensated sum (see :mod:`repro.core.reduce` for the
+    full exact-vs-approximate contract).
+    """
+
+    spec: CampaignSpec
+    sketch: object  # repro.core.reduce.CampaignSketch
+    profile_keys: tuple[str, ...] = ()
+    #: The reduction that produced the sketch (carries runner-side
+    #: ``stats`` for the CLI's ``[reduce]`` accounting line).
+    reduction: object | None = None
+
+    def _counts(self) -> dict[str, dict[str, int]]:
+        counts: dict[str, dict[str, int]] = {
+            key: {"DL": 0, "UL": 0} for key in self.profile_keys}
+        for group_key, group in self.sketch.groups.items():
+            operator, _, direction = group_key.rpartition("/")
+            counts.setdefault(operator, {"DL": 0, "UL": 0})
+            counts[operator][direction] += group.n_sessions
+        return counts
+
+    @property
+    def operators(self) -> list[str]:
+        return sorted(self._counts())
+
+    @property
+    def n_sessions(self) -> int:
+        return self.sketch.n_sessions
+
+    @property
+    def total_minutes(self) -> float:
+        return sum(g.duration_s for g in self.sketch.groups.values()) / 60.0
+
+    @property
+    def total_data_gb(self) -> float:
+        return sum(g.total_bits for g in self.sketch.groups.values()) / 8e9
+
+    def group(self, operator_key: str, direction: str):
+        """The :class:`~repro.core.reduce.GroupSketch` of one
+        operator/direction, or ``None`` when no session fell in it."""
+        return self.sketch.groups.get(f"{operator_key}/{direction}")
+
+    def summary_rows(self) -> list[str]:
+        """Printable Table 1-style summary (same shape as
+        :meth:`MeasurementCampaign.summary_rows`)."""
+        counts = self._counts()
+        rows = [
+            f"operators: {len(counts)}",
+            f"5G network tests: {self.total_minutes:.1f} minutes",
+            f"data consumed on 5G: {self.total_data_gb:.2f} GB",
+        ]
+        for key in sorted(counts):
+            rows.append(f"  {key:10s} sessions: "
+                        f"{counts[key]['DL']} DL / {counts[key]['UL']} UL")
+        return rows
+
+
+def campaign_reduction():
+    """The standard campaign reduction: group by operator/direction,
+    summaries only (variability sketches are opt-in per experiment)."""
+    from repro.core.reduce import CampaignReduction
+
+    return CampaignReduction(group_mode="campaign")
+
+
 def session_seed(campaign_seed: int, operator_key: str, session: int) -> int:
     """Derived seed of one session of a campaign.
 
@@ -216,7 +288,8 @@ def generate_campaign(
     store=None,
     executor=None,
     transport: str = "auto",
-) -> MeasurementCampaign:
+    reduce: bool | object = False,
+) -> MeasurementCampaign | CampaignSummary:
     """Generate a synthetic campaign over the given operator profiles.
 
     ``profiles`` defaults to all operators of the study.  Per session
@@ -231,16 +304,29 @@ def generate_campaign(
     (a :class:`repro.core.runner.CampaignExecutor`) reuses one warm
     worker pool across campaigns; ``transport`` selects how worker
     results travel back (see :func:`repro.core.runner.run_tasks`).
+
+    ``reduce`` switches to streaming reduction: ``True`` uses the
+    standard :func:`campaign_reduction` (or pass a configured
+    :class:`~repro.core.reduce.CampaignReduction`), traces are folded
+    into per-group sketches as they complete — never all held in memory
+    — and the return value is a :class:`CampaignSummary` instead of a
+    :class:`MeasurementCampaign`.
     """
     from repro.operators.profiles import ALL_PROFILES
 
     profiles = profiles if profiles is not None else ALL_PROFILES
     spec = spec or CampaignSpec()
+    manifest = campaign_manifest(profiles, spec)
+    if reduce:
+        reduction = campaign_reduction() if reduce is True else reduce
+        sketch = run_tasks(manifest, jobs=jobs, store=store, executor=executor,
+                           transport=transport, reduce=reduction)
+        return CampaignSummary(spec=spec, sketch=sketch,
+                               profile_keys=tuple(profiles), reduction=reduction)
     campaign = MeasurementCampaign(spec=spec)
     for key in profiles:
         campaign.dl_traces[key] = []
         campaign.ul_traces[key] = []
-    manifest = campaign_manifest(profiles, spec)
     results = run_tasks(manifest, jobs=jobs, store=store,
                         executor=executor, transport=transport)
     for task, trace in zip(manifest, results):

@@ -74,7 +74,8 @@ def _campaign_report(jobs1_cold=50.0, jobs1_warm=400.0, pipe=90.0,
         "config": {"profiles": ["V_Sp", "O_Sp_100", "T_Ge", "V_Ge"],
                    "n_sessions": 12, "jobs": 2, "seed": 2024},
         "pool": {"workers": 2, "pools_created": 1, "dispatches": 2,
-                 "tasks_executed": 12, "tasks_routed": 12},
+                 "tasks_executed": 12, "tasks_routed": 12,
+                 "tasks_recomputed": 0},
         "workloads": {
             "jobs1_cold": cell(jobs1_cold),
             "jobs1_warm": cell(jobs1_warm),
@@ -123,6 +124,48 @@ class TestCampaignRegressionGate:
         failures = bench.campaign_regression_failures(current, base)
         assert failures == ["store_routed_warm: missing from current report"]
 
+    def test_routed_cold_below_pipe_floor_fails(self):
+        # Same report as baseline, so normalization passes; only the
+        # intra-report routed-vs-pipe floor can fire.
+        report = _campaign_report(routed_cold=70.0, pipe=90.0)
+        report["quick"] = False
+        failures = bench.campaign_regression_failures(report, report)
+        assert len(failures) == 1
+        assert failures[0].startswith("routed_cold_vs_pipe_cold:")
+
+    def test_routed_cold_within_noise_floor_passes(self):
+        report = _campaign_report(routed_cold=85.0, pipe=90.0)  # 0.94x
+        report["quick"] = False
+        assert bench.campaign_regression_failures(report, report) == []
+
+    def test_quick_reports_get_pipe_floor_slack(self):
+        # Pool spawn dominates a quick run's sub-second wall, so the
+        # same 0.78x ratio passes in quick mode but not full mode.
+        report = _campaign_report(routed_cold=70.0, pipe=90.0)  # quick
+        assert bench.campaign_regression_failures(report, report) == []
+        worse = _campaign_report(routed_cold=60.0, pipe=90.0)  # 0.67x
+        failures = bench.campaign_regression_failures(worse, worse)
+        assert any(f.startswith("routed_cold_vs_pipe_cold:")
+                   for f in failures)
+
+    def test_routed_warm_is_not_normalized_across_modes(self):
+        # Memo-replay sessions/s is fixed-overhead-bound, so a warm
+        # rate below the normalized floor must pass as long as it
+        # still crushes its own cold run.
+        base = _campaign_report(routed_warm=420.0)
+        # Machine 2x faster (jobs1_cold 50 -> 100); warm replay only
+        # reaches 520 < the 420 * 2 * 0.7 = 588 normalized floor, but
+        # still beats its own cold run by 2x+.
+        current = _campaign_report(jobs1_cold=100.0, jobs1_warm=800.0,
+                                   pipe=180.0, routed_cold=250.0,
+                                   routed_warm=520.0)
+        assert bench.campaign_regression_failures(current, base) == []
+
+    def test_routed_warm_below_intra_report_floor_fails(self):
+        report = _campaign_report(routed_cold=150.0, routed_warm=200.0)
+        failures = bench.campaign_regression_failures(report, report)
+        assert any("memo replay is recomputing" in f for f in failures)
+
     def test_missing_reference_reports_cleanly(self):
         base = _campaign_report()
         current = copy.deepcopy(base)
@@ -156,6 +199,117 @@ class TestCampaignWorkloadShape:
     def test_quick_mode_is_smaller(self):
         assert len(bench.campaign_tasks(quick=True)) <= \
             len(bench.campaign_tasks(quick=False))
+
+
+def _reduce_report(exact=12.0, reduce_cold=12.5, store_cold=11.0,
+                   store_warm=1200.0, exact_peak=10.0, reduce_peak=2.7,
+                   kpi_ok=True, demo_peak=None) -> dict:
+    def cell(rate, peak):
+        return {"sessions_per_s": rate, "wall_s": round(12.0 / rate, 3),
+                "peak_mb": peak}
+
+    report = {
+        "bench": "reduce",
+        "schema": bench.BENCH_SCHEMA_VERSION,
+        "quick": True,
+        "config": {"profiles": ["V_Sp", "O_Sp_100", "T_Ge", "V_Ge"],
+                   "n_sessions": 12, "jobs": 1, "cold_reps": 2, "seed": 2024},
+        "workloads": {
+            "exact_cold": cell(exact, exact_peak),
+            "reduce_cold": cell(reduce_cold, reduce_peak),
+            "reduce_store_cold": cell(store_cold, reduce_peak),
+            "reduce_store_warm": cell(store_warm, 0.2),
+        },
+        "kpi_check": {"ok": kpi_ok, "groups": 8, "max_mean_rel_err": 0.0,
+                      "max_std_rel_err": 0.0, "max_percentile_err": 1.9,
+                      "percentile_tolerance": 4.0},
+        "speedup": {"reduce_cold_vs_exact_cold": round(reduce_cold / exact, 2),
+                    "memo_warm_vs_cold": round(store_warm / store_cold, 2)},
+        "memory": {"reduce_vs_exact_peak": round(reduce_peak / exact_peak, 3)},
+    }
+    if demo_peak is not None:
+        report["demo"] = {"sessions_per_s": 200.0, "wall_s": 50.0,
+                          "peak_mb": demo_peak, "n_sessions": 10000,
+                          "peak_vs_reduce_cold": round(demo_peak / reduce_peak, 3)}
+    return report
+
+
+class TestReduceRegressionGate:
+    def test_identical_reports_pass(self):
+        report = _reduce_report(demo_peak=3.0)
+        assert bench.reduce_regression_failures(report, report) == []
+
+    def test_uniform_slowdown_is_hardware_normalized_away(self):
+        base = _reduce_report()
+        current = copy.deepcopy(base)
+        for data in current["workloads"].values():
+            data["sessions_per_s"] /= 2.0
+        assert bench.reduce_regression_failures(current, base) == []
+
+    def test_reduce_only_slowdown_fails(self):
+        base = _reduce_report()
+        current = copy.deepcopy(base)
+        current["workloads"]["reduce_cold"]["sessions_per_s"] /= 2.0
+        failures = bench.reduce_regression_failures(current, base, threshold=0.30)
+        assert len(failures) == 1
+        assert failures[0].startswith("reduce_cold:")
+
+    def test_failed_kpi_oracle_fails(self):
+        report = _reduce_report(kpi_ok=False)
+        failures = bench.reduce_regression_failures(report, report)
+        assert any(f.startswith("kpi_check:") for f in failures)
+
+    def test_memo_warm_is_not_normalized_across_modes(self):
+        # Memo-hit sessions/s tracks the manifest size, not machine
+        # speed: a slow warm rate with a fast exact_cold must not trip
+        # the normalized gate as long as it still crushes recompute.
+        base = _reduce_report(store_warm=1200.0)
+        current = _reduce_report(exact=20.0, reduce_cold=21.0,
+                                 store_warm=500.0)
+        assert bench.reduce_regression_failures(current, base) == []
+
+    def test_memo_warm_below_intra_report_floor_fails(self):
+        report = _reduce_report(store_cold=100.0, store_warm=300.0)  # 3x
+        failures = bench.reduce_regression_failures(report, report)
+        assert any(f.startswith("memo_warm_vs_cold:") for f in failures)
+
+    def test_unbounded_reduce_peak_fails(self):
+        report = _reduce_report(reduce_peak=8.0, exact_peak=10.0)
+        failures = bench.reduce_regression_failures(report, report)
+        assert any(f.startswith("reduce_cold peak") for f in failures)
+
+    def test_demo_peak_must_track_chunk_size(self):
+        report = _reduce_report(demo_peak=50.0)
+        failures = bench.reduce_regression_failures(report, report)
+        assert any(f.startswith("demo peak") for f in failures)
+
+    def test_missing_reference_reports_cleanly(self):
+        base = _reduce_report()
+        current = copy.deepcopy(base)
+        del current["workloads"]["exact_cold"]
+        failures = bench.reduce_regression_failures(current, base)
+        assert failures == ["exact_cold: reference workload missing from a report"]
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            bench.reduce_regression_failures(_reduce_report(), _reduce_report(),
+                                             threshold=2.0)
+
+
+class TestReduceRender:
+    def test_render_lists_workloads_oracle_and_demo(self):
+        text = bench.render_reduce(_reduce_report(demo_peak=3.0))
+        assert "reduce_store_warm" in text and "exact_cold" in text
+        assert "PASS" in text and "10000 sessions" in text
+        assert "0.27x exact peak" in text
+
+
+class TestReduceWorkloadShape:
+    def test_demo_manifest_is_campaign_shaped_and_large(self):
+        manifest = bench.reduce_demo_tasks(seed=7)
+        assert len(manifest) >= 10_000
+        operators = {t.label.rsplit("/", 2)[0] for t in manifest}
+        assert operators == {"V_Sp", "O_Sp_100", "T_Ge", "V_Ge"}
 
 
 class TestReportIo:

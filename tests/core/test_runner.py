@@ -185,6 +185,23 @@ class TestCampaignExecutor:
         with CampaignExecutor(jobs=2) as storeless:
             assert not storeless.routes_for(store)
 
+    def test_routes_for_resolves_path_spellings(self, tmp_path, monkeypatch):
+        # A relative or symlinked spelling of the same directory is the
+        # same store; textual root comparison used to disable routing.
+        from pathlib import Path
+
+        from repro.store import TraceStore
+
+        root = tmp_path / "cache"
+        store = TraceStore(root)
+        alias = tmp_path / "alias"
+        alias.symlink_to(root)
+        monkeypatch.chdir(tmp_path)
+        with CampaignExecutor(jobs=2, store=store) as executor:
+            assert executor.routes_for(TraceStore(Path("cache")))
+            assert executor.routes_for(TraceStore(alias))
+            assert not executor.routes_for(TraceStore(tmp_path / "elsewhere"))
+
     def test_close_idempotent_and_reopens(self):
         executor = CampaignExecutor(jobs=2)
         manifest = self._manifest(4)

@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro.core.variability import (
+    MIN_VALID_FRACTION,
     JointVariability,
+    abs_diff_stats,
     block_averages,
     joint_variability,
     scaled_variability,
@@ -30,6 +32,61 @@ class TestBlockAverages:
     def test_validation(self):
         with pytest.raises(ValueError):
             block_averages(np.ones(4), 0)
+
+
+class TestNanAwareness:
+    def test_gap_free_path_bit_identical(self):
+        data = np.random.default_rng(3).standard_normal(256)
+        want = data.reshape(64, 4).mean(axis=1)
+        assert np.array_equal(block_averages(data, 4), want)
+
+    def test_gaps_excluded_from_window_mean(self):
+        out = block_averages(np.array([1.0, np.nan, 3.0, 5.0]), 2)
+        assert out.tolist() == [1.0, 4.0]
+
+    def test_window_below_threshold_is_nan(self):
+        out = block_averages(np.array([1.0, np.nan, np.nan, np.nan]), 4)
+        assert np.isnan(out).all()
+
+    def test_threshold_is_tunable(self):
+        data = np.array([1.0, np.nan, np.nan, np.nan])
+        assert block_averages(data, 4, min_valid_fraction=0.25).tolist() == [1.0]
+        assert MIN_VALID_FRACTION == 0.5
+
+    def test_min_valid_fraction_validated(self):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                block_averages(np.ones(4), 2, min_valid_fraction=bad)
+
+    def test_scaled_variability_over_gappy_trace(self):
+        # Windows: [0,2]->1, [nan,4]->4 (half valid, kept), [4,0]->2;
+        # diffs |4-1| and |2-4| give V = (3+2)/2.
+        series = np.array([0.0, 2.0, np.nan, 4.0, 4.0, 0.0])
+        assert scaled_variability(series, 2) == pytest.approx(2.5)
+
+    def test_scaled_variability_nan_when_all_diffs_poisoned(self):
+        series = np.array([0.0, 2.0, np.nan, np.nan, 4.0, 0.0])
+        assert np.isnan(scaled_variability(series, 2))
+
+    def test_abs_diff_stats_matches_scaled_variability(self):
+        data = np.random.default_rng(5).standard_normal(300)
+        total, count = abs_diff_stats(data, 4)
+        assert count == 300 // 4 - 1
+        assert total / count == scaled_variability(data, 4)
+
+    def test_abs_diff_stats_empty(self):
+        assert abs_diff_stats(np.ones(3), 2) == (0.0, 0)
+
+    def test_profile_threads_min_valid_fraction(self):
+        series = np.ones(64)
+        series[::2] = np.nan  # every 2-window is half-valid
+        scales_strict, _ = variability_profile(series, 1.0, max_scale_ms=8.0,
+                                               min_valid_fraction=0.75)
+        scales_loose, values = variability_profile(series, 1.0, max_scale_ms=8.0,
+                                                   min_valid_fraction=0.5)
+        assert 2.0 not in scales_strict.tolist()
+        assert 2.0 in scales_loose.tolist()
+        assert np.all(np.isfinite(values))
 
 
 class TestScaledVariability:

@@ -187,6 +187,43 @@ class TestStoreRoutedTransport:
             assert [encode(r) for r in results] == reference
 
 
+class _EvictingStore(TraceStore):
+    """Simulates mid-flight LRU eviction: the first parent-side read of
+    every key fails as if the entry vanished after the worker wrote it."""
+
+    def __init__(self, root):
+        super().__init__(root)
+        self.failed_reads: set = set()
+
+    def read(self, key):
+        if key not in self.failed_reads:
+            self.failed_reads.add(key)
+            raise KeyError(key)
+        return super().read(key)
+
+
+class TestRoutedEvictionFallback:
+    def test_recompute_writes_back_and_accounts(self, tmp_path):
+        store = _EvictingStore(tmp_path / "cache")
+        manifest = _manifest(tmp_path)
+        with CampaignExecutor(jobs=2, store=store) as executor:
+            results = run_tasks(manifest, store=store, executor=executor,
+                                transport="store")
+            stats = executor.stats()
+        # Workers executed all four, the parent recomputed all four.
+        assert stats["tasks_routed"] == 4
+        assert stats["tasks_recomputed"] == 4
+        assert _executions(tmp_path) == 8
+        _assert_same_results(results, [t.execute() for t in manifest])
+        # The recomputed results were written back: a fresh handle on
+        # the same directory replays the campaign without executing.
+        warm_store = TraceStore(tmp_path / "cache")
+        warm = run_tasks(manifest, store=warm_store)
+        assert _executions(tmp_path) == 8 + 4  # _assert serial executes above
+        assert warm_store.hits == 4 and warm_store.misses == 0
+        _assert_same_results(warm, results)
+
+
 class TestCampaignMemoization:
     def test_campaign_csv_exports_byte_identical(self, tmp_path):
         from repro.operators.profiles import EU_PROFILES
