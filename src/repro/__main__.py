@@ -18,8 +18,11 @@ Commands
     ``BENCH_slot_engine.json``, ``--workload campaign`` benchmarks the
     execution layer end to end and emits ``BENCH_campaign.json``,
     ``--workload reduce`` benchmarks the streaming-reduction path and
-    emits ``BENCH_reduce.json`` (``--baseline`` compares against a
-    committed report and fails on hardware-normalized regressions).
+    emits ``BENCH_reduce.json``, ``--workload tensor`` benchmarks the
+    cross-session cohort engine against the per-session vectorized
+    engine and emits ``BENCH_tensor.json`` (``--baseline`` compares
+    against a committed report and fails on hardware-normalized
+    regressions).
 
 ``run`` and ``campaign`` accept ``--jobs N`` (or ``--jobs auto``) to
 fan independent sessions out to a process pool, and ``--cache DIR``
@@ -187,8 +190,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 2
     store = TraceStore(root)
     if args.action == "stats":
+        from repro.ran.tensor import render_cohort_stats
+
         print(store.stats().render())
         print(_render_tbs_cache_line())
+        print(render_cohort_stats())
     elif args.action == "verify":
         ok, bad = store.verify()
         print(f"verified {ok} entries intact, {len(bad)} quarantined")
@@ -211,8 +217,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.core import bench
 
     baseline = bench.load_report(args.baseline) if args.baseline else None
-    expected = {"campaign": "campaign", "reduce": "reduce"}.get(args.workload,
-                                                                "slot_engine")
+    expected = {"campaign": "campaign", "reduce": "reduce",
+                "tensor": "tensor"}.get(args.workload, "slot_engine")
     if baseline is not None and baseline.get("bench") != expected:
         print(f"baseline {args.baseline} is a {baseline.get('bench')!r} report, "
               f"not {expected!r}", file=sys.stderr)
@@ -225,6 +231,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         report = bench.measure_reduce(quick=args.quick, seed=args.seed,
                                       jobs=args.jobs)
         rendered, regressions = bench.render_reduce, bench.reduce_regression_failures
+    elif args.workload == "tensor":
+        report = bench.measure_tensor(quick=args.quick, seed=args.seed)
+        rendered, regressions = bench.render_tensor, bench.tensor_regression_failures
     else:
         report = bench.measure(quick=args.quick, seed=args.seed)
         rendered, regressions = bench.render, bench.regression_failures
@@ -287,7 +296,8 @@ def main(argv: list[str] | None = None) -> int:
     campaign_parser.set_defaults(func=_cmd_campaign)
 
     bench_parser = sub.add_parser("bench", help="tracked benchmarks")
-    bench_parser.add_argument("--workload", choices=("slot", "campaign", "reduce"),
+    bench_parser.add_argument("--workload",
+                              choices=("slot", "campaign", "reduce", "tensor"),
                               default="slot",
                               help="slot engines (default), the campaign "
                                    "execution layer, or the streaming "

@@ -1,6 +1,6 @@
 """Tracked benchmarks — the ``repro bench`` subcommand.
 
-Three tracked workloads, selected with ``--workload``:
+Four tracked workloads, selected with ``--workload``:
 
 - ``slot`` (default) — the slot engines, the hot path under every
   figure, table and campaign: slots/sec on the Fig. 1 single-carrier
@@ -19,6 +19,11 @@ Three tracked workloads, selected with ``--workload``:
   path, plus an exact-vs-sketch KPI oracle and (full mode) a
   10^4-session bounded-memory demonstration.
   Report: ``BENCH_reduce.json``.
+- ``tensor`` — the cross-session cohort engine: sessions/sec of
+  maximal same-shape DL cohorts through the ``(sessions, slots)``
+  tensor pass against the identical manifest pinned to the per-session
+  vectorized engine (``REPRO_ENGINE``), serial jobs=1, cold and warm.
+  Report: ``BENCH_tensor.json``.
 
 Three measurement conventions keep the numbers honest:
 
@@ -38,12 +43,14 @@ Three measurement conventions keep the numbers honest:
   slots/sec comparison against a committed baseline is meaningless.
   A reference workload runs in the same process (the reference engine
   for ``slot``, the serial jobs=1 cold run for ``campaign``, the
-  exact materializing run for ``reduce``), so the ratio
+  exact materializing run for ``reduce``, the per-session vectorized
+  run for ``tensor``), so the ratio
   ``reference_now / reference_baseline`` estimates the machine-speed
   factor; tracked numbers are compared after dividing that factor out
   (see :func:`regression_failures`,
-  :func:`campaign_regression_failures` and
-  :func:`reduce_regression_failures`).
+  :func:`campaign_regression_failures`,
+  :func:`reduce_regression_failures` and
+  :func:`tensor_regression_failures`).
 """
 
 from __future__ import annotations
@@ -65,6 +72,7 @@ __all__ = [
     "measure",
     "measure_campaign",
     "measure_reduce",
+    "measure_tensor",
     "multi_ue_traces",
     "reduce_demo_tasks",
     "reduce_regression_failures",
@@ -72,7 +80,10 @@ __all__ = [
     "render",
     "render_campaign",
     "render_reduce",
+    "render_tensor",
     "single_ue_trace",
+    "tensor_regression_failures",
+    "tensor_tasks",
     "write_report",
 ]
 
@@ -853,6 +864,245 @@ def render_reduce(report: dict[str, Any]) -> str:
             f"{demo['peak_mb']:.2f} MB "
             f"({demo['peak_vs_reduce_cold']:.2f}x the "
             f"{config['n_sessions']}-session variant)")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# Tensor workload — the cross-session cohort engine
+# --------------------------------------------------------------------- #
+
+#: Operators of the tensor workload.  Two carriers are enough: the gate
+#: compares engines on the *same* manifest, so breadth adds cost, not
+#: signal (the byte-identity tests cover the engine matrix).
+_TENSOR_PROFILE_KEYS = ("V_Sp", "O_Sp_100")
+
+#: Sessions per operator — one maximal cohort per operator (the runner
+#: caps cohort chunks at 64; beyond that the ``(sessions, slots)``
+#: working set thrashes cache and throughput *drops*).
+_TENSOR_COHORT_FULL = 64
+_TENSOR_COHORT_QUICK = 32
+
+#: Workloads the tensor gate tracks against the baseline after hardware
+#: normalization; ``session_cold`` (the per-session vectorized engine,
+#: serial jobs=1) is the normalization reference.
+_TENSOR_GATED = ("tensor_cold",)
+
+#: Intra-report floor on ``tensor_cold_vs_session_cold``: the cohort
+#: pass must beat the per-session engine it batches by at least this
+#: factor on a cold campaign, else the sessions axis is not paying for
+#: its bookkeeping.  Measured end to end: ~1.7x full mode (cohort 64),
+#: ~2.1x quick mode (cohort 32) — see ``docs/architecture.md`` for why
+#: the per-column OLLA feedback loop bounds this well short of the
+#: naive slots-axis scaling.  The floors leave headroom for
+#: shared-runner noise; quick mode keeps slack despite its higher
+#: measured ratio because sub-second walls are noisier.
+_TENSOR_VS_SESSION_FLOOR = 1.5
+_TENSOR_VS_SESSION_FLOOR_QUICK = 1.3
+
+
+def tensor_tasks(quick: bool = False, seed: int = 2024) -> list:
+    """The tensor benchmark's manifest: maximal same-shape DL cohorts.
+
+    ``ul_fraction=0`` keeps every operator's sessions one contiguous
+    same-shape run, so the runner executes each operator as a single
+    ``(sessions, slots)`` tensor pass at the target cohort size.
+    """
+    from repro.operators.profiles import EU_PROFILES
+    from repro.xcal.dataset import CampaignSpec, campaign_manifest
+
+    cohort = _TENSOR_COHORT_QUICK if quick else _TENSOR_COHORT_FULL
+    session_s = 2.0 if quick else 5.0
+    spec = CampaignSpec(
+        minutes_per_operator=cohort * session_s / 60.0,
+        session_s=session_s,
+        ul_fraction=0.0,
+        seed=seed,
+    )
+    profiles = {key: EU_PROFILES[key] for key in _TENSOR_PROFILE_KEYS}
+    return campaign_manifest(profiles, spec)
+
+
+def measure_tensor(quick: bool = False, seed: int = 2024) -> dict[str, Any]:
+    """Run the tensor benchmark matrix and return the report dict.
+
+    Two engines on the *same* manifest (identical sessions, identical
+    bytes out — the comparison is pure execution cost), serial jobs=1
+    so no pool scheduling blurs the engine difference:
+
+    - ``session_cold`` / ``session_warm`` — every session through the
+      per-session vectorized engine, pinned via ``REPRO_ENGINE`` (the
+      cohort grouping still happens; only the engine choice is
+      overridden).  ``session_cold`` is the hardware-normalization
+      reference.
+    - ``tensor_cold`` / ``tensor_warm`` — the default ``engine="auto"``
+      policy: each operator's cohort runs as one ``(sessions, slots)``
+      tensor pass.
+
+    Cold clears the process-wide TBS matrix cache first; warm is the
+    best of the remaining repetitions.  The report carries the cohort
+    counters (cohorts run, fallback columns, tensor slots/s) from the
+    timed tensor runs.
+    """
+    import os
+
+    from repro.core.runner import run_tasks
+    from repro.nr.tbs import clear_tbs_matrix_cache
+    from repro.ran import tensor as tensor_mod
+    from repro.ran.config import ENGINE_ENV
+
+    cold_reps = 2 if quick else 3
+    manifest = tensor_tasks(quick, seed)
+    n = len(manifest)
+    run_tasks(campaign_tasks(True, seed + 9)[:2], jobs=1)  # untimed warmup
+
+    def timed(clear: bool) -> dict[str, float]:
+        if clear:
+            clear_tbs_matrix_cache()
+        start = time.perf_counter()
+        run_tasks(manifest, jobs=1)
+        wall = time.perf_counter() - start
+        return {"sessions_per_s": round(n / wall, 3),
+                "wall_s": round(wall, 3)}
+
+    def best(runs: list[dict[str, float]]) -> dict[str, float]:
+        return max(runs, key=lambda r: r["sessions_per_s"])
+
+    def run_variant() -> tuple[dict[str, float], dict[str, float]]:
+        cold = best([timed(clear=True) for _ in range(cold_reps)])
+        warm = best([timed(clear=False) for _ in range(2)])
+        return cold, warm
+
+    workloads: dict[str, Any] = {}
+    saved = os.environ.get(ENGINE_ENV)
+    os.environ[ENGINE_ENV] = "vectorized"
+    try:
+        workloads["session_cold"], workloads["session_warm"] = run_variant()
+    finally:
+        if saved is None:
+            del os.environ[ENGINE_ENV]
+        else:
+            os.environ[ENGINE_ENV] = saved
+
+    tensor_mod.reset_cohort_stats()
+    workloads["tensor_cold"], workloads["tensor_warm"] = run_variant()
+    stats = tensor_mod.cohort_stats()
+    cohort_info = {
+        "cohorts": stats["cohorts"],
+        "columns": stats["columns"],
+        "columns_fallback": stats["columns_fallback"],
+        "dirty_periods": stats["dirty_periods"],
+        "tensor_slots_per_s": round(stats["slots"] / stats["seconds"], 1)
+        if stats["seconds"] else 0.0,
+    }
+
+    report: dict[str, Any] = {
+        "bench": "tensor",
+        "schema": BENCH_SCHEMA_VERSION,
+        "quick": quick,
+        "config": {
+            "profiles": list(_TENSOR_PROFILE_KEYS),
+            "n_sessions": n,
+            "cohort_size": _TENSOR_COHORT_QUICK if quick else _TENSOR_COHORT_FULL,
+            "cold_reps": cold_reps,
+            "seed": seed,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "workloads": workloads,
+        "cohort": cohort_info,
+        "speedup": {
+            "tensor_cold_vs_session_cold": round(
+                workloads["tensor_cold"]["sessions_per_s"]
+                / workloads["session_cold"]["sessions_per_s"], 2),
+            "tensor_warm_vs_session_warm": round(
+                workloads["tensor_warm"]["sessions_per_s"]
+                / workloads["session_warm"]["sessions_per_s"], 2),
+        },
+    }
+    return report
+
+
+def tensor_regression_failures(current: dict[str, Any],
+                               baseline: dict[str, Any],
+                               threshold: float = 0.30) -> list[str]:
+    """Hardware-normalized regressions of a tensor report.
+
+    ``session_cold`` (per-session vectorized, serial jobs=1) is the
+    reference workload: its ratio between the two reports estimates the
+    machine-speed factor, and ``tensor_cold`` fails when it lost more
+    than ``threshold`` of its sessions/sec after that factor is divided
+    out (same convention as :func:`campaign_regression_failures`).
+
+    Independent of the baseline, the *current* report must keep the
+    cohort pass ahead of the per-session engine it batches
+    (``tensor_cold_vs_session_cold`` >= ``_TENSOR_VS_SESSION_FLOOR``,
+    relaxed for quick reports) and must actually have run tensor
+    cohorts (a policy regression that silently degrades every cohort to
+    the per-session engine would otherwise gate green at 1.0x).
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must lie in (0, 1)")
+    failures: list[str] = []
+    floor = (_TENSOR_VS_SESSION_FLOOR_QUICK if current.get("quick")
+             else _TENSOR_VS_SESSION_FLOOR)
+    ratio = current.get("speedup", {}).get("tensor_cold_vs_session_cold")
+    if ratio is not None and ratio < floor:
+        failures.append(
+            f"tensor_cold_vs_session_cold: {ratio:.2f}x < floor "
+            f"{floor:.2f}x (the cohort pass must beat the per-session "
+            f"engine it batches)")
+    cohort = current.get("cohort", {})
+    if not cohort.get("cohorts"):
+        failures.append("cohort: no tensor cohorts ran (engine policy "
+                        "degraded every cohort to the per-session engine)")
+    try:
+        base_ref = baseline["workloads"]["session_cold"]["sessions_per_s"]
+        new_ref = current["workloads"]["session_cold"]["sessions_per_s"]
+    except KeyError:
+        return ["session_cold: reference workload missing from a report"]
+    scale = new_ref / base_ref
+    for name in _TENSOR_GATED:
+        base = baseline.get("workloads", {}).get(name)
+        if base is None:
+            continue
+        new = current.get("workloads", {}).get(name)
+        if new is None:
+            failures.append(f"{name}: missing from current report")
+            continue
+        floor = (1.0 - threshold) * base["sessions_per_s"] * scale
+        if new["sessions_per_s"] < floor:
+            failures.append(
+                f"{name}: {new['sessions_per_s']:,.2f} sessions/s < floor "
+                f"{floor:,.2f} (baseline {base['sessions_per_s']:,.2f} "
+                f"x machine factor {scale:.2f} x {1.0 - threshold:.2f})")
+    return failures
+
+
+def render_tensor(report: dict[str, Any]) -> str:
+    """Human-readable table of a tensor benchmark report."""
+    config = report["config"]
+    lines = [f"tensor benchmark ({'quick' if report['quick'] else 'full'}, "
+             f"{len(config['profiles'])} operators, "
+             f"{config['n_sessions']} sessions, "
+             f"cohort size {config['cohort_size']}, jobs=1)"]
+    for name, data in report["workloads"].items():
+        lines.append(f"  {name:14s} {data['sessions_per_s']:>8,.2f} sessions/s"
+                     f"   ({data['wall_s']:.2f} s)")
+    speedup = report.get("speedup", {})
+    if speedup:
+        lines.append(
+            f"  tensor vs per-session: cold "
+            f"{speedup['tensor_cold_vs_session_cold']:.2f}x, warm "
+            f"{speedup['tensor_warm_vs_session_warm']:.2f}x")
+    cohort = report.get("cohort")
+    if cohort:
+        lines.append(
+            f"  cohorts={cohort['cohorts']} columns={cohort['columns']} "
+            f"fallback_columns={cohort['columns_fallback']} "
+            f"dirty_periods={cohort['dirty_periods']} "
+            f"tensor_slots_per_s={cohort['tensor_slots_per_s']:,.0f}")
     return "\n".join(lines)
 
 

@@ -66,7 +66,9 @@ __all__ = [
     "derive_seed",
     "derive_seeds",
     "dispatch_chunksize",
+    "group_tasks_by_shape",
     "prewarm_worker_caches",
+    "register_cohort_runner",
     "resolve_jobs",
     "run_tasks",
 ]
@@ -75,6 +77,13 @@ __all__ = [
 #: chunks small enough that a warm pool load-balances many-small-task
 #: manifests while still amortizing the per-message IPC cost.
 _MAX_CHUNK = 32
+
+#: Cohort chunk bounds.  A cohort chunk is executed as one tensor pass,
+#: so it is worth inflating small chunk sizes up to ``_COHORT_MIN_CHUNK``
+#: (the batching win dwarfs the lost load-balancing granularity) and
+#: capping at ``_COHORT_MAX_CHUNK`` to bound per-worker tensor memory.
+_COHORT_MIN_CHUNK = 16
+_COHORT_MAX_CHUNK = 64
 
 
 def _key_part(part: int | str) -> int:
@@ -144,6 +153,143 @@ def _execute(task: SessionTask) -> Any:
     return task.execute()
 
 
+# ---------------------------------------------------------------------- #
+# Cohort execution
+# ---------------------------------------------------------------------- #
+# Session functions can register a *cohort runner*: a callable with the
+# same kwargs plus ``seeds=[...]`` that returns one result per seed, in
+# order, each byte-identical to ``fn(**kwargs, seed=seed)``.  Dispatch
+# then executes a maximal run of same-shape tasks as one cohort call
+# (e.g. the cross-session tensor pass of :mod:`repro.ran.tensor`)
+# instead of task by task.  Registration happens at module import, so
+# workers that unpickle the task's ``fn`` register it too.
+
+_COHORT_RUNNERS: dict[Callable[..., Any], Callable[..., Iterable[Any]]] = {}
+
+
+def register_cohort_runner(fn: Callable[..., Any],
+                           cohort_fn: Callable[..., Iterable[Any]]) -> None:
+    """Register ``cohort_fn(seeds=[...], **kwargs)`` as the batched
+    executor for same-shape runs of ``fn`` tasks.
+
+    ``cohort_fn`` must yield exactly ``len(seeds)`` results in seed
+    order, each byte-identical to the corresponding per-task
+    ``fn(**kwargs, seed=seed)`` call — dispatch treats the two paths as
+    interchangeable.
+    """
+    _COHORT_RUNNERS[fn] = cohort_fn
+
+
+def _same_shape(a: SessionTask, b: SessionTask) -> bool:
+    """Whether two tasks differ only in seed (cohortable together)."""
+    return (a.fn is b.fn and a.seed is not None and b.seed is not None
+            and a.kwargs == b.kwargs)
+
+
+def group_tasks_by_shape(tasks: Sequence[SessionTask]) -> list[list[int]]:
+    """Partition a manifest into maximal runs of same-shape tasks.
+
+    Returns index groups, in manifest order, where every group is a
+    maximal *consecutive* run of tasks sharing ``fn`` (by identity) and
+    ``kwargs`` (by value) with per-task seeds.  Consecutive-only
+    grouping keeps the partition deterministic and order-preserving —
+    group boundaries depend only on the manifest, never on jobs count,
+    transport, or which tasks hit the store — which is what makes
+    cohort-executed output bit-identical to the per-task path.
+    Campaign manifests emit sessions of one (operator, direction) pair
+    consecutively, so the natural cohorts are already contiguous.
+    """
+    groups: list[list[int]] = []
+    current: list[int] = []
+    for index, task in enumerate(tasks):
+        if current and _same_shape(tasks[current[-1]], task):
+            current.append(index)
+        else:
+            if current:
+                groups.append(current)
+            current = [index]
+    if current:
+        groups.append(current)
+    return groups
+
+
+def _cohortable(tasks: Sequence[SessionTask]) -> bool:
+    """Whether an (already same-shape-grouped) chunk runs as a cohort."""
+    return (len(tasks) >= 2 and tasks[0].fn in _COHORT_RUNNERS
+            and all(_same_shape(tasks[0], task) for task in tasks[1:]))
+
+
+def _chunk_values(chunk: list[tuple[int, SessionTask, str | None]]
+                  ) -> Iterable[tuple[int, SessionTask, str | None, Any]]:
+    """Yield ``(index, task, key, value)`` for one dispatch chunk.
+
+    A chunk of same-shape tasks with a registered cohort runner executes
+    as one cohort call; values stream out lazily (the tensor pass
+    flushes one column trace per ``next()``), so a consumer that folds
+    or writes each value before advancing holds at most one result.
+    Everything else executes task by task.
+    """
+    tasks = [task for _, task, _ in chunk]
+    if not _cohortable(tasks):
+        for index, task, key in chunk:
+            yield index, task, key, task.execute()
+        return
+    cohort_fn = _COHORT_RUNNERS[tasks[0].fn]
+    values = iter(cohort_fn(seeds=[task.seed for task in tasks],
+                            **dict(tasks[0].kwargs)))
+    for index, task, key in chunk:
+        try:
+            value = next(values)
+        except StopIteration:
+            raise RuntimeError(
+                f"cohort runner for {tasks[0].fn!r} yielded fewer results "
+                f"than seeds") from None
+        yield index, task, key, value
+    sentinel = object()
+    if next(values, sentinel) is not sentinel:
+        raise RuntimeError(
+            f"cohort runner for {tasks[0].fn!r} yielded more results than seeds")
+
+
+def _grouped_chunks(entries: list[tuple[int, SessionTask, str | None]],
+                    chunksize: int) -> list[list[tuple[int, SessionTask, str | None]]]:
+    """Split dispatch entries into chunks along same-shape group lines.
+
+    Runs with a registered cohort runner become dedicated chunks sized
+    ``clamp(chunksize, _COHORT_MIN_CHUNK, _COHORT_MAX_CHUNK)`` so one
+    worker executes a whole cohort slice as a single tensor pass;
+    everything else batches at the plain chunk size.  Chunk contents
+    (though not their parallel completion order) depend only on the
+    entry sequence, and every chunk preserves entry order, so ordered
+    consumers see the same stream as a serial run.
+    """
+    plain_size = max(1, min(chunksize, _MAX_CHUNK))
+    cohort_size = max(1, min(_COHORT_MAX_CHUNK, max(chunksize, _COHORT_MIN_CHUNK)))
+    chunks: list[list[tuple[int, SessionTask, str | None]]] = []
+    plain: list[tuple[int, SessionTask, str | None]] = []
+
+    def _flush_plain() -> None:
+        if plain:
+            chunks.extend(_chunked(plain, plain_size))
+            plain.clear()
+
+    for group in group_tasks_by_shape([task for _, task, _ in entries]):
+        members = [entries[i] for i in group]
+        if len(members) >= 2 and members[0][1].fn in _COHORT_RUNNERS:
+            _flush_plain()
+            chunks.extend(_chunked(members, cohort_size))
+        else:
+            plain.extend(members)
+    _flush_plain()
+    return chunks
+
+
+def _execute_chunk_plain(chunk: list[tuple[int, SessionTask, str | None]]
+                         ) -> list[tuple[int, Any]]:
+    """Worker body for the unrouted paths: ``(index, value)`` pairs."""
+    return [(index, value) for index, _, _, value in _chunk_values(chunk)]
+
+
 def resolve_jobs(jobs: int | str | None) -> int:
     """Normalize a ``--jobs`` value to a worker count (>= 1).
 
@@ -196,8 +342,13 @@ def prewarm_worker_caches() -> None:
 
     Every session starts by building the lookup matrix for its carrier's
     full grant; warming them in the pool initializer moves that cost out
-    of the first task of every worker.  Best-effort: a profile that
-    fails to warm simply pays the build on first use.
+    of the first task of every worker.  ``min_grant_fraction=0.88``
+    also covers the background-load-trimmed grant sizes the cohort
+    tensor path resolves up front (background mean + 2 sigma under the
+    default :class:`~repro.ran.simulator.SimParams` trims ~9.5% of the
+    full grant), so tensor cold runs pay no first-touch TBS builds in
+    the timed region.  Best-effort: a profile that fails to warm simply
+    pays the build on first use.
     """
     try:
         from repro.nr.tdd import SlotType
@@ -205,9 +356,11 @@ def prewarm_worker_caches() -> None:
         from repro.ran.simulator import prewarm_tbs_matrices
 
         for profile in ALL_PROFILES.values():
-            prewarm_tbs_matrices(profile.primary_cell, SlotType.DL)
+            prewarm_tbs_matrices(profile.primary_cell, SlotType.DL,
+                                 min_grant_fraction=0.88)
             prewarm_tbs_matrices(profile.primary_cell, SlotType.UL,
-                                 max_layers=profile.ul_max_layers)
+                                 max_layers=profile.ul_max_layers,
+                                 min_grant_fraction=0.88)
     except Exception:
         pass
 
@@ -265,8 +418,7 @@ def _execute_chunk_routed(chunk: list[tuple[int, SessionTask, str | None]]
         else:
             out.append((index, None, value, 0))
 
-    for index, task, key in chunk:
-        value = task.execute()
+    for index, task, key, value in _chunk_values(chunk):
         if key is not None and _WORKER_STORE is not None:
             entry = (index, value, key, _writer_pool().submit(_store_put_job,
                                                               key, task, value))
@@ -304,8 +456,7 @@ def _execute_chunk_reduced(chunk: list[tuple[int, SessionTask, str | None]],
         out.append((index, sketch, key if accepted else None,
                     nbytes if accepted else 0))
 
-    for index, task, key in chunk:
-        value = task.execute()
+    for index, task, key, value in _chunk_values(chunk):
         sketch = reduction.fold(task, value)
         if key is not None and _WORKER_STORE is not None:
             entry = (index, sketch, key, _writer_pool().submit(_store_put_job,
@@ -426,16 +577,35 @@ def _chunked(items: list, size: int) -> list[list]:
 
 def _dispatch(manifest: Sequence[SessionTask], workers: int,
               executor: CampaignExecutor | None = None) -> list[Any]:
-    """Execute tasks in order, serially or on a process pool."""
+    """Execute tasks in order, serially or on a process pool.
+
+    Chunking is cohort-aware either way: a run of same-shape tasks with
+    a registered cohort runner executes as whole tensor passes (one per
+    chunk) instead of task by task.
+    """
+    results: list[Any] = [None] * len(manifest)
+    entries = [(index, task, None) for index, task in enumerate(manifest)]
     if workers == 1 or len(manifest) <= 1:
-        return [_execute(task) for task in manifest]
-    chunksize = dispatch_chunksize(len(manifest), workers)
+        for chunk in _grouped_chunks(entries, _MAX_CHUNK):
+            for index, _, _, value in _chunk_values(chunk):
+                results[index] = value
+        return results
+    chunks = _grouped_chunks(entries, dispatch_chunksize(len(manifest), workers))
+
+    def _collect(pool: ProcessPoolExecutor) -> None:
+        futures = [pool.submit(_execute_chunk_plain, chunk) for chunk in chunks]
+        for future in as_completed(futures):
+            for index, value in future.result():
+                results[index] = value
+
     if executor is not None:
         executor.dispatches += 1
         executor.tasks_executed += len(manifest)
-        return list(executor.pool().map(_execute, manifest, chunksize=chunksize))
-    with ProcessPoolExecutor(max_workers=min(workers, len(manifest))) as pool:
-        return list(pool.map(_execute, manifest, chunksize=chunksize))
+        _collect(executor.pool())
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(manifest))) as pool:
+            _collect(pool)
+    return results
 
 
 def _dispatch_routed(manifest: Sequence[SessionTask], indices: list[int],
@@ -452,7 +622,8 @@ def _dispatch_routed(manifest: Sequence[SessionTask], indices: list[int],
     so the output never depends on store retention.
     """
     chunksize = dispatch_chunksize(len(indices), workers)
-    chunks = _chunked([(i, manifest[i], keys[i]) for i in indices], chunksize)
+    chunks = _grouped_chunks([(i, manifest[i], keys[i]) for i in indices],
+                             chunksize)
 
     def _consume(outcomes: Iterable[tuple[int, str | None, Any, int]],
                  routed: dict[int, str]) -> None:
@@ -563,21 +734,31 @@ def _run_reduced(manifest: list[SessionTask], workers: int, store: Any,
         _fold_local(index, value)
 
     if workers == 1 or len(miss_indices) <= 1:
+        # Serial sweep with cohort execution: misses stream out of
+        # grouped chunks (ascending, since grouping preserves entry
+        # order) and interleave with hit folds in manifest order.
+        miss_chunks = _grouped_chunks(
+            [(i, manifest[i], keys[i]) for i in miss_indices], _MAX_CHUNK)
+        stream = (item for chunk in miss_chunks for item in _chunk_values(chunk))
         for index in range(n_tasks):
             if hit[index]:
                 _fold_hit(index)
-            else:
-                value = manifest[index].execute()
-                if store is not None and keys[index] is not None:
-                    store.put(keys[index], value, task=manifest[index])
-                _fold_local(index, value)
+                continue
+            out_index, task, key, value = next(stream)
+            if out_index != index:
+                raise RuntimeError(
+                    f"reduce stream out of order: got task {out_index}, "
+                    f"expected {index}")
+            if store is not None and key is not None:
+                store.put(key, value, task=task)
+            _fold_local(index, value)
     else:
         routable = executor.routes_for(store) if executor is not None else True
         route = store is not None and (
             transport == "store" or (transport == "auto" and routable))
         chunksize = dispatch_chunksize(len(miss_indices), workers)
-        chunks = _chunked([(i, manifest[i], keys[i] if route else None)
-                           for i in miss_indices], chunksize)
+        chunks = _grouped_chunks([(i, manifest[i], keys[i] if route else None)
+                                  for i in miss_indices], chunksize)
 
         def _sweep(futures: list) -> None:
             stream = (outcome for future in futures for outcome in future.result())
@@ -692,33 +873,38 @@ def run_tasks(tasks: Iterable[SessionTask] | Sequence[SessionTask],
     routable = executor.routes_for(store) if executor is not None else True
     route = transport == "store" or (transport == "auto" and routable)
     if workers == 1 or len(miss_indices) == 1:
-        # Serial path: execute in manifest order, stream each write.
-        for index in miss_indices:
-            value = manifest[index].execute()
-            results[index] = value
-            if keys[index] is not None:
-                store.put(keys[index], value, task=manifest[index])
+        # Serial path: execute in manifest order (cohort runs as tensor
+        # passes), stream each write.
+        miss_chunks = _grouped_chunks(
+            [(i, manifest[i], keys[i]) for i in miss_indices], _MAX_CHUNK)
+        for chunk in miss_chunks:
+            for index, task, key, value in _chunk_values(chunk):
+                results[index] = value
+                if key is not None:
+                    store.put(key, value, task=task)
     elif route:
         _dispatch_routed(manifest, miss_indices, keys, store, workers,
                          results, executor)
     else:
-        # Pipe transport: results pickle back; backfill streams with the
-        # (ordered) result iterator instead of waiting for the full set.
-        misses = [manifest[i] for i in miss_indices]
-        chunksize = dispatch_chunksize(len(misses), workers)
-        if executor is not None:
-            executor.dispatches += 1
-            executor.tasks_executed += len(misses)
-            computed = executor.pool().map(_execute, misses, chunksize=chunksize)
-            for index, value in zip(miss_indices, computed):
-                results[index] = value
-                if keys[index] is not None:
-                    store.put(keys[index], value, task=manifest[index])
-        else:
-            with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
-                for index, value in zip(miss_indices,
-                                        pool.map(_execute, misses, chunksize=chunksize)):
+        # Pipe transport: results pickle back; completed chunks stream
+        # in and write through as they land.
+        chunksize = dispatch_chunksize(len(miss_indices), workers)
+        chunks = _grouped_chunks([(i, manifest[i], None) for i in miss_indices],
+                                 chunksize)
+
+        def _backfill(pool: ProcessPoolExecutor) -> None:
+            futures = [pool.submit(_execute_chunk_plain, chunk) for chunk in chunks]
+            for future in as_completed(futures):
+                for index, value in future.result():
                     results[index] = value
                     if keys[index] is not None:
                         store.put(keys[index], value, task=manifest[index])
+
+        if executor is not None:
+            executor.dispatches += 1
+            executor.tasks_executed += len(miss_indices)
+            _backfill(executor.pool())
+        else:
+            with ProcessPoolExecutor(max_workers=min(workers, len(miss_indices))) as pool:
+                _backfill(pool)
     return results

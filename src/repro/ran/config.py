@@ -8,6 +8,7 @@ MCS/CQI tables, CQI→MCS mapper) the simulator needs.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from functools import cached_property
 
@@ -17,6 +18,65 @@ from repro.nr.grid import max_rb, re_per_slot
 from repro.nr.mcs import McsTable, Modulation, table_for_max_modulation
 from repro.nr.numerology import Numerology, slot_duration_ms
 from repro.nr.tdd import TddPattern
+
+#: Valid ``SimParams.engine`` values (also re-exported by
+#: :mod:`repro.ran.simulator`).  ``"auto"`` and ``"tensor"`` are *policy*
+#: values resolved by :func:`resolve_engine`; the physical slot engines
+#: are ``"vectorized"``, ``"tensor"`` and ``"reference"``.  Every engine
+#: produces byte-identical traces, so the choice is purely performance.
+ENGINES = ("auto", "vectorized", "tensor", "reference")
+
+#: Smallest cohort for which ``engine="auto"`` selects the cross-session
+#: tensor pass.  Below this the per-column bookkeeping of the tensor
+#: engine costs more than the batching saves and ``"vectorized"`` wins.
+TENSOR_MIN_COHORT = 2
+
+#: Environment override for the engine policy.  When set (to any value
+#: in :data:`ENGINES`) it replaces the *requested* engine before
+#: resolution — inherited by worker processes, never part of a task's
+#: store fingerprint (every engine produces the same bytes).  Used by
+#: the tensor benchmark to pin its per-session baseline, and handy for
+#: A/B timing in the field.
+ENGINE_ENV = "REPRO_ENGINE"
+
+
+def resolve_engine(engine: str, cohort_size: int = 1) -> str:
+    """Resolve a requested engine to the physical engine actually run.
+
+    Decision table (all cells byte-identical — this is a pure
+    performance policy; see ``docs/architecture.md``):
+
+    ==============  =================  ============================
+    requested       cohort_size == 1   cohort_size >= TENSOR_MIN_COHORT
+    ==============  =================  ============================
+    ``auto``        ``vectorized``     ``tensor``
+    ``tensor``      ``vectorized``     ``tensor``
+    ``vectorized``  ``vectorized``     ``vectorized`` (per session)
+    ``reference``   ``reference``      ``reference`` (per session)
+    ==============  =================  ============================
+
+    ``tensor`` degrades to ``vectorized`` for a cohort of one because
+    the tensor pass *is* the segment-batched vectorized engine with a
+    sessions axis — a single column has nothing to batch across.
+
+    The :data:`ENGINE_ENV` environment variable, when set, replaces
+    ``engine`` before the table applies (the ``cohort_size`` degrade
+    rules still hold, so ``REPRO_ENGINE=tensor`` on a lone session
+    still runs vectorized).
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    override = os.environ.get(ENGINE_ENV)
+    if override:
+        if override not in ENGINES:
+            raise ValueError(
+                f"{ENGINE_ENV} must be one of {ENGINES}, got {override!r}")
+        engine = override
+    if engine == "tensor":
+        return "tensor" if cohort_size >= 2 else "vectorized"
+    if engine == "auto":
+        return "tensor" if cohort_size >= TENSOR_MIN_COHORT else "vectorized"
+    return engine
 
 
 @dataclass(frozen=True)

@@ -14,18 +14,25 @@ Entry points:
 All functions return :class:`~repro.xcal.records.SlotTrace` objects, the
 XCAL-equivalent artifact the analysis layer consumes.
 
-Two slot engines produce byte-identical traces (``SimParams.engine``):
+Three slot engines produce byte-identical traces (``SimParams.engine``):
 
-- ``"vectorized"`` (default) — segment-batched numpy fast path: within
-  each CQI period the slot range is split into maximal contiguous
-  segments with no due HARQ retransmission, and every trace column of a
-  segment is filled with one bulk write; the scalar path runs only
-  inside retransmission windows.
+- ``"vectorized"`` — segment-batched numpy fast path: within each CQI
+  period the slot range is split into maximal contiguous segments with
+  no due HARQ retransmission, and every trace column of a segment is
+  filled with one bulk write; the scalar path runs only inside
+  retransmission windows.
+- ``"tensor"`` — the cross-session cohort pass in
+  :mod:`repro.ran.tensor`: same-shape sessions differing only in seed
+  run as one ``(sessions x slots)`` tensor, with per-column fallback to
+  this module's segment-batched machinery where retx windows diverge.
 - ``"reference"`` — the original per-slot scalar loop, retained as the
   oracle for the equivalence test matrix.
 
-All slot-clock randomness is pre-drawn before the period loop, so the
-two engines consume the generator identically by construction.
+The default ``"auto"`` resolves per call site (vectorized for a lone
+session, tensor inside a cohort); see
+:func:`repro.ran.config.resolve_engine`.  All slot-clock randomness is
+pre-drawn before the period loop, so every engine consumes the
+generator identically by construction.
 """
 
 from __future__ import annotations
@@ -42,15 +49,12 @@ from repro.nr.signal import sinr_to_cqi
 from repro.nr.tbs import cached_tbs_lookup_matrix, transport_block_size
 from repro.nr.tdd import SlotType
 from repro.ran.amc import BlerModel, Olla, RankAdapter
-from repro.ran.config import CellConfig
+from repro.ran.config import ENGINES, CellConfig, resolve_engine
 from repro.ran.scheduler import Scheduler, SchedulingRequest
 from repro.xcal.records import SlotTrace, TraceMetadata
 
 #: Slot-type codes used in traces (match ``TddPattern.type_array``).
 SLOT_DL, SLOT_UL, SLOT_SPECIAL = 0, 1, 2
-
-#: Valid ``SimParams.engine`` values.
-ENGINES = ("vectorized", "reference")
 
 
 @dataclass(frozen=True)
@@ -97,10 +101,14 @@ class SimParams:
         period.  Keeps allocations "close to the maximum" (Fig. 4)
         while producing the RE-allocation spread of Fig. 3.
     engine:
-        Slot-engine implementation: ``"vectorized"`` (segment-batched
-        numpy fast path, the default) or ``"reference"`` (per-slot
-        scalar loop, the equivalence oracle).  Both produce
-        byte-identical traces.
+        Slot-engine policy: ``"auto"`` (the default — the segment-batched
+        vectorized engine per session, upgraded to the cross-session
+        tensor pass when the session runs inside a same-shape cohort),
+        ``"vectorized"``, ``"tensor"`` (force the cohort tensor pass
+        where a cohort exists) or ``"reference"`` (per-slot scalar loop,
+        the equivalence oracle).  All engines produce byte-identical
+        traces; see :func:`repro.ran.config.resolve_engine` for the
+        decision table.
     """
 
     harq_rtt_slots: int = 8
@@ -116,7 +124,7 @@ class SimParams:
     dci_fallback_cqi: int = 4
     background_rb_mean: float = 0.025
     background_rb_sigma: float = 0.035
-    engine: str = "vectorized"
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.harq_rtt_slots < 1:
@@ -194,6 +202,14 @@ def _mappers(cell: CellConfig) -> tuple[CqiMcsMapper, CqiMcsMapper]:
 #: RB quantum for the TBS matrix cache (bounds distinct grant sizes).
 _RB_QUANTUM = 4
 
+#: Hard ceiling on the per-period background-traffic trim: grants never
+#: drop below ``(1 - BACKGROUND_TRIM_MAX) * grantable_rb``, whatever the
+#: background mean/sigma.  ``prewarm_tbs_matrices`` with
+#: ``min_grant_fraction = 1 - BACKGROUND_TRIM_MAX`` therefore covers
+#: every grant size any engine (per-session or cohort tensor) can
+#: resolve.
+BACKGROUND_TRIM_MAX = 0.35
+
 
 class _TbsCache:
     """TBS lookup matrices keyed by (table, n_prb).
@@ -234,22 +250,45 @@ class _TbsCache:
 
 
 def prewarm_tbs_matrices(cell: CellConfig, direction: SlotType = SlotType.DL,
-                         max_layers: int | None = None) -> None:
+                         max_layers: int | None = None,
+                         min_grant_fraction: float = 1.0) -> None:
     """Populate the process-wide TBS matrix cache for a carrier.
 
     Builds the full-grant (and special-slot) matrices for the primary
     and fallback MCS tables — the matrices every full-buffer session on
     this carrier resolves first.  Campaign worker pools call this from
-    their initializer so the first session of each worker starts warm;
-    grant sizes trimmed by background load still build lazily.
+    their initializer so the first session of each worker starts warm.
+
+    ``min_grant_fraction`` extends the warm set down the grant-size axis:
+    every quantized grant in ``[min_grant_fraction * grantable_rb,
+    grantable_rb]`` is built too.  The cohort tensor engine resolves the
+    TBS matrices of *all* of a cohort's background-trimmed grant sizes
+    up front (one stacked gather per period instead of per-period dict
+    lookups), so a cold tensor run would otherwise pay every first-touch
+    build inside the timed region; the default SimParams background
+    model trims at most ~10% of the grant in practice, which
+    ``prewarm_worker_caches`` covers with ``min_grant_fraction=0.88``.
+    Deeper trims still build lazily; ``min_grant_fraction = 1 -
+    BACKGROUND_TRIM_MAX`` is the guaranteed-complete (but larger) warm
+    set.
     """
+    if not 0.0 < min_grant_fraction <= 1.0:
+        raise ValueError("min_grant_fraction must lie in (0, 1]")
     if direction is SlotType.UL and cell.max_modulation is not Modulation.QAM64:
         cell = replace(cell, max_modulation=Modulation.QAM64)
     layers = cell.max_layers if max_layers is None else min(max_layers, cell.max_layers)
     cache = _TbsCache(cell, layers, direction)
     full_grant = cache.quantize(cell.grantable_rb)
-    cache.get("primary", full_grant)
-    cache.get("fallback", full_grant)
+    low_grant = cache.quantize(int(round(cell.grantable_rb * min_grant_fraction)))
+    for grant in range(min(low_grant, full_grant), full_grant + 1, _RB_QUANTUM):
+        cache.get("primary", grant)
+        cache.get("fallback", grant)
+    # Grant sizes are min(quantized, grantable_rb): when the quantum
+    # rounds the full grant *up*, the capped (non-quantum) full grant is
+    # the size sessions actually resolve — warm it too.
+    if full_grant > cell.grantable_rb:
+        cache.get("primary", cell.grantable_rb)
+        cache.get("fallback", cell.grantable_rb)
 
 
 class _Period:
@@ -650,13 +689,15 @@ def _simulate_direction(
     noise = params.cqi_noise_db * rng.standard_normal(n_periods_total)
     background = np.clip(
         params.background_rb_mean + params.background_rb_sigma * rng.standard_normal(n_periods_total),
-        0.0, 0.35,
+        0.0, BACKGROUND_TRIM_MAX,
     )
 
     sinr = channel.sinr_db
     queue = _RetxQueue()
     special_mask = slot_types == SLOT_SPECIAL
-    engine = _SLOT_ENGINES[params.engine](n_slots, usable, special_mask)
+    # A lone session has no cohort: "auto"/"tensor" resolve to the
+    # segment-batched vectorized engine (byte-identical by contract).
+    engine = _SLOT_ENGINES[resolve_engine(params.engine, 1)](n_slots, usable, special_mask)
 
     pd = _Period()
     pd.params = params
@@ -1192,7 +1233,7 @@ def simulate_downlink_multi(
     ]
     uniforms = rng.random((n_ues, n_slots))
 
-    run_multi = _MULTI_ENGINES[params.engine]
+    run_multi = _MULTI_ENGINES[resolve_engine(params.engine, 1)]
     run_multi(cell, channels, scheduler, params, rng, traces, states, uniforms,
               slot_types, full_sym, special_sym, n_slots,
               primary_mapper, fallback_mapper)

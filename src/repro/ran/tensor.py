@@ -1,0 +1,748 @@
+"""Cross-session cohort tensor engine.
+
+Campaign manifests expand into thousands of sessions that differ only
+in their derived seed: same operator profile, same duration, same
+engine-relevant configuration.  The per-session engines in
+:mod:`repro.ran.simulator` pay the full Python/numpy dispatch cost of
+the link-adaptation loop once per session; at campaign scale that
+dispatch — not the arithmetic — dominates.
+
+This module runs a whole *cohort* of same-shape sessions as one
+``(sessions x slots)`` tensor pass:
+
+- **Per-column randomness** is pre-drawn from each session's own
+  generator in exactly the order the per-session path draws it, so
+  every column consumes its RNG identically by construction.
+- **Link adaptation is vectorized across the sessions axis**: the rank
+  EWMA/hysteresis chain, the OLLA offset update, the CQI->MCS mapping
+  and the TBS resolution run through dense family-padded lookup tables
+  — one fancy gather per quantity per period — with elementwise
+  float64/integer ops whose IEEE semantics match the per-session
+  scalar chain op for op.
+- **Decode outcomes evaluate as one 2-D BLER pass per CQI period** —
+  the same in-place ufunc sequence the per-session path runs on a 1-D
+  slice, which numpy evaluates bit-identically on 2-D views.
+- **Clean periods collapse to bookkeeping**: a (column, period) cell
+  with no pending HARQ retransmission and no failed transmission needs
+  no per-slot work at all — its ACK count is a prefix-sum difference
+  and its trace slots are bulk-filled from per-period constants at
+  flush time.  Dirty cells — where retx windows diverge between
+  columns — fall back per column to :func:`_run_column_period`, a
+  flattened transliteration of the segment-batched
+  ``_VectorizedEngine.run_period`` / ``_fallback_slot`` pair: the same
+  control flow and the same float operations, but with heap and
+  segment state in locals and one tuple append per committed segment,
+  so a dirty cell costs a fraction of a full per-session period.  The
+  equivalence-matrix tests pin this transliteration byte-for-byte to
+  the ``engine="reference"`` oracle.
+
+Traces are flushed one column at a time (``simulate_*_cohort`` return
+lazy generators), so a reducing consumer folds each session's sketch
+straight out of the tensor state with a single column trace live at a
+time instead of materializing the whole cohort.
+"""
+
+from __future__ import annotations
+
+import time
+from heapq import heappop, heappush
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.channel.model import ChannelRealization
+from repro.nr.cqi import CQI_MAX
+from repro.nr.mcs import Modulation
+from repro.nr.signal import sinr_to_cqi
+from repro.nr.tdd import SlotType
+from repro.ran.amc import Olla
+from repro.ran.config import CellConfig
+from repro.ran.simulator import (BACKGROUND_TRIM_MAX, SLOT_DL, SLOT_SPECIAL,
+                                 SLOT_UL, SimParams, _mappers, _RB_QUANTUM,
+                                 _slot_types, _TbsCache, _usable_symbols,
+                                 _forward_fill_cqi, replace)
+from repro.xcal.records import SlotTrace, TraceMetadata
+
+__all__ = [
+    "cohort_stats",
+    "render_cohort_stats",
+    "reset_cohort_stats",
+    "simulate_downlink_cohort",
+    "simulate_uplink_cohort",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Cohort-path counters (surfaced by ``repro cache stats``)
+# ---------------------------------------------------------------------- #
+_COUNTERS = {
+    "cohorts": 0,            # tensor passes run in this process
+    "columns": 0,            # sessions executed through a tensor pass
+    "columns_fallback": 0,   # columns that needed the per-column runner
+    "dirty_periods": 0,      # (column, period) cells run via fallback
+    "slots": 0,              # column-slots processed by tensor passes
+    "seconds": 0.0,          # wall time inside tensor passes
+}
+
+
+def cohort_stats() -> dict:
+    """Counters of the cohort tensor path in this process.
+
+    ``columns_fallback`` counts columns evicted from the pure tensor
+    path at least once (a diverging retx window instantiated their
+    per-column state); ``slots``/``seconds`` give tensor slots/s.
+    """
+    return dict(_COUNTERS)
+
+
+def reset_cohort_stats() -> None:
+    for key in _COUNTERS:
+        _COUNTERS[key] = 0.0 if key == "seconds" else 0
+
+
+def render_cohort_stats() -> str:
+    """One-line summary, shaped like the TBS cache line."""
+    s = cohort_stats()
+    rate = s["slots"] / s["seconds"] if s["seconds"] > 0 else 0.0
+    return (f"tensor cohorts={s['cohorts']} columns={s['columns']} "
+            f"fallback_columns={s['columns_fallback']} "
+            f"dirty_periods={s['dirty_periods']} "
+            f"slots_per_s={rate:,.0f}")
+
+
+# ---------------------------------------------------------------------- #
+# Dense link-adaptation lookup tables
+# ---------------------------------------------------------------------- #
+# CQI->MCS through the vendor mapper is a pure function of
+# (fallback?, cqi, olla offset); the offset is bounded by the Olla
+# clamp, so the whole map densifies into one integer LUT per carrier
+# family.  Cached process-wide: every cohort on a carrier reuses it.
+_MCS_LUT_CACHE: dict = {}
+
+#: Integer OLLA offset bounds (``Olla`` is always constructed with
+#: defaults by the simulation loop; the offset is ``round(delta)`` of a
+#: delta clamped to these bounds).
+_OFF_LO = int(round(Olla().min_offset))
+_OFF_HI = int(round(Olla().max_offset))
+
+
+def _la_luts(cell: CellConfig):
+    """(mcs_lut, eff_lut, mod_lut, n_max) for a carrier.
+
+    ``mcs_lut[fb, cqi, offset - _OFF_LO]`` is the MCS index the mapper
+    returns; ``eff_lut[fb, mcs]`` / ``mod_lut[fb, mcs]`` the entry's
+    spectral efficiency and modulation order.  The family axis is
+    0=primary, 1=DCI 1_0 fallback; the MCS axis pads to the longer
+    table so both families gather through one fancy index — padding is
+    never read, because an MCS index is only ever paired with the
+    family whose mapper produced it.
+    """
+    key = (cell.max_modulation, cell.mapping_policy, cell.band_name)
+    cached = _MCS_LUT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    mappers = _mappers(cell)
+    n_off = _OFF_HI - _OFF_LO + 1
+    n_max = max(len(m.mcs_table) for m in mappers)
+    mcs_lut = np.zeros((2, CQI_MAX + 1, n_off), dtype=np.int64)
+    eff_lut = np.zeros((2, n_max))
+    mod_lut = np.zeros((2, n_max), dtype=np.int64)
+    for fb, mapper in enumerate(mappers):
+        table = mapper.mcs_table
+        for cqi in range(CQI_MAX + 1):
+            for j, offset in enumerate(range(_OFF_LO, _OFF_HI + 1)):
+                mcs_lut[fb, cqi, j] = mapper.mcs_for_cqi(cqi, olla_offset=offset)
+        for m, entry in enumerate(table):
+            eff_lut[fb, m] = entry.spectral_efficiency
+            mod_lut[fb, m] = entry.modulation.bits_per_symbol
+    cached = (mcs_lut, eff_lut, mod_lut, n_max)
+    _MCS_LUT_CACHE[key] = cached
+    return cached
+
+
+# ---------------------------------------------------------------------- #
+# Per-column fallback state and runner
+# ---------------------------------------------------------------------- #
+class _Column:
+    """Divergent-column state: HARQ heap plus buffered trace writes.
+
+    Created lazily on a column's first dirty period.  ``heap`` holds
+    ``(due_slot, seq, tbs_bits, attempts, p_hint)`` tuples exactly like
+    :class:`~repro.ran.simulator._RetxQueue`.  Because the per-period
+    grant constants cannot change inside a period, buffered trace
+    writes are split into slim varying tuples plus one meta row per
+    dirty period: ``chunks`` holds ``(committed_count, prb, mcs, mod,
+    layers, cqi, dci, tbs_full, tbs_special)`` per period with fast
+    segments, ``events`` holds ``(slot, tbs, ok, is_retx)`` per
+    fallback slot and ``evmeta`` ``(n_events, prb, mcs, mod, layers,
+    cqi, dci)`` per period that produced any — the flush re-expands
+    the constants with ``np.repeat``, yielding the exact payloads the
+    per-session engine buffers.
+    """
+
+    __slots__ = ("heap", "seq", "txmask", "chunks", "events", "evmeta")
+
+    def __init__(self, n_slots: int):
+        self.heap: list[tuple] = []
+        self.seq = 0
+        self.txmask = np.zeros(n_slots, dtype=bool)
+        self.chunks: list[tuple] = []
+        self.events: list[tuple] = []
+        self.evmeta: list[tuple] = []
+
+
+def _run_column_period(col: _Column, start: int, stop: int,
+                       tx: np.ndarray, cum: list, usable: list, special: list,
+                       decoded, p_err, retx_u: np.ndarray,
+                       consts: tuple, tbs_full: int, tbs_special: int,
+                       rtt: int, scale: float, max_attempts: int,
+                       err_pos: list,
+                       heappop=heappop, heappush=heappush) -> tuple[int, int]:
+    """One dirty (column, period) cell with exact engine semantics.
+
+    A flattened transliteration of ``_VectorizedEngine.run_period`` +
+    ``_fallback_slot``: identical control flow and float operations,
+    but heap/segment state lives in locals and each committed segment
+    appends one tuple instead of nine list entries.  ``err_pos``
+    carries the period-relative fresh-NACK candidate positions
+    (``tx & ~decoded``), precomputed by the caller from the cohort
+    decode tensor; ``cum``/``usable``/``special`` arrive as plain
+    lists so the hot loop never boxes numpy scalars.
+    """
+    heap = col.heap
+    seq = col.seq
+    events = col.events
+    e0 = len(events)
+    acks = 0
+    nacks = 0
+    i = start
+
+    if tbs_full <= 0 and tbs_special <= 0:
+        # Nothing transmittable this period; only due retransmissions
+        # can occupy slots (a deferred retx would hand the slot to new
+        # data, which this period cannot carry).
+        while i < stop:
+            if heap and heap[0][0] <= i and usable[i]:
+                if not (special[i] and heap[0][2] > tbs_special):
+                    _due, _seq, tbs, attempts, p_hint = heappop(heap)
+                    p_retx = p_hint * scale
+                    ok = retx_u[i] >= (p_retx if p_retx < 1.0 else 1.0)
+                    events.append((i, tbs, ok, True))
+                    if not ok and attempts + 1 < max_attempts:
+                        heappush(heap, (i + rtt, seq, tbs, attempts + 1, p_hint))
+                        seq += 1
+            i += 1
+        col.seq = seq
+        n_ev = len(events) - e0
+        if n_ev:
+            col.evmeta.append((n_ev,) + consts)
+        return 0, 0
+
+    uniform_tbs = tbs_special == tbs_full
+    n_err = len(err_pos)
+    e = 0
+    committed = 0
+    txmask = col.txmask
+    while i < stop:
+        if heap and heap[0][0] <= i:
+            # Retransmission window: per-slot fallback until the due
+            # block is served (or deferred past a special slot that
+            # cannot carry it).
+            if usable[i]:
+                is_special = special[i]
+                if not (is_special and heap[0][2] > tbs_special):
+                    _due, _seq, tbs, attempts, p_hint = heappop(heap)
+                    p_retx = p_hint * scale
+                    ok = retx_u[i] >= (p_retx if p_retx < 1.0 else 1.0)
+                    events.append((i, tbs, ok, True))
+                    if not ok and attempts + 1 < max_attempts:
+                        heappush(heap, (i + rtt, seq, tbs, attempts + 1, p_hint))
+                        seq += 1
+                else:
+                    # Deferral: the special slot carries new data instead.
+                    tbs = tbs_special if is_special else tbs_full
+                    if tbs > 0:
+                        j = i - start
+                        ok = decoded[j]
+                        events.append((i, tbs, ok, False))
+                        if ok:
+                            acks += 1
+                        else:
+                            heappush(heap, (i + rtt, seq, tbs, 1,
+                                            float(p_err[j])))
+                            seq += 1
+                            nacks += 1
+            i += 1
+            # The fallback owned that position — drop any fresh-NACK
+            # candidate there (a served retx displaced the new data; a
+            # fallback new transmission already queued its own NACK).
+            while e < n_err and err_pos[e] < i - start:
+                e += 1
+            continue
+        if not heap:
+            seg_end = stop
+        else:
+            h0 = heap[0][0]
+            seg_end = stop if h0 >= stop else h0
+        # The first fresh NACK inside the segment re-arms the queue
+        # rtt slots later; the segment cannot extend past that.
+        if e < n_err:
+            first = start + err_pos[e]
+            if first < seg_end and first + rtt < seg_end:
+                seg_end = first + rtt
+        j1 = seg_end - start
+        # Queue every fresh NACK in the committed range, slot order:
+        # their due slots all lie at or beyond seg_end.
+        seg_nacks = 0
+        while e < n_err and (pos := err_pos[e]) < j1:
+            if uniform_tbs or not special[start + pos]:
+                tbs = tbs_full
+            else:
+                tbs = tbs_special
+            heappush(heap, (start + pos + rtt, seq, tbs, 1, float(p_err[pos])))
+            seq += 1
+            e += 1
+            seg_nacks += 1
+        nacks += seg_nacks
+        txmask[i:seg_end] = tx[i:seg_end]
+        cnt = cum[seg_end] - cum[i]
+        acks += cnt - seg_nacks
+        committed += cnt
+        i = seg_end
+    col.seq = seq
+    # One meta row per period: every fast segment and fallback event in
+    # this call shares the same grant constants, so the per-segment /
+    # per-event tuples the engine buffers collapse losslessly.
+    if committed:
+        col.chunks.append((committed,) + consts + (tbs_full, tbs_special))
+    n_ev = len(events) - e0
+    if n_ev:
+        col.evmeta.append((n_ev,) + consts)
+    return acks, nacks
+
+
+def _flush_column(col: _Column, trace: SlotTrace, special_mask: np.ndarray,
+                  decoded: np.ndarray) -> None:
+    """Materialize a divergent column's buffered slots into its trace —
+    the same bulk writes as ``_VectorizedEngine.flush``, reading decode
+    outcomes straight from the column's row of the cohort tensor."""
+    idx = np.flatnonzero(col.txmask)
+    if idx.size:
+        # One bulk conversion of the per-period chunk rows; txmask
+        # slots are in slot order and each period's committed count is
+        # row 0, so np.repeat re-expands the constants in exact
+        # per-slot alignment with ``idx``.
+        ch = np.array(col.chunks, dtype=np.int64)
+        counts = ch[:, 0]
+
+        def rep(k: int) -> np.ndarray:
+            return np.repeat(ch[:, k], counts)
+
+        prb = rep(1)
+        trace.fill(
+            idx, scheduled=True, n_prb=prb, n_re=prb * 12,
+            mcs_index=rep(2), modulation_order=rep(3),
+            layers=rep(4), cqi=rep(5), dci_format=rep(6),
+        )
+        tbs_vec = np.where(special_mask[idx], rep(8), rep(7))
+        ok = decoded[idx]
+        trace.tbs_bits[idx] = tbs_vec
+        trace.delivered_bits[idx] = np.where(ok, tbs_vec, 0)
+        trace.error[idx] = ~ok
+    if col.events:
+        # Slim (slot, tbs, ok, is_retx) tuples plus one meta row per
+        # producing period; booleans round-trip through int64 exactly.
+        ev = np.array(col.events, dtype=np.int64)
+        em = np.array(col.evmeta, dtype=np.int64)
+        n_ev = em[:, 0]
+
+        def repe(k: int) -> np.ndarray:
+            return np.repeat(em[:, k], n_ev)
+
+        ridx = ev[:, 0]
+        rtbs = ev[:, 1]
+        rok = ev[:, 2].astype(bool)
+        rprb = repe(1)
+        trace.fill(
+            ridx, scheduled=True, n_prb=rprb, n_re=rprb * 12,
+            mcs_index=repe(2), modulation_order=repe(3),
+            layers=repe(4), cqi=repe(5), dci_format=repe(6),
+        )
+        trace.is_retx[ridx] = ev[:, 3].astype(bool)
+        trace.tbs_bits[ridx] = rtbs
+        trace.delivered_bits[ridx] = np.where(rok, rtbs, 0)
+        trace.error[ridx] = ~rok
+
+
+# ---------------------------------------------------------------------- #
+# The tensor pass
+# ---------------------------------------------------------------------- #
+def _simulate_direction_cohort(
+    cell: CellConfig,
+    channels: Sequence[ChannelRealization],
+    direction: SlotType,
+    rngs: Sequence[np.random.Generator],
+    params: SimParams,
+    max_layers: int,
+    n_prb: int,
+    metadatas: Sequence[TraceMetadata],
+) -> Iterator[SlotTrace]:
+    """Cohort counterpart of ``_simulate_direction`` (lazy, one trace
+    yielded per column in cohort order)."""
+    t0 = time.perf_counter()
+    n_cols = len(channels)
+    n_slots = channels[0].n_slots
+    for ch in channels:
+        if ch.n_slots != n_slots:
+            raise ValueError("cohort channels must share one slot count")
+
+    slot_types = _slot_types(cell, n_slots, direction)
+    own_code = SLOT_DL if direction is SlotType.DL else SLOT_UL
+    usable = (slot_types == own_code) | (slot_types == SLOT_SPECIAL)
+    full_sym, special_sym = _usable_symbols(cell, direction)
+    if special_sym == 0:
+        usable &= slot_types != SLOT_SPECIAL
+    special_mask = slot_types == SLOT_SPECIAL
+
+    tbs_cache = _TbsCache(cell, max_layers, direction)
+    rank_adapter = params.rank_adapter
+    period = cell.cqi_period_slots
+    n_periods_total = -(-n_slots // period) + 1
+    n_periods = -(-n_slots // period)
+    starts = np.arange(n_periods) * period
+
+    # --- per-column pre-draws, in the exact per-session order ----------
+    # Each column's generator is consumed identically to a lone
+    # ``run_session`` call: uniforms, retx uniforms, CQI noise,
+    # background series.  The measurement chain (measured SINR, CQI,
+    # sustainable efficiency, grant quantization) evaluates per column
+    # on the same 1-D arrays the per-session path sees, then stacks.
+    bler = params.bler
+    uniforms2 = np.empty((n_cols, n_slots))
+    retx_rows: list[np.ndarray] = []
+    noise2 = np.empty((n_cols, n_periods_total))
+    bg_raw2 = np.empty((n_cols, n_periods_total))
+    sinr2 = np.empty((n_cols, n_slots))
+    meas_idx = np.maximum(starts - params.cqi_delay_slots, 0)
+    for c, rng in enumerate(rngs):
+        uniforms2[c] = rng.random(n_slots)
+        retx_rows.append(rng.random(n_slots))
+        noise2[c] = rng.standard_normal(n_periods_total)
+        bg_raw2[c] = rng.standard_normal(n_periods_total)
+        sinr2[c] = channels[c].sinr_db
+    # The measurement chain is elementwise (shannon/searchsorted/rint
+    # chains), so one 2-D evaluation produces the exact per-column
+    # values the per-session path computes on 1-D arrays.
+    eff_cap2 = bler.capacity(sinr2)
+    meas2 = sinr2[:, meas_idx] + params.cqi_noise_db * noise2[:, :n_periods]
+    cqi2 = np.minimum(
+        sinr_to_cqi(meas2, cell.cqi_table, alpha=params.cqi_alpha), CQI_MAX)
+    background2 = np.clip(
+        params.background_rb_mean
+        + params.background_rb_sigma * bg_raw2[:, :n_periods],
+        0.0, BACKGROUND_TRIM_MAX,
+    )
+    prb_scaled = np.rint(n_prb * (1.0 - background2)).astype(np.int64)
+    prb_quant = np.maximum(
+        _RB_QUANTUM,
+        (_RB_QUANTUM * np.rint(prb_scaled / _RB_QUANTUM)).astype(np.int64),
+    )
+    prb2 = np.minimum(prb_quant, n_prb)
+
+    # --- link-adaptation lookup structures ------------------------------
+    is_qam256 = cell.max_modulation is Modulation.QAM256
+    mcs_lut, eff_lut, mod_lut, n_max_mcs = _la_luts(cell)
+    # Stack the TBS lookup matrices of every grant size the cohort uses,
+    # padded on the family axis like the MCS tables: per period the
+    # (tbs_full, tbs_special) pair is then one fancy gather over
+    # (family, grant, mcs, layers) instead of per-column dict probes.
+    distinct_prb = np.unique(prb2)
+    tb_full = np.zeros((2, distinct_prb.size, n_max_mcs, max_layers),
+                       dtype=np.int64)
+    tb_special = np.zeros_like(tb_full)
+    for fbi, family in enumerate(("primary", "fallback")):
+        for g, grant in enumerate(distinct_prb.tolist()):
+            full, special = tbs_cache.get(family, int(grant))
+            tb_full[fbi, g, :full.shape[0]] = full
+            tb_special[fbi, g, :special.shape[0]] = special
+    prb_idx2 = np.searchsorted(distinct_prb, prb2)
+
+    # --- shared per-slot structures --------------------------------------
+    # Transmit patterns for the four (tbs_full, tbs_special) sign cases
+    # (0=both, 1=full-only, 2=special-only, 3=none) with prefix sums;
+    # list copies feed the pure-Python column runner without per-access
+    # numpy scalar boxing.
+    tx4 = np.zeros((4, n_slots), dtype=bool)
+    tx4[0] = usable
+    tx4[1] = usable & ~special_mask
+    tx4[2] = usable & special_mask
+    cum4 = np.zeros((4, n_slots + 1), dtype=np.int64)
+    np.cumsum(tx4, axis=1, out=cum4[:, 1:])
+    cum4_l = [row.tolist() for row in cum4]
+    usable_l = usable.tolist()
+    special_l = special_mask.tolist()
+
+    # --- cross-column state ---------------------------------------------
+    olla = Olla()
+    olla_up, olla_down = olla.step_up, olla.step_down
+    olla_lo, olla_hi = olla.min_offset, olla.max_offset
+    olla_enabled = params.olla_enabled
+    beta = params.rank_ewma_beta
+    dci_fallback_cqi = params.dci_fallback_cqi
+    adapter_max = rank_adapter.max_layers
+    rtt = params.harq_rtt_slots
+    scale = params.retx_error_scale
+    max_attempts = params.max_attempts
+
+    delta = np.zeros(n_cols)
+    rank = np.ones(n_cols, dtype=np.int64)
+    ewma = np.empty(n_cols)
+    queue_active = np.zeros(n_cols, dtype=bool)
+    cols: list[_Column | None] = [None] * n_cols
+
+    decoded2 = np.empty((n_cols, n_slots), dtype=bool)
+    p_err2 = np.empty((n_cols, period))
+    notdec = np.empty((n_cols, period), dtype=bool)
+    failm2 = np.empty((n_cols, period), dtype=bool)
+    zero_off = np.zeros(n_cols, dtype=np.int64)
+
+    # Period-major (contiguous per-period row) working layouts for the
+    # loop; transposed to column-major once before flush.
+    meas2t = np.ascontiguousarray(meas2.T)
+    cqi2t = np.ascontiguousarray(cqi2.T)
+    pidx2t = np.ascontiguousarray(prb_idx2.T)
+    if is_qam256:
+        fb2t = (cqi2t <= dci_fallback_cqi).view(np.int8).astype(np.int64)
+        dci2t = 1 - fb2t
+    else:
+        fb2t = np.zeros((n_periods, n_cols), dtype=np.int64)
+        dci2t = fb2t
+    starts_l = starts.tolist()
+    stops_l = np.minimum(starts + period, n_slots).tolist()
+    # Per-case transmission counts of every period (prefix-sum diffs).
+    percnt4 = cum4[:, stops_l] - cum4[:, starts_l]
+
+    clean2t = np.zeros((n_periods, n_cols), dtype=bool)
+    case2t = np.empty((n_periods, n_cols), dtype=np.int64)
+    mcs2t = np.empty((n_periods, n_cols), dtype=np.int64)
+    mod2t = np.empty((n_periods, n_cols), dtype=np.int64)
+    lay2t = np.empty((n_periods, n_cols), dtype=np.int64)
+    tbsf2t = np.empty((n_periods, n_cols), dtype=np.int64)
+    tbss2t = np.empty((n_periods, n_cols), dtype=np.int64)
+
+    one_minus_beta = 1.0 - beta
+    # RankAdapter threshold scalars, precomputed exactly as the scalar
+    # chain computes them per report.
+    rank_steps = []
+    for k, threshold in enumerate(rank_adapter.thresholds_db):
+        candidate = k + 2
+        if candidate > adapter_max:
+            break
+        eff_up = threshold + rank_adapter.bias_db
+        rank_steps.append((candidate, eff_up,
+                           eff_up - rank_adapter.hysteresis_db))
+    layers_capped = adapter_max > max_layers
+    empty_err: list = []
+
+    dirty_cells = 0
+    for p in range(n_periods):
+        start = starts_l[p]
+        stop = stops_l[p]
+        m = stop - start
+        sl = slice(start, stop)
+
+        # --- measurement report (vectorized across columns) -------------
+        # Same IEEE op sequence per element as the scalar chain:
+        # (1-beta)*ewma, beta*measured, add; threshold comparisons with
+        # the precomputed scalars.
+        measured = meas2t[p]
+        if p == 0:
+            ewma[:] = measured
+        else:
+            np.multiply(ewma, one_minus_beta, out=ewma)
+            np.add(ewma, beta * measured, out=ewma)
+        prev = rank
+        cand_rank = np.ones(n_cols, dtype=np.int64)
+        for candidate, eff_up, eff_keep in rank_steps:
+            eff = np.where(prev >= candidate, eff_keep, eff_up)
+            cand_rank = np.where(ewma >= eff, candidate, cand_rank)
+        rank = np.minimum(cand_rank, adapter_max)
+        layers = np.minimum(rank, max_layers) if layers_capped else rank
+
+        cqi = cqi2t[p]
+        fb = fb2t[p]
+        offset = np.rint(delta).astype(np.int64) if olla_enabled else zero_off
+        mcs = mcs_lut[fb, cqi, offset - _OFF_LO]
+        eff_mcs = eff_lut[fb, mcs]
+        mod = mod_lut[fb, mcs]
+        lidx = layers - 1
+        tbs_full = tb_full[fb, pidx2t[p], mcs, lidx]
+        tbs_special = tb_special[fb, pidx2t[p], mcs, lidx]
+
+        case = (tbs_full <= 0) * 2 + (tbs_special <= 0)
+        case2t[p] = case
+        mcs2t[p] = mcs
+        mod2t[p] = mod
+        lay2t[p] = layers
+        tbsf2t[p] = tbs_full
+        tbss2t[p] = tbs_special
+
+        # --- decode outcomes: one 2-D BLER pass --------------------------
+        p_err = bler.error_probability_given_capacity(
+            eff_mcs[:, None], eff_cap2[:, sl], out=p_err2[:, :m])
+        decoded = np.greater_equal(uniforms2[:, sl], p_err, out=decoded2[:, sl])
+
+        # --- clean/dirty split -------------------------------------------
+        failm = np.logical_and(tx4[:, sl][case],
+                               np.logical_not(decoded, out=notdec[:, :m]),
+                               out=failm2[:, :m])
+        fail_any = failm.any(axis=1)
+        cnt = percnt4[:, p][case]
+        dirty = queue_active | fail_any
+        clean = ~dirty
+        clean2t[p] = clean
+        acks = np.where(clean, cnt, 0)
+        nacks = np.zeros(n_cols, dtype=np.int64)
+
+        if dirty.any():
+            dirty_idx = np.flatnonzero(dirty).tolist()
+            dirty_cells += len(dirty_idx)
+            fail_l = fail_any.tolist()
+            prb_l = prb2[:, p].tolist()
+            mcs_l = mcs.tolist()
+            mod_l = mod.tolist()
+            lay_l = layers.tolist()
+            cqi_l = cqi.tolist()
+            dci_l = dci2t[p].tolist()
+            tbsf_l = tbs_full.tolist()
+            tbss_l = tbs_special.tolist()
+            case_l = case.tolist()
+            for c in dirty_idx:
+                col = cols[c]
+                if col is None:
+                    col = cols[c] = _Column(n_slots)
+                    _COUNTERS["columns_fallback"] += 1
+                ci = case_l[c]
+                a, n = _run_column_period(
+                    col, start, stop, tx4[ci], cum4_l[ci], usable_l, special_l,
+                    decoded[c], p_err2[c], retx_rows[c],
+                    (prb_l[c], mcs_l[c], mod_l[c], lay_l[c], cqi_l[c],
+                     dci_l[c]),
+                    tbsf_l[c], tbss_l[c], rtt, scale, max_attempts,
+                    failm[c].nonzero()[0].tolist() if fail_l[c] else empty_err,
+                )
+                acks[c] = a
+                nacks[c] = n
+                queue_active[c] = bool(col.heap)
+
+        if olla_enabled:
+            np.add(delta, acks * olla_up, out=delta)
+            np.subtract(delta, nacks * olla_down, out=delta)
+            np.maximum(delta, olla_lo, out=delta)
+            np.minimum(delta, olla_hi, out=delta)
+
+    _COUNTERS["cohorts"] += 1
+    _COUNTERS["columns"] += n_cols
+    _COUNTERS["dirty_periods"] += dirty_cells
+    _COUNTERS["slots"] += n_cols * n_slots
+    _COUNTERS["seconds"] += time.perf_counter() - t0
+
+    # --- flush: one column trace at a time ------------------------------
+    # Back to column-major so each column's per-period constants are a
+    # contiguous row for the gathers below.
+    case2 = np.ascontiguousarray(case2t.T)
+    clean2 = np.ascontiguousarray(clean2t.T)
+    mcs2 = np.ascontiguousarray(mcs2t.T)
+    mod2 = np.ascontiguousarray(mod2t.T)
+    lay2 = np.ascontiguousarray(lay2t.T)
+    dci2 = np.ascontiguousarray(dci2t.T)
+    tbsf2 = np.ascontiguousarray(tbsf2t.T)
+    tbss2 = np.ascontiguousarray(tbss2t.T)
+    col_slots = np.arange(n_slots)
+    period_of_slot = col_slots // period
+    for c in range(n_cols):
+        t1 = time.perf_counter()
+        trace = SlotTrace.empty(n_slots, mu=channels[c].mu, metadata=metadatas[c])
+        trace.sinr_db[:] = channels[c].sinr_db
+        trace.rsrp_dbm[:] = channels[c].rsrp_dbm
+        trace.rsrq_db[:] = channels[c].rsrq_db
+        trace.slot_type[:] = slot_types
+        # Clean-period fast-path slots, bulk-filled from the per-period
+        # constant tensors (disjoint from the fallback runner's slots;
+        # every value equals what the per-session flush writes there).
+        case_slot = case2[c][period_of_slot]
+        tx_slot = tx4[case_slot, col_slots]
+        idx = np.flatnonzero(tx_slot & clean2[c][period_of_slot])
+        if idx.size:
+            pos = period_of_slot[idx]
+            prb = prb2[c][pos]
+            trace.fill(
+                idx, scheduled=True, n_prb=prb, n_re=prb * 12,
+                mcs_index=mcs2[c][pos], modulation_order=mod2[c][pos],
+                layers=lay2[c][pos], cqi=cqi2[c][pos], dci_format=dci2[c][pos],
+            )
+            tbs_vec = np.where(special_mask[idx], tbss2[c][pos], tbsf2[c][pos])
+            trace.tbs_bits[idx] = tbs_vec
+            # Clean periods have no failed transmission by definition:
+            # everything scheduled delivered, ``error`` stays False.
+            trace.delivered_bits[idx] = tbs_vec
+        if cols[c] is not None:
+            _flush_column(cols[c], trace, special_mask, decoded2[c])
+        _forward_fill_cqi(trace)
+        _COUNTERS["seconds"] += time.perf_counter() - t1
+        yield trace
+
+
+def simulate_downlink_cohort(
+    cell: CellConfig,
+    channels: Sequence[ChannelRealization],
+    rngs: Sequence[np.random.Generator],
+    params: SimParams | None = None,
+    metadatas: Sequence[TraceMetadata] | None = None,
+) -> Iterator[SlotTrace]:
+    """Cohort counterpart of :func:`~repro.ran.simulator.simulate_downlink`.
+
+    ``channels``/``rngs``/``metadatas`` are per-column (one session per
+    entry, cohort order = manifest order); each ``rngs[c]`` must be
+    positioned exactly where the per-session path would hand it to
+    ``simulate_downlink``.  Returns a lazy generator of one byte-identical
+    trace per column.
+    """
+    params = params or SimParams()
+    if metadatas is None:
+        metadatas = [TraceMetadata(
+            carrier_name=cell.name, direction="DL",
+            bandwidth_mhz=cell.bandwidth_mhz, scs_khz=cell.scs_khz,
+        ) for _ in channels]
+    if not (len(channels) == len(rngs) == len(metadatas)) or not channels:
+        raise ValueError("cohort needs matching, non-empty channels/rngs/metadatas")
+    return _simulate_direction_cohort(
+        cell, channels, SlotType.DL, rngs, params,
+        max_layers=cell.max_layers, n_prb=cell.grantable_rb, metadatas=metadatas,
+    )
+
+
+def simulate_uplink_cohort(
+    cell: CellConfig,
+    channels: Sequence[ChannelRealization],
+    rngs: Sequence[np.random.Generator],
+    params: SimParams | None = None,
+    max_layers: int = 2,
+    metadatas: Sequence[TraceMetadata] | None = None,
+) -> Iterator[SlotTrace]:
+    """Cohort counterpart of :func:`~repro.ran.simulator.simulate_uplink`."""
+    params = params or SimParams()
+    if metadatas is None:
+        metadatas = [TraceMetadata(
+            carrier_name=cell.name, direction="UL",
+            bandwidth_mhz=cell.bandwidth_mhz, scs_khz=cell.scs_khz,
+        ) for _ in channels]
+    if not (len(channels) == len(rngs) == len(metadatas)) or not channels:
+        raise ValueError("cohort needs matching, non-empty channels/rngs/metadatas")
+    ul_cell = replace(cell, max_modulation=Modulation.QAM64) \
+        if cell.max_modulation is not Modulation.QAM64 else cell
+    return _simulate_direction_cohort(
+        ul_cell, channels, SlotType.UL, rngs, params,
+        max_layers=min(max_layers, cell.max_layers), n_prb=cell.grantable_rb,
+        metadatas=metadatas,
+    )

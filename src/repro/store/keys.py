@@ -19,7 +19,12 @@ Canonicalization rules:
 
 The resulting JSON depends only on values, never on ``PYTHONHASHSEED``,
 insertion order, or which process computes it, so keys are stable
-across workers, reruns and machines.
+across workers, reruns and machines.  Execution strategy is likewise
+invisible: a session computed inside a cohort tensor pass reuses its
+per-session fingerprint (all engines emit identical bytes, and the
+``REPRO_ENGINE`` override is an environment knob, not a task field),
+so cohort execution required no schema bump and shares store entries
+with per-session runs.
 """
 
 from __future__ import annotations

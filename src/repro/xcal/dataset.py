@@ -27,8 +27,11 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.runner import SessionTask, derive_seed, run_tasks
+from repro.core.runner import (SessionTask, derive_seed,
+                               register_cohort_runner, run_tasks)
+from repro.ran.config import resolve_engine
 from repro.ran.simulator import simulate_downlink, simulate_uplink
+from repro.ran.tensor import simulate_downlink_cohort, simulate_uplink_cohort
 from repro.xcal.io import write_csv, write_jsonl, write_npz
 from repro.xcal.records import SlotTrace, TraceMetadata
 
@@ -262,6 +265,57 @@ def run_session(profile, spec: CampaignSpec, direction: str, seed: int) -> SlotT
     channel = profile.dl_channel(jitter).realize(spec.session_s, mu=cell.mu, rng=rng)
     return simulate_downlink(cell, channel, rng=rng, params=profile.sim_params(),
                              metadata=metadata)
+
+
+def run_session_cohort(profile, spec: CampaignSpec, direction: str,
+                       seeds: list[int]):
+    """Batched counterpart of :func:`run_session` for same-shape cohorts.
+
+    Yields one trace per seed, in order, each byte-identical to
+    ``run_session(profile, spec, direction, seed)``.  When the
+    profile's engine policy selects the cross-session tensor pass
+    (``resolve_engine(engine, len(seeds)) == "tensor"``) the whole
+    cohort executes as one ``(sessions x slots)`` pass in
+    :mod:`repro.ran.tensor`; otherwise sessions run one at a time
+    through the per-session path.  Either way the result is a lazy
+    generator — a consumer that folds or stores each trace before
+    advancing holds at most one trace.
+
+    Registered as the cohort runner for :func:`run_session`, so
+    :func:`repro.core.runner.run_tasks` routes maximal same-shape
+    manifest runs through here automatically.
+    """
+    if direction not in ("DL", "UL"):
+        raise ValueError(f"direction must be 'DL' or 'UL', got {direction!r}")
+    params = profile.sim_params()
+    if resolve_engine(params.engine, len(seeds)) != "tensor":
+        return (run_session(profile, spec, direction, seed) for seed in seeds)
+    cell = profile.primary_cell
+    rngs, channels, metadatas = [], [], []
+    for seed in seeds:
+        # Exactly run_session's draw order per seed: jitter, then the
+        # channel realization; the simulator consumes the rest.
+        rng = np.random.default_rng(seed)
+        jitter = spec.session_sinr_jitter_db * float(rng.standard_normal())
+        metadatas.append(TraceMetadata(
+            operator=profile.operator, country=profile.country,
+            carrier_name=cell.name, direction=direction,
+            bandwidth_mhz=cell.bandwidth_mhz, scs_khz=cell.scs_khz,
+            seed=seed,
+        ))
+        prior = profile.ul_channel(jitter) if direction == "UL" \
+            else profile.dl_channel(jitter)
+        channels.append(prior.realize(spec.session_s, mu=cell.mu, rng=rng))
+        rngs.append(rng)
+    if direction == "UL":
+        return simulate_uplink_cohort(cell, channels, rngs, params=params,
+                                      max_layers=profile.ul_max_layers,
+                                      metadatas=metadatas)
+    return simulate_downlink_cohort(cell, channels, rngs, params=params,
+                                    metadatas=metadatas)
+
+
+register_cohort_runner(run_session, run_session_cohort)
 
 
 def campaign_manifest(profiles: dict, spec: CampaignSpec) -> list[SessionTask]:

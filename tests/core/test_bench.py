@@ -312,6 +312,115 @@ class TestReduceWorkloadShape:
         assert operators == {"V_Sp", "O_Sp_100", "T_Ge", "V_Ge"}
 
 
+def _tensor_report(session_cold=150.0, session_warm=155.0,
+                   tensor_cold=310.0, tensor_warm=325.0,
+                   cohorts=8, quick=True) -> dict:
+    def cell(rate):
+        return {"sessions_per_s": rate, "wall_s": round(64.0 / rate, 3)}
+
+    return {
+        "bench": "tensor",
+        "schema": bench.BENCH_SCHEMA_VERSION,
+        "quick": quick,
+        "config": {"profiles": ["V_Sp", "O_Sp_100"], "n_sessions": 64,
+                   "cohort_size": 32, "cold_reps": 2, "seed": 2024},
+        "workloads": {
+            "session_cold": cell(session_cold),
+            "session_warm": cell(session_warm),
+            "tensor_cold": cell(tensor_cold),
+            "tensor_warm": cell(tensor_warm),
+        },
+        "cohort": {"cohorts": cohorts, "columns": cohorts * 32,
+                   "columns_fallback": cohorts * 32,
+                   "dirty_periods": 28000,
+                   "tensor_slots_per_s": 1.4e6},
+        "speedup": {
+            "tensor_cold_vs_session_cold": round(tensor_cold / session_cold, 2),
+            "tensor_warm_vs_session_warm": round(tensor_warm / session_warm, 2),
+        },
+    }
+
+
+class TestTensorRegressionGate:
+    def test_identical_reports_pass(self):
+        report = _tensor_report()
+        assert bench.tensor_regression_failures(report, report) == []
+
+    def test_uniform_slowdown_is_hardware_normalized_away(self):
+        base = _tensor_report()
+        current = copy.deepcopy(base)
+        for data in current["workloads"].values():
+            data["sessions_per_s"] /= 2.0
+        assert bench.tensor_regression_failures(current, base) == []
+
+    def test_tensor_only_slowdown_fails(self):
+        base = _tensor_report()
+        current = _tensor_report(tensor_cold=310.0 / 2.5, tensor_warm=130.0)
+        failures = bench.tensor_regression_failures(current, base,
+                                                    threshold=0.30)
+        # Fails both the normalized gate and the intra-report floor.
+        assert any(f.startswith("tensor_cold:") for f in failures)
+        assert any(f.startswith("tensor_cold_vs_session_cold:")
+                   for f in failures)
+
+    def test_speedup_below_floor_fails_intra_report(self):
+        # 1.4x < the full-mode 1.5x floor even with itself as baseline.
+        report = _tensor_report(tensor_cold=210.0, quick=False)
+        failures = bench.tensor_regression_failures(report, report)
+        assert any(f.startswith("tensor_cold_vs_session_cold:")
+                   for f in failures)
+
+    def test_quick_reports_get_floor_slack(self):
+        # The same 1.4x passes in quick mode (floor 1.3x).
+        report = _tensor_report(tensor_cold=210.0, quick=True)
+        assert bench.tensor_regression_failures(report, report) == []
+
+    def test_no_cohorts_run_fails(self):
+        # A policy regression degrading every cohort to the per-session
+        # engine gates red even at a 1.0x-ish honest ratio.
+        report = _tensor_report(cohorts=0)
+        failures = bench.tensor_regression_failures(report, report)
+        assert any(f.startswith("cohort:") for f in failures)
+
+    def test_missing_reference_reports_cleanly(self):
+        base = _tensor_report()
+        current = copy.deepcopy(base)
+        del current["workloads"]["session_cold"]
+        failures = bench.tensor_regression_failures(current, base)
+        assert failures == [
+            "session_cold: reference workload missing from a report"]
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            bench.tensor_regression_failures(_tensor_report(),
+                                             _tensor_report(), threshold=1.0)
+
+
+class TestTensorRender:
+    def test_render_lists_workloads_speedup_and_counters(self):
+        text = bench.render_tensor(_tensor_report())
+        assert "tensor_cold" in text and "session_cold" in text
+        assert "2.07x" in text  # 310 / 150 cold speedup
+        assert "fallback_columns=256" in text
+
+
+class TestTensorWorkloadShape:
+    def test_manifest_is_maximal_dl_cohorts(self):
+        from repro.core.runner import group_tasks_by_shape
+
+        manifest = bench.tensor_tasks(quick=True, seed=2024)
+        groups = group_tasks_by_shape(manifest)
+        assert len(groups) == 2  # one cohort per operator, no UL split
+        assert all(len(g) == 32 for g in groups)
+        assert all(t.kwargs["direction"] == "DL" for t in manifest)
+
+    def test_manifest_is_deterministic(self):
+        a = bench.tensor_tasks(quick=True, seed=2024)
+        b = bench.tensor_tasks(quick=True, seed=2024)
+        assert [t.label for t in a] == [t.label for t in b]
+        assert [t.seed for t in a] == [t.seed for t in b]
+
+
 class TestReportIo:
     def test_write_then_load_roundtrip(self, tmp_path):
         report = _report()

@@ -1,0 +1,228 @@
+"""Byte-identity of the cross-session tensor engine.
+
+A cohort of same-shape sessions (same cell/params/duration, differing
+only in seed) must come out of :mod:`repro.ran.tensor` byte-identical
+to running each session alone through the per-session engines — the
+same npz bytes a campaign export would write.  The matrix covers the
+knobs that reshape the slot loop (modulation table, TDD vs FDD, OLLA
+on/off, retx density via SINR regime, DL vs UL) crossed with cohort
+sizes, plus an adversarial mixed cohort where only some columns ever
+diverge into the per-column fallback runner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.model import SyntheticChannel
+from repro.nr.mcs import Modulation
+from repro.nr.tdd import TddPattern
+from repro.ran import tensor
+from repro.ran.config import CellConfig, resolve_engine
+from repro.ran.simulator import SimParams, simulate_downlink, simulate_uplink
+from repro.ran.tensor import simulate_downlink_cohort, simulate_uplink_cohort
+from repro.xcal.io import npz_bytes, trace_to_arrays
+
+DURATION_S = 1.5
+JITTER_DB = 2.0
+
+
+def _trace_bytes(trace) -> bytes:
+    return npz_bytes(trace_to_arrays(trace), {})
+
+
+def _tdd_cell(max_modulation: Modulation, bandwidth_mhz: int = 90) -> CellConfig:
+    return CellConfig(name=f"tensor n78 {bandwidth_mhz}MHz", band_name="n78",
+                      bandwidth_mhz=bandwidth_mhz, scs_khz=30,
+                      max_modulation=max_modulation,
+                      tdd=TddPattern.from_string("DDDSU"))
+
+
+def _fdd_cell() -> CellConfig:
+    return CellConfig(name="tensor n25 20MHz", band_name="n25",
+                      bandwidth_mhz=20, scs_khz=15,
+                      max_modulation=Modulation.QAM256, tdd=None,
+                      n_rb_override=51)
+
+
+def _channel_and_rng(mean_sinr_db: float, seed: int, cell: CellConfig,
+                     duration_s: float = DURATION_S,
+                     jitter_db: float = JITTER_DB):
+    """One session's channel + positioned rng, in campaign draw order."""
+    rng = np.random.default_rng(seed)
+    jitter = jitter_db * float(rng.standard_normal())
+    channel = SyntheticChannel(mean_sinr_db=mean_sinr_db + jitter).realize(
+        duration_s, mu=cell.mu, rng=rng)
+    return channel, rng
+
+
+def _single_bytes(simulate, cell: CellConfig, mean_sinr_db: float, seed: int,
+                  engine: str, duration_s: float = DURATION_S,
+                  **params) -> bytes:
+    channel, rng = _channel_and_rng(mean_sinr_db, seed, cell, duration_s)
+    trace = simulate(cell, channel, rng=rng,
+                     params=SimParams(engine=engine, **params))
+    return _trace_bytes(trace)
+
+
+def _cohort_bytes(simulate_cohort, cell: CellConfig, mean_sinr_db: float,
+                  seeds: list[int], duration_s: float = DURATION_S,
+                  **params) -> list[bytes]:
+    channels, rngs = [], []
+    for seed in seeds:
+        channel, rng = _channel_and_rng(mean_sinr_db, seed, cell, duration_s)
+        channels.append(channel)
+        rngs.append(rng)
+    return [_trace_bytes(t) for t in simulate_cohort(
+        cell, channels, rngs, params=SimParams(**params))]
+
+
+CASES = {
+    # High SINR: long clean stretches, few divergent periods.
+    "tdd-256qam-good": (_tdd_cell(Modulation.QAM256), 22.0, {}),
+    # Mid SINR: OLLA converges to ~10% BLER, every column diverges often.
+    "tdd-256qam-mid": (_tdd_cell(Modulation.QAM256), 12.0, {}),
+    # Poor SINR: retx windows dominate, the fallback runner carries most
+    # slots — the tensor pass must still match byte for byte.
+    "tdd-256qam-poor": (_tdd_cell(Modulation.QAM256), 2.0, {}),
+    "tdd-64qam": (_tdd_cell(Modulation.QAM64, bandwidth_mhz=60), 15.0, {}),
+    "fdd-256qam": (_fdd_cell(), 18.0, {}),
+    "tdd-no-olla": (_tdd_cell(Modulation.QAM256), 14.0,
+                    {"olla_enabled": False}),
+    "tdd-retx-heavy": (_tdd_cell(Modulation.QAM256), 8.0,
+                       {"cqi_alpha": 1.4, "retx_error_scale": 0.9,
+                        "harq_rtt_slots": 6}),
+}
+
+
+@pytest.mark.parametrize("cohort_size", [3, 7])
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_downlink_cohort_byte_identical(case: str, cohort_size: int):
+    cell, sinr, params = CASES[case]
+    seeds = list(range(40, 40 + cohort_size))
+    singles = [_single_bytes(simulate_downlink, cell, sinr, s, "reference",
+                             **params) for s in seeds]
+    cohort = _cohort_bytes(simulate_downlink_cohort, cell, sinr, seeds,
+                           **params)
+    assert cohort == singles
+
+
+@pytest.mark.parametrize("seed0", [7, 70])
+def test_uplink_cohort_byte_identical(seed0: int):
+    cell = _tdd_cell(Modulation.QAM256)
+    seeds = list(range(seed0, seed0 + 5))
+    singles = [_single_bytes(simulate_uplink, cell, 6.0, s, "reference")
+               for s in seeds]
+    cohort = _cohort_bytes(simulate_uplink_cohort, cell, 6.0, seeds)
+    assert cohort == singles
+
+
+def test_cohort_matches_vectorized_engine_too():
+    cell, sinr, params = CASES["tdd-256qam-mid"]
+    seeds = [90, 91, 92]
+    vec = [_single_bytes(simulate_downlink, cell, sinr, s, "vectorized",
+                         **params) for s in seeds]
+    cohort = _cohort_bytes(simulate_downlink_cohort, cell, sinr, seeds,
+                           **params)
+    assert cohort == vec
+
+
+def test_divergent_retx_fallback_mixed_columns():
+    """Adversarial cohort: some columns never fail, others retransmit.
+
+    With OLLA off and a conservative CQI mapping at high (per-seed
+    jittered) SINR, clean columns ride the tensor fast path for the
+    whole session while dirty columns drop into the per-column
+    fallback runner — the counters must show a strict mix, and every
+    column must still match the reference oracle byte for byte.
+    """
+    cell = _tdd_cell(Modulation.QAM256)
+    params = dict(olla_enabled=False, cqi_alpha=0.4)
+    mean, jitter, duration = 18.0, 6.0, 1.0
+    # Seeds chosen so the 6 dB jitter splits the cohort (seeds 3, 6 and
+    # 11 stay error-free at alpha=0.4; the rest take NACKs).
+    seeds = [1, 2, 3, 4, 5, 6, 11]
+
+    singles, channels, rngs = [], [], []
+    for seed in seeds:
+        channel, rng = _channel_and_rng(mean, seed, cell, duration, jitter)
+        singles.append(_trace_bytes(simulate_downlink(
+            cell, channel, rng=rng,
+            params=SimParams(engine="reference", **params))))
+        channel, rng = _channel_and_rng(mean, seed, cell, duration, jitter)
+        channels.append(channel)
+        rngs.append(rng)
+
+    tensor.reset_cohort_stats()
+    cohort = [_trace_bytes(t) for t in simulate_downlink_cohort(
+        cell, channels, rngs, params=SimParams(**params))]
+    stats = tensor.cohort_stats()
+
+    assert cohort == singles
+    assert stats["cohorts"] == 1
+    assert stats["columns"] == len(seeds)
+    # The adversarial mix: some columns diverged, some never did.
+    assert 0 < stats["columns_fallback"] < len(seeds)
+    assert stats["dirty_periods"] > 0
+
+    # The fallback columns really retransmitted; the clean ones did not.
+    retx_counts = []
+    for seed in seeds:
+        channel, rng = _channel_and_rng(mean, seed, cell, duration, jitter)
+        trace = simulate_downlink(cell, channel, rng=rng,
+                                  params=SimParams(**params))
+        retx_counts.append(int(trace.error.sum() + trace.is_retx.sum()))
+    assert sorted(set(c == 0 for c in retx_counts)) == [False, True]
+
+
+def test_cohort_stats_render():
+    tensor.reset_cohort_stats()
+    line = tensor.render_cohort_stats()
+    assert line.startswith("tensor cohorts=0")
+    cell, sinr, params = CASES["tdd-256qam-good"]
+    _cohort_bytes(simulate_downlink_cohort, cell, sinr, [5, 6, 7], **params)
+    stats = tensor.cohort_stats()
+    assert stats["cohorts"] == 1 and stats["columns"] == 3
+    assert "slots_per_s" in tensor.render_cohort_stats().replace("slots_per_s",
+                                                                 "slots_per_s")
+
+
+def test_cohort_validates_inputs():
+    cell, sinr, params = CASES["tdd-256qam-good"]
+    ch, rng = _channel_and_rng(sinr, 1, cell)
+    with pytest.raises(ValueError):
+        list(simulate_downlink_cohort(cell, [], [], params=SimParams()))
+    with pytest.raises(ValueError):
+        list(simulate_downlink_cohort(cell, [ch], [rng, rng],
+                                      params=SimParams()))
+    short, short_rng = _channel_and_rng(sinr, 2, cell, duration_s=0.5)
+    with pytest.raises(ValueError):
+        list(simulate_downlink_cohort(cell, [ch, short], [rng, short_rng],
+                                      params=SimParams()))
+
+
+class TestEnginePolicy:
+    def test_decision_table(self):
+        assert resolve_engine("auto", 1) == "vectorized"
+        assert resolve_engine("auto", 2) == "tensor"
+        assert resolve_engine("tensor", 1) == "vectorized"
+        assert resolve_engine("tensor", 32) == "tensor"
+        assert resolve_engine("vectorized", 32) == "vectorized"
+        assert resolve_engine("reference", 32) == "reference"
+
+    def test_invalid_engine(self):
+        with pytest.raises(ValueError):
+            resolve_engine("warp", 2)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "vectorized")
+        assert resolve_engine("auto", 64) == "vectorized"
+        assert resolve_engine("tensor", 64) == "vectorized"
+        monkeypatch.setenv("REPRO_ENGINE", "tensor")
+        # The cohort-of-one degrade still applies to the override.
+        assert resolve_engine("vectorized", 1) == "vectorized"
+        assert resolve_engine("vectorized", 8) == "tensor"
+        monkeypatch.setenv("REPRO_ENGINE", "warp")
+        with pytest.raises(ValueError):
+            resolve_engine("auto", 2)
