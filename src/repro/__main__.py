@@ -12,7 +12,19 @@ Commands
     JSONL or npz.
 ``cache``
     Inspect and maintain a session trace store (``stats`` / ``verify``
-    / ``clear`` / ``evict``).
+    / ``clear`` / ``evict``), and move blobs to/from a shared remote
+    tier (``push`` / ``pull`` / ``sync`` / ``status`` with
+    ``--remote URL``).  ``stats --json`` emits the counters
+    machine-readably — the same serializer the serve daemon's
+    ``/stats`` endpoint and the CI gates consume.
+``serve``
+    Run the localhost campaign service: a daemon that accepts
+    campaign/experiment submissions over HTTP/JSON, dedups identical
+    in-flight requests (singleflight), schedules work onto one shared
+    warm pool and answers repeat requests straight from the store.
+``submit``
+    Send one request to a running ``repro serve`` daemon and print the
+    result.
 ``bench``
     Run a tracked benchmark: ``--workload slot`` (default) emits
     ``BENCH_slot_engine.json``, ``--workload campaign`` benchmarks the
@@ -20,9 +32,11 @@ Commands
     ``--workload reduce`` benchmarks the streaming-reduction path and
     emits ``BENCH_reduce.json``, ``--workload tensor`` benchmarks the
     cross-session cohort engine against the per-session vectorized
-    engine and emits ``BENCH_tensor.json`` (``--baseline`` compares
-    against a committed report and fails on hardware-normalized
-    regressions).
+    engine and emits ``BENCH_tensor.json``, and ``--workload serve``
+    benchmarks the campaign service end to end — cold submit, warm
+    store-served submit, concurrent singleflight — and emits
+    ``BENCH_serve.json`` (``--baseline`` compares against a committed
+    report and fails on hardware-normalized regressions).
 
 ``run`` and ``campaign`` accept ``--jobs N`` (or ``--jobs auto``) to
 fan independent sessions out to a process pool, and ``--cache DIR``
@@ -181,6 +195,31 @@ def _render_tbs_cache_line() -> str:
             f"hit_rate={stats['hit_rate']:.1%}")
 
 
+def _cache_remote_action(args: argparse.Namespace, store) -> int:
+    """``repro cache push|pull|sync|status --remote URL``."""
+    from repro.store import RemoteError, open_remote, pull, push, status, sync
+
+    if not args.remote:
+        print(f"cache {args.action} needs --remote URL", file=sys.stderr)
+        return 2
+    try:
+        remote = open_remote(args.remote)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        if args.action == "status":
+            print(status(store, remote).render())
+            return 0
+        op = {"push": push, "pull": pull, "sync": sync}[args.action]
+        report = op(store, remote)
+    except RemoteError as exc:
+        print(f"cache {args.action} failed: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    return 1 if report.failed else 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.store import CACHE_DIR_ENV, TraceStore
 
@@ -189,7 +228,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"no store: pass --cache DIR or set ${CACHE_DIR_ENV}", file=sys.stderr)
         return 2
     store = TraceStore(root)
+    if args.action in ("push", "pull", "sync", "status"):
+        return _cache_remote_action(args, store)
     if args.action == "stats":
+        if args.json:
+            import json
+
+            print(json.dumps(store.stats().to_dict(), indent=2, sort_keys=True))
+            return 0
         from repro.ran.tensor import render_cohort_stats
 
         print(store.stats().render())
@@ -213,12 +259,76 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import CampaignService, ServeDaemon
+
+    store = _open_store(args)
+    service = CampaignService(store=store, jobs=args.jobs,
+                              prewarm=not args.no_prewarm)
+    daemon = ServeDaemon(service, host=args.host, port=args.port)
+    if args.port_file is not None:
+        # Written after bind so ``--port 0`` scripts read the real port.
+        args.port_file.write_text(f"{daemon.port}\n")
+    daemon.run()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient, ServeClientError
+
+    payload: dict = {"kind": args.kind}
+    payload.update(_submit_params(args))
+    client = ServeClient(args.url, timeout_s=args.timeout)
+    try:
+        if args.kind == "stats":
+            response = client.stats()
+        elif args.kind == "shutdown":
+            response = client.shutdown()
+        else:
+            response = client.submit(payload)
+    except ServeClientError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    if args.kind in ("stats", "shutdown") or args.json:
+        import json
+
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0
+    for row in response.get("rows", []):
+        print(row)
+    accounting = response.get("accounting", {})
+    print(f"[serve] dedup={int(bool(response.get('dedup')))} "
+          f"tasks={accounting.get('tasks', 0)} "
+          f"computed={accounting.get('computed', 0)} "
+          f"memoized={accounting.get('memoized', 0)} "
+          f"store_served={int(bool(accounting.get('store_served')))} "
+          f"wall={accounting.get('wall_s', 0.0):.2f}s",
+          file=sys.stderr)
+    return 0
+
+
+def _submit_params(args: argparse.Namespace) -> dict:
+    """Only fields the user actually passed — the daemon fills defaults,
+    so equivalent invocations collide on the same request key."""
+    params = {}
+    for field in ("minutes", "session", "ul_fraction", "seed", "id"):
+        value = getattr(args, field, None)
+        if value is not None:
+            params[field] = value
+    if getattr(args, "reduce", False):
+        params["reduce"] = True
+    if getattr(args, "full", False):
+        params["quick"] = False
+    return params
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.core import bench
 
     baseline = bench.load_report(args.baseline) if args.baseline else None
     expected = {"campaign": "campaign", "reduce": "reduce",
-                "tensor": "tensor"}.get(args.workload, "slot_engine")
+                "tensor": "tensor", "serve": "serve"}.get(args.workload,
+                                                          "slot_engine")
     if baseline is not None and baseline.get("bench") != expected:
         print(f"baseline {args.baseline} is a {baseline.get('bench')!r} report, "
               f"not {expected!r}", file=sys.stderr)
@@ -234,6 +344,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     elif args.workload == "tensor":
         report = bench.measure_tensor(quick=args.quick, seed=args.seed)
         rendered, regressions = bench.render_tensor, bench.tensor_regression_failures
+    elif args.workload == "serve":
+        report = bench.measure_serve(quick=args.quick, seed=args.seed,
+                                     jobs=args.jobs)
+        rendered, regressions = bench.render_serve, bench.serve_regression_failures
     else:
         report = bench.measure(quick=args.quick, seed=args.seed)
         rendered, regressions = bench.render, bench.regression_failures
@@ -295,13 +409,64 @@ def main(argv: list[str] | None = None) -> int:
                                       "(incompatible with --out)")
     campaign_parser.set_defaults(func=_cmd_campaign)
 
+    serve_parser = sub.add_parser("serve", help="run the campaign service daemon")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8750,
+                              help="TCP port; 0 picks an ephemeral one "
+                                   "(default 8750)")
+    serve_parser.add_argument("--port-file", type=Path, default=None,
+                              metavar="FILE",
+                              help="write the bound port here after startup "
+                                   "(for scripts using --port 0)")
+    serve_parser.add_argument("--jobs", type=_jobs_arg, default="auto",
+                              metavar="N|auto",
+                              help="worker processes for the shared pool "
+                                   "(default auto)")
+    serve_parser.add_argument("--cache", **cache_kwargs)
+    serve_parser.add_argument("--no-prewarm", action="store_true",
+                              help="skip the TBS matrix prewarm in workers")
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = sub.add_parser("submit",
+                                   help="send one request to a repro serve daemon")
+    submit_parser.add_argument("kind",
+                               choices=("campaign", "experiment", "stats",
+                                        "shutdown"),
+                               help="request kind; stats/shutdown are "
+                                    "daemon-management calls")
+    submit_parser.add_argument("--url", default="http://127.0.0.1:8750",
+                               help="daemon address (default "
+                                    "http://127.0.0.1:8750)")
+    submit_parser.add_argument("--minutes", type=float, default=None,
+                               help="campaign: minutes per operator")
+    submit_parser.add_argument("--session", type=float, default=None,
+                               help="campaign: seconds per session")
+    submit_parser.add_argument("--ul-fraction", dest="ul_fraction", type=float,
+                               default=None, help="campaign: UL share, 0..1")
+    submit_parser.add_argument("--seed", type=int, default=None)
+    submit_parser.add_argument("--id", default=None,
+                               help="experiment: experiment id (e.g. table1)")
+    submit_parser.add_argument("--full", action="store_true",
+                               help="experiment: paper-length simulation")
+    submit_parser.add_argument("--reduce", action="store_true",
+                               help="fold sessions into streaming KPI sketches")
+    submit_parser.add_argument("--timeout", type=float, default=600.0,
+                               help="per-request ceiling in seconds "
+                                    "(default 600)")
+    submit_parser.add_argument("--json", action="store_true",
+                               help="print the raw JSON response")
+    submit_parser.set_defaults(func=_cmd_submit)
+
     bench_parser = sub.add_parser("bench", help="tracked benchmarks")
     bench_parser.add_argument("--workload",
-                              choices=("slot", "campaign", "reduce", "tensor"),
+                              choices=("slot", "campaign", "reduce", "tensor",
+                                       "serve"),
                               default="slot",
                               help="slot engines (default), the campaign "
-                                   "execution layer, or the streaming "
-                                   "reduction path")
+                                   "execution layer, the streaming reduction "
+                                   "path, the cohort tensor engine, or the "
+                                   "campaign service")
     bench_parser.add_argument("--quick", action="store_true",
                               help="short workloads, fewer repetitions (CI mode)")
     bench_parser.add_argument("--seed", type=int, default=2024)
@@ -319,10 +484,17 @@ def main(argv: list[str] | None = None) -> int:
     bench_parser.set_defaults(func=_cmd_bench)
 
     cache_parser = sub.add_parser("cache", help="inspect/maintain a session store")
-    cache_parser.add_argument("action", choices=("stats", "verify", "clear", "evict"))
+    cache_parser.add_argument("action",
+                              choices=("stats", "verify", "clear", "evict",
+                                       "push", "pull", "sync", "status"))
     cache_parser.add_argument("--cache", **cache_kwargs)
     cache_parser.add_argument("--max-mb", type=float, default=None,
                               help="size cap for evict, in MB")
+    cache_parser.add_argument("--remote", default=None, metavar="URL",
+                              help="remote tier for push/pull/sync/status "
+                                   "(a directory path or file:// URL)")
+    cache_parser.add_argument("--json", action="store_true",
+                              help="stats: emit machine-readable counters")
     cache_parser.set_defaults(func=_cmd_cache)
 
     args = parser.parse_args(argv)

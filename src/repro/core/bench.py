@@ -1,6 +1,6 @@
 """Tracked benchmarks — the ``repro bench`` subcommand.
 
-Four tracked workloads, selected with ``--workload``:
+Five tracked workloads, selected with ``--workload``:
 
 - ``slot`` (default) — the slot engines, the hot path under every
   figure, table and campaign: slots/sec on the Fig. 1 single-carrier
@@ -24,6 +24,11 @@ Four tracked workloads, selected with ``--workload``:
   tensor pass against the identical manifest pinned to the per-session
   vectorized engine (``REPRO_ENGINE``), serial jobs=1, cold and warm.
   Report: ``BENCH_tensor.json``.
+- ``serve`` — the campaign service end to end over real localhost
+  HTTP: cold submission of an unseen campaign, warm (store-served)
+  resubmission, and a concurrent singleflight probe whose counters
+  must show the campaign computed exactly once.
+  Report: ``BENCH_serve.json``.
 
 Three measurement conventions keep the numbers honest:
 
@@ -72,6 +77,7 @@ __all__ = [
     "measure",
     "measure_campaign",
     "measure_reduce",
+    "measure_serve",
     "measure_tensor",
     "multi_ue_traces",
     "reduce_demo_tasks",
@@ -80,7 +86,9 @@ __all__ = [
     "render",
     "render_campaign",
     "render_reduce",
+    "render_serve",
     "render_tensor",
+    "serve_regression_failures",
     "single_ue_trace",
     "tensor_regression_failures",
     "tensor_tasks",
@@ -1103,6 +1111,282 @@ def render_tensor(report: dict[str, Any]) -> str:
             f"fallback_columns={cohort['columns_fallback']} "
             f"dirty_periods={cohort['dirty_periods']} "
             f"tensor_slots_per_s={cohort['tensor_slots_per_s']:,.0f}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# Serve workload — the campaign service end to end
+# --------------------------------------------------------------------- #
+
+#: Workloads the serve gate tracks against the baseline after hardware
+#: normalization; ``direct_cold`` (the same campaign through
+#: ``generate_campaign`` with no daemon in the way) is the
+#: normalization reference.  The warm workload is *not* here for the
+#: same reason as the campaign/reduce benches: its cost is fixed
+#: store-read overhead that does not scale with the machine factor.
+_SERVE_GATED = ("serve_cold",)
+
+#: A warm (fully store-served) submission must beat the cold submission
+#: of the same campaign by at least this factor within one report;
+#: below it the daemon is recomputing sessions it already has.
+_SERVE_WARM_VS_COLD_FLOOR = 2.0
+
+#: Concurrent identical submissions in the singleflight probe.
+_SERVE_CONCURRENCY = 4
+
+
+def _serve_spec(quick: bool, seed: int) -> dict[str, Any]:
+    """The benchmark submission — a small all-operator campaign."""
+    return {"kind": "campaign",
+            "minutes": 0.1 if quick else 0.3,
+            "session": 3.0 if quick else 5.0,
+            "seed": seed}
+
+
+def _timed_submit(client: Any, payload: dict[str, Any]) -> dict[str, Any]:
+    """One submission, timed from the client side (daemon included)."""
+    start = time.perf_counter()
+    response = client.submit(payload)
+    wall = time.perf_counter() - start
+    n = response["accounting"]["tasks"]
+    return {"sessions_per_s": round(n / wall, 3),
+            "wall_s": round(wall, 3),
+            "accounting": response["accounting"]}
+
+
+def measure_serve(quick: bool = False, seed: int = 2024,
+                  jobs: int | str = "auto") -> dict[str, Any]:
+    """Run the serve benchmark matrix and return the report dict.
+
+    One long-lived daemon (real HTTP on an ephemeral localhost port,
+    prewarmed shared pool, fresh store) serves every variant — "cold"
+    means an *unseen request* on a warm deployment, which is the cost
+    a serving tier actually charges:
+
+    - ``direct_cold`` — the same campaign through
+      :func:`repro.xcal.dataset.generate_campaign`, serial jobs=1 on a
+      fresh store, no daemon: the hardware-normalization reference and
+      the number the serve overhead is quoted against.
+    - ``serve_cold`` — first submission of an unseen campaign
+      (best-of-reps, each rep on a fresh seed so every run recomputes).
+    - ``serve_warm`` — the same campaign resubmitted: answered straight
+      from the store (the report records computed/store_served so the
+      gate can prove it).
+    - ``serve_concurrent`` — ``_SERVE_CONCURRENCY`` identical
+      submissions of an unseen campaign raced from separate threads;
+      the service counters must show the campaign's tasks computed
+      exactly once no matter how the arrivals interleave.
+    """
+    import tempfile
+    import threading
+
+    from repro.core.runner import resolve_jobs
+    from repro.nr.tbs import clear_tbs_matrix_cache
+    from repro.serve import CampaignService, ServeClient, ServeDaemon
+    from repro.store import TraceStore
+    from repro.xcal.dataset import CampaignSpec, generate_campaign
+
+    workers = resolve_jobs(jobs)
+    cold_reps = 2 if quick else 3
+    base = _serve_spec(quick, seed)
+
+    def best(runs: list[dict[str, Any]]) -> dict[str, Any]:
+        return max(runs, key=lambda r: r["sessions_per_s"])
+
+    workloads: dict[str, Any] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmpdir:
+        tmp = Path(tmpdir)
+
+        def direct_run(rep: int) -> dict[str, Any]:
+            spec = CampaignSpec(minutes_per_operator=base["minutes"],
+                                session_s=base["session"],
+                                seed=seed + 50 + rep)
+            clear_tbs_matrix_cache()
+            start = time.perf_counter()
+            campaign = generate_campaign(spec=spec, jobs=1,
+                                         store=TraceStore(tmp / f"direct-{rep}"))
+            wall = time.perf_counter() - start
+            n = sum(len(traces) for traces in campaign.dl_traces.values())
+            n += sum(len(traces) for traces in campaign.ul_traces.values())
+            return {"sessions_per_s": round(n / wall, 3),
+                    "wall_s": round(wall, 3)}
+
+        direct_runs = [direct_run(rep) for rep in range(cold_reps)]
+        workloads["direct_cold"] = best(direct_runs)
+
+        store = TraceStore(tmp / "serve-store")
+        service = CampaignService(store=store, jobs=workers)
+        with ServeDaemon(service, quiet=True) as daemon:
+            client = ServeClient(daemon.url)
+            client.wait_healthy()
+            client.submit({**base, "minutes": 0.05, "seed": seed + 9})  # warmup
+
+            cold_runs = [_timed_submit(client, {**base, "seed": seed + rep})
+                         for rep in range(cold_reps)]
+            workloads["serve_cold"] = best(cold_runs)
+
+            warm_runs = [_timed_submit(client, {**base, "seed": seed})
+                         for _ in range(2)]
+            workloads["serve_warm"] = best(warm_runs)
+
+            before = service.stats()["serve"]
+            race = {**base, "seed": seed + 100}
+            responses: list[dict[str, Any] | None] = [None] * _SERVE_CONCURRENCY
+            start = time.perf_counter()
+
+            def submit_one(slot: int) -> None:
+                responses[slot] = ServeClient(daemon.url).submit(race)
+
+            threads = [threading.Thread(target=submit_one, args=(slot,))
+                       for slot in range(_SERVE_CONCURRENCY)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            race_wall = time.perf_counter() - start
+            after = service.stats()["serve"]
+
+            n_race = responses[0]["accounting"]["tasks"]
+            computed_delta = after["tasks_computed"] - before["tasks_computed"]
+            workloads["serve_concurrent"] = {
+                "sessions_per_s": round(n_race / race_wall, 3),
+                "wall_s": round(race_wall, 3),
+                "requests": _SERVE_CONCURRENCY,
+                "dedup_hits": after["dedup_hits"] - before["dedup_hits"],
+                "tasks": n_race,
+                "tasks_computed": computed_delta,
+            }
+            serve_totals = service.stats()["serve"]
+
+    warm_acct = workloads["serve_warm"]["accounting"]
+    report: dict[str, Any] = {
+        "bench": "serve",
+        "schema": BENCH_SCHEMA_VERSION,
+        "quick": quick,
+        "config": {
+            "minutes": base["minutes"],
+            "session_s": base["session"],
+            "n_sessions": workloads["serve_cold"]["accounting"]["tasks"],
+            "jobs": workers,
+            "cold_reps": cold_reps,
+            "concurrency": _SERVE_CONCURRENCY,
+            "seed": seed,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "workloads": workloads,
+        "serve": serve_totals,
+        "checks": {
+            "singleflight_computed_once":
+                workloads["serve_concurrent"]["tasks_computed"]
+                == workloads["serve_concurrent"]["tasks"],
+            "warm_computed": warm_acct["computed"],
+            "warm_store_served": bool(warm_acct["store_served"]),
+        },
+        "speedup": {
+            "warm_vs_cold": round(
+                workloads["serve_warm"]["sessions_per_s"]
+                / workloads["serve_cold"]["sessions_per_s"], 2),
+            "serve_cold_vs_direct_cold": round(
+                workloads["serve_cold"]["sessions_per_s"]
+                / workloads["direct_cold"]["sessions_per_s"], 2),
+        },
+    }
+    return report
+
+
+def serve_regression_failures(current: dict[str, Any],
+                              baseline: dict[str, Any],
+                              threshold: float = 0.30) -> list[str]:
+    """Regressions of a serve report: correctness gates + normalized speed.
+
+    Independent of the baseline, the *current* report must prove the
+    service's two load-bearing claims: the singleflight probe computed
+    its campaign's tasks exactly once across concurrent identical
+    submissions, and the warm submission recomputed nothing
+    (``computed == 0`` and fully store-served) while beating its cold
+    run by ``_SERVE_WARM_VS_COLD_FLOOR``.  On top of that,
+    ``serve_cold`` gates against the baseline hardware-normalized with
+    ``direct_cold`` as the reference workload (same convention as
+    :func:`campaign_regression_failures`).
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must lie in (0, 1)")
+    failures: list[str] = []
+    checks = current.get("checks", {})
+    concurrent = current.get("workloads", {}).get("serve_concurrent", {})
+    if not checks.get("singleflight_computed_once"):
+        failures.append(
+            f"singleflight: {concurrent.get('tasks_computed')} tasks computed "
+            f"for {concurrent.get('requests')} concurrent identical "
+            f"submissions of {concurrent.get('tasks')} tasks "
+            f"(must compute exactly once)")
+    if checks.get("warm_computed", 1) != 0 or not checks.get("warm_store_served"):
+        failures.append(
+            f"serve_warm: computed={checks.get('warm_computed')} "
+            f"store_served={checks.get('warm_store_served')} "
+            f"(a repeat submission must recompute nothing)")
+    ratio = current.get("speedup", {}).get("warm_vs_cold")
+    if ratio is not None and ratio < _SERVE_WARM_VS_COLD_FLOOR:
+        failures.append(
+            f"warm_vs_cold: {ratio:.2f}x < floor "
+            f"{_SERVE_WARM_VS_COLD_FLOOR:.0f}x (store-served replay is "
+            f"not beating recomputation)")
+    try:
+        base_ref = baseline["workloads"]["direct_cold"]["sessions_per_s"]
+        new_ref = current["workloads"]["direct_cold"]["sessions_per_s"]
+    except KeyError:
+        return ["direct_cold: reference workload missing from a report"]
+    scale = new_ref / base_ref
+    for name in _SERVE_GATED:
+        base = baseline.get("workloads", {}).get(name)
+        if base is None:
+            continue
+        new = current.get("workloads", {}).get(name)
+        if new is None:
+            failures.append(f"{name}: missing from current report")
+            continue
+        floor = (1.0 - threshold) * base["sessions_per_s"] * scale
+        if new["sessions_per_s"] < floor:
+            failures.append(
+                f"{name}: {new['sessions_per_s']:,.2f} sessions/s < floor "
+                f"{floor:,.2f} (baseline {base['sessions_per_s']:,.2f} "
+                f"x machine factor {scale:.2f} x {1.0 - threshold:.2f})")
+    return failures
+
+
+def render_serve(report: dict[str, Any]) -> str:
+    """Human-readable table of a serve benchmark report."""
+    config = report["config"]
+    lines = [f"serve benchmark ({'quick' if report['quick'] else 'full'}, "
+             f"{config['n_sessions']} sessions/campaign, "
+             f"jobs={config['jobs']}, "
+             f"concurrency={config['concurrency']})"]
+    for name, data in report["workloads"].items():
+        lines.append(f"  {name:17s} {data['sessions_per_s']:>8,.2f} sessions/s"
+                     f"   ({data['wall_s']:.2f} s)")
+    checks = report.get("checks", {})
+    concurrent = report.get("workloads", {}).get("serve_concurrent", {})
+    lines.append(
+        f"  singleflight: {concurrent.get('requests')} concurrent identical "
+        f"submissions -> {concurrent.get('tasks_computed')} of "
+        f"{concurrent.get('tasks')} tasks computed, "
+        f"{concurrent.get('dedup_hits')} dedup hits "
+        f"({'PASS' if checks.get('singleflight_computed_once') else 'FAIL'})")
+    lines.append(
+        f"  warm replay: computed={checks.get('warm_computed')} "
+        f"store_served={checks.get('warm_store_served')} "
+        f"({report['speedup']['warm_vs_cold']:.2f}x its cold run)")
+    serve = report.get("serve", {})
+    if serve:
+        lines.append(
+            f"  daemon totals: requests={serve.get('requests')} "
+            f"dedup_hits={serve.get('dedup_hits')} "
+            f"computed={serve.get('tasks_computed')} "
+            f"memoized={serve.get('tasks_memoized')} "
+            f"errors={serve.get('errors')}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,41 @@
+"""Long-lived campaign service — the ``repro serve`` daemon.
+
+The store/runner stack memoizes sessions (:mod:`repro.store`), keeps a
+warm worker pool across campaigns (:class:`repro.core.runner.CampaignExecutor`)
+and folds million-session campaigns into sketches (:mod:`repro.core.reduce`);
+this package turns that machinery into a *service*: a localhost
+HTTP/JSON daemon that accepts campaign and experiment requests, dedups
+identical in-flight work (singleflight — concurrent identical
+submissions compute once and every caller gets the result), schedules
+computation onto one shared executor with TBS prewarm, and answers
+warm requests straight from the store.
+
+- :mod:`repro.serve.service` — :class:`CampaignService`: request
+  normalization and keying, singleflight, per-request computed/memoized
+  accounting, drain;
+- :mod:`repro.serve.daemon` — the HTTP surface (``/submit``,
+  ``/stats``, ``/health``, ``/shutdown``) and graceful shutdown;
+- :mod:`repro.serve.client` — the thin ``repro submit`` client with
+  connect retries.
+"""
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.daemon import ServeDaemon
+from repro.serve.service import (
+    CampaignService,
+    DrainingError,
+    RequestError,
+    ServeRequest,
+    normalize_request,
+)
+
+__all__ = [
+    "CampaignService",
+    "DrainingError",
+    "RequestError",
+    "ServeClient",
+    "ServeClientError",
+    "ServeDaemon",
+    "ServeRequest",
+    "normalize_request",
+]

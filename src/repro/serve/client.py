@@ -1,0 +1,109 @@
+"""Thin HTTP client for the ``repro serve`` daemon.
+
+stdlib-only (``urllib``), matching the repo's no-new-dependencies rule.
+Connect-level failures (daemon still booting, transient socket errors)
+are retried under a :class:`repro.store.remote.RetryPolicy`; HTTP-level
+errors are *not* retried — a 400 means the request itself is bad and a
+500 means the computation failed, and repeating either just repeats the
+failure.  The one exception is 503 (draining), surfaced as a distinct
+:class:`ServeClientError` so callers can fail over to another daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.store.remote import RemoteError, RetryPolicy
+
+__all__ = ["ServeClient", "ServeClientError"]
+
+
+class ServeClientError(RuntimeError):
+    """The daemon rejected a request or could not be reached.
+
+    ``status`` carries the HTTP status code when the daemon answered
+    (400/500/503/...), and is ``None`` for transport-level failures.
+    """
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """Talks JSON to a :class:`repro.serve.daemon.ServeDaemon`."""
+
+    def __init__(self, url: str, policy: RetryPolicy | None = None,
+                 timeout_s: float = 600.0) -> None:
+        self.url = url.rstrip("/")
+        #: Retries cover only connection establishment; ``timeout_s`` is
+        #: the per-request ceiling and must outlive a cold campaign.
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.timeout_s = float(timeout_s)
+
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str,
+                 payload: dict[str, Any] | None = None) -> dict[str, Any]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(self.url + path, data=body,
+                                         headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            # Must precede URLError: HTTPError subclasses it, and an HTTP
+            # status is a *final* answer, not a transport flake to retry.
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:
+                detail = exc.reason
+            raise ServeClientError(
+                f"{method} {path} -> {exc.code}: {detail}",
+                status=exc.code) from None
+        except urllib.error.URLError as exc:
+            raise OSError(f"{method} {path}: {exc.reason}") from None
+
+    def _call(self, method: str, path: str,
+              payload: dict[str, Any] | None = None) -> dict[str, Any]:
+        try:
+            return self.policy.run(
+                lambda: self._request(method, path, payload),
+                describe=f"{method} {self.url}{path}")
+        except ServeClientError:
+            raise
+        except (RemoteError, OSError) as exc:
+            raise ServeClientError(str(exc)) from None
+
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict[str, Any]:
+        return self._call("GET", "/health")
+
+    def stats(self) -> dict[str, Any]:
+        return self._call("GET", "/stats")
+
+    def submit(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return self._call("POST", "/submit", payload)
+
+    def shutdown(self) -> dict[str, Any]:
+        return self._call("POST", "/shutdown", {})
+
+    def wait_healthy(self, timeout_s: float = 10.0) -> dict[str, Any]:
+        """Block until the daemon answers ``/health`` (startup races)."""
+        policy = RetryPolicy(attempts=max(2, int(timeout_s / 0.1)),
+                             backoff_s=0.05, max_backoff_s=0.5,
+                             timeout_s=timeout_s)
+        try:
+            return policy.run(lambda: self._request("GET", "/health"),
+                              describe=f"GET {self.url}/health")
+        except Exception as exc:
+            raise ServeClientError(
+                f"daemon at {self.url} not healthy after {timeout_s:.0f}s: "
+                f"{exc}") from None

@@ -1,0 +1,209 @@
+"""HTTP surface of the campaign service (localhost JSON).
+
+Endpoints
+---------
+``GET /health``
+    Liveness: ``{"ok": true, "draining": false}``.
+``GET /stats``
+    The service's full accounting document (serve counters, store
+    counters via :meth:`~repro.store.backend.StoreStats.to_dict`, pool
+    stats).
+``POST /submit``
+    A campaign/experiment request (see
+    :func:`repro.serve.service.normalize_request`); blocks until the
+    result is ready and returns it.  400 on a malformed request, 503
+    while draining, 500 when the computation itself failed.
+``POST /shutdown``
+    Graceful stop: drain (refuse new submissions), finish in-flight
+    work, release the pool, exit ``serve_forever``.
+
+The server is a ``ThreadingHTTPServer``: each connection gets a
+handler thread, which is what lets concurrent identical submissions
+*arrive* concurrently and collapse in the service's singleflight.
+Binding is localhost-only by default — this is a trusted-peer service,
+not an internet face.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.serve.service import CampaignService, DrainingError, RequestError
+
+__all__ = ["ServeDaemon"]
+
+#: Refuse request bodies above this size: campaign/experiment requests
+#: are a few hundred bytes; anything larger is a client bug.
+_MAX_BODY_BYTES = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    daemon: "ServeDaemon"  # set via the server instance
+
+    # ------------------------------------------------------------------ #
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # accounting goes through the [serve] lines, not httpd noise
+
+    def _send_json(self, status: int, document: dict[str, Any]) -> None:
+        body = json.dumps(document, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            raise RequestError(f"request body of {length} bytes is too large")
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            return json.loads(raw or b"{}")
+        except json.JSONDecodeError as exc:
+            raise RequestError(f"request body is not JSON: {exc}") from None
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        daemon = self.server.daemon  # type: ignore[attr-defined]
+        if self.path == "/health":
+            self._send_json(200, {"ok": True,
+                                  "draining": daemon.service.draining})
+        elif self.path == "/stats":
+            self._send_json(200, daemon.service.stats())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        daemon = self.server.daemon  # type: ignore[attr-defined]
+        if self.path == "/submit":
+            try:
+                payload = self._read_json()
+                response = daemon.service.submit(payload)
+            except RequestError as exc:
+                self._send_json(400, {"error": str(exc)})
+            except DrainingError as exc:
+                self._send_json(503, {"error": str(exc)})
+            except Exception as exc:
+                self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            else:
+                daemon._note_response(response)
+                self._send_json(200, response)
+        elif self.path == "/shutdown":
+            self._send_json(200, {"ok": True, "draining": True})
+            daemon.stop_async()
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+
+
+class ServeDaemon:
+    """The ``repro serve`` process: HTTP server + service lifecycle.
+
+    ``port=0`` binds an ephemeral port; read the bound one back from
+    :attr:`port` (the CLI writes it to ``--port-file`` so scripts can
+    discover it).  :meth:`run` blocks with signal-driven graceful
+    shutdown; :meth:`start`/:meth:`stop` run the server on a background
+    thread for tests and benchmarks.
+    """
+
+    def __init__(self, service: CampaignService, host: str = "127.0.0.1",
+                 port: int = 0, quiet: bool = False) -> None:
+        self.service = service
+        self.quiet = quiet
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon = self  # type: ignore[attr-defined]
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+        self._stopped = threading.Event()
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    def _log(self, message: str) -> None:
+        if not self.quiet:
+            print(f"[serve] {message}", file=sys.stderr, flush=True)
+
+    def _note_response(self, response: dict[str, Any]) -> None:
+        accounting = response.get("accounting", {})
+        self._log(f"{response.get('kind')} key={response.get('key', '')[:12]} "
+                  f"dedup={int(bool(response.get('dedup')))} "
+                  f"tasks={accounting.get('tasks', 0)} "
+                  f"computed={accounting.get('computed', 0)} "
+                  f"memoized={accounting.get('memoized', 0)} "
+                  f"wall={accounting.get('wall_s', 0.0):.2f}s")
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> None:
+        """Serve until ``/shutdown`` or SIGINT/SIGTERM; then drain."""
+        self._log(f"listening on {self.url} "
+                  f"(workers={self.service.workers}, "
+                  f"store={getattr(self.service.store, 'root', None)})")
+        try:
+            previous = {
+                sig: signal.signal(sig, lambda *_: self.stop_async())
+                for sig in (signal.SIGINT, signal.SIGTERM)
+            }
+        except ValueError:  # not the main thread (tests)
+            previous = {}
+        try:
+            self._server.serve_forever(poll_interval=0.1)
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+            self._shutdown_service()
+
+    def start(self) -> "ServeDaemon":
+        """Serve on a background thread (tests / benchmarks)."""
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        kwargs={"poll_interval": 0.05},
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop_async(self) -> None:
+        """Trigger shutdown from a handler thread without deadlocking
+        (``server.shutdown`` blocks until ``serve_forever`` exits)."""
+        def sequence() -> None:
+            self._server.shutdown()
+            self._shutdown_service()
+
+        threading.Thread(target=sequence, daemon=True).start()
+
+    def stop(self) -> None:
+        """Stop the background server and drain the service."""
+        self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._shutdown_service()
+
+    def _shutdown_service(self) -> None:
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        self.service.close()
+        self._server.server_close()
+        self._log(self.service.render_stats())
+
+    def __enter__(self) -> "ServeDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

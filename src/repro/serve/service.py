@@ -1,0 +1,396 @@
+"""The campaign service behind ``repro serve``.
+
+:class:`CampaignService` is the transport-independent core: it accepts
+normalized requests, dedups identical in-flight work, runs computation
+on one shared :class:`~repro.core.runner.CampaignExecutor`, and keeps
+the accounting the acceptance gates read.  The HTTP daemon
+(:mod:`repro.serve.daemon`) is a thin shell around it, and tests drive
+it directly.
+
+Request model
+-------------
+A request is JSON with a ``kind``:
+
+- ``{"kind": "campaign", "minutes": 0.2, "session": 4.0,
+  "ul_fraction": 0.3, "seed": 2024, "reduce": true}`` — a synthetic
+  measurement campaign (:func:`repro.xcal.dataset.generate_campaign`);
+- ``{"kind": "experiment", "id": "fig01", "seed": 2024, "quick": true,
+  "reduce": false}`` — one registry experiment
+  (:func:`repro.experiments.run_experiment`).
+
+Unknown fields are rejected (a typo must not silently fork a new cache
+key).  The request *key* is the SHA-256 of the canonical JSON of the
+normalized request — the same canonicalization the store uses for task
+fingerprints — so equivalent submissions collide by construction.
+
+Singleflight
+------------
+Concurrent identical submissions share one computation: the first
+caller computes, later arrivals wait on its future, and every response
+carries the same rows.  Only the waiters are counted as ``dedup_hits``.
+Distinct requests queue on the executor lock — one campaign at a time
+on the shared pool, which both keeps the pool hot for whoever runs and
+makes the per-request computed/memoized deltas exact.
+
+Accounting
+----------
+Per response: ``tasks`` (sessions the request covered), ``computed``
+(store misses — actually simulated), ``memoized`` (store hits —
+answered from disk), ``store_served`` (no session simulated at all).
+Service-wide: requests, dedup hits, tasks computed/memoized, errors —
+``stats()`` returns them alongside the store's
+:meth:`~repro.store.backend.StoreStats.to_dict` and the pool stats, and
+the daemon prints them as ``[serve]`` lines.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from hashlib import sha256
+from typing import Any
+
+from repro.store.keys import canonical_json
+
+__all__ = [
+    "CampaignService",
+    "DrainingError",
+    "RequestError",
+    "ServeRequest",
+    "normalize_request",
+]
+
+
+class RequestError(ValueError):
+    """A submission that cannot be normalized (client error, HTTP 400)."""
+
+
+class DrainingError(RuntimeError):
+    """The service is shutting down and accepts no new work (HTTP 503)."""
+
+
+#: kind -> (field -> (coercer, default)).  ``None`` default = required.
+_SCHEMAS: dict[str, dict[str, tuple[Any, Any]]] = {
+    "campaign": {
+        "minutes": (float, 0.2),
+        "session": (float, 4.0),
+        "ul_fraction": (float, 0.3),
+        "seed": (int, 2024),
+        "reduce": (bool, False),
+    },
+    "experiment": {
+        "id": (str, None),
+        "seed": (int, 2024),
+        "quick": (bool, True),
+        "reduce": (bool, False),
+    },
+}
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """A normalized submission: kind, canonical params, stable key."""
+
+    kind: str
+    params: tuple[tuple[str, Any], ...]
+
+    @property
+    def key(self) -> str:
+        payload = {"kind": self.kind, "params": dict(self.params)}
+        return sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+    def param(self, name: str) -> Any:
+        return dict(self.params)[name]
+
+    def describe(self) -> str:
+        if self.kind == "experiment":
+            return f"experiment/{self.param('id')}"
+        return (f"campaign/{self.param('minutes'):g}min"
+                f"x{self.param('session'):g}s")
+
+
+def normalize_request(payload: Any) -> ServeRequest:
+    """Validate and canonicalize a raw JSON submission.
+
+    Coerces field types, fills defaults, rejects unknown kinds/fields
+    and out-of-range values with :class:`RequestError` — the daemon
+    maps that to HTTP 400.
+    """
+    if not isinstance(payload, dict):
+        raise RequestError(f"request must be a JSON object, got {type(payload).__name__}")
+    kind = payload.get("kind")
+    schema = _SCHEMAS.get(kind)
+    if schema is None:
+        raise RequestError(f"unknown request kind {kind!r}; known: {sorted(_SCHEMAS)}")
+    unknown = sorted(set(payload) - set(schema) - {"kind"})
+    if unknown:
+        raise RequestError(f"unknown fields for kind {kind!r}: {unknown}")
+    params: dict[str, Any] = {}
+    for name, (coerce, default) in schema.items():
+        if name in payload:
+            raw = payload[name]
+            if coerce is bool and not isinstance(raw, bool):
+                raise RequestError(f"field {name!r} must be a boolean")
+            try:
+                params[name] = coerce(raw)
+            except (TypeError, ValueError):
+                raise RequestError(
+                    f"field {name!r} must be {coerce.__name__}, got {raw!r}") from None
+        elif default is None:
+            raise RequestError(f"kind {kind!r} requires field {name!r}")
+        else:
+            params[name] = default
+    if kind == "campaign":
+        if params["minutes"] <= 0 or params["session"] <= 0:
+            raise RequestError("minutes and session must be positive")
+        if not 0.0 <= params["ul_fraction"] <= 1.0:
+            raise RequestError("ul_fraction must lie in [0, 1]")
+    else:
+        from repro.experiments import EXPERIMENT_IDS, supports_reduce
+
+        if params["id"] not in EXPERIMENT_IDS:
+            raise RequestError(f"unknown experiment id {params['id']!r}")
+        if params["reduce"] and not supports_reduce(params["id"]):
+            raise RequestError(
+                f"experiment {params['id']!r} has no streaming-reduction path")
+    return ServeRequest(kind=kind, params=tuple(sorted(params.items())))
+
+
+class CampaignService:
+    """Singleflight campaign/experiment execution over a shared pool.
+
+    Parameters
+    ----------
+    store:
+        A :class:`~repro.store.TraceStore`, or ``None`` to serve
+        without memoization (every request recomputes — useful only
+        for tests).
+    jobs:
+        Worker count for the shared executor; ``1`` runs in-process
+        with no pool.
+    prewarm:
+        Pre-warm worker TBS caches (see
+        :func:`repro.core.runner.prewarm_worker_caches`).
+    """
+
+    def __init__(self, store: Any = None, jobs: int | str | None = "auto",
+                 prewarm: bool = True) -> None:
+        from repro.core.runner import CampaignExecutor, resolve_jobs
+
+        self.store = store
+        self.workers = resolve_jobs(jobs)
+        self.executor = (CampaignExecutor(jobs=self.workers, store=store,
+                                          prewarm=prewarm)
+                         if self.workers > 1 else None)
+        self.started = time.time()
+        self._inflight: dict[str, Future] = {}
+        self._lock = threading.Lock()       # guards _inflight and counters
+        self._run_lock = threading.Lock()   # one computation at a time
+        self._draining = False
+        self.requests = 0
+        self.dedup_hits = 0
+        self.store_served = 0
+        self.tasks_computed = 0
+        self.tasks_memoized = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------ #
+    # Submission path
+    # ------------------------------------------------------------------ #
+    def submit(self, payload: Any) -> dict[str, Any]:
+        """Normalize, dedup, execute; returns the JSON-ready response.
+
+        Identical concurrent submissions join the in-flight computation
+        (``dedup: true`` in their responses); a submission arriving
+        after completion re-runs the request, which answers from the
+        store when warm.
+        """
+        request = normalize_request(payload)
+        owner = False
+        with self._lock:
+            if self._draining:
+                raise DrainingError("service is draining; not accepting work")
+            self.requests += 1
+            future = self._inflight.get(request.key)
+            if future is not None:
+                self.dedup_hits += 1
+            else:
+                future = Future()
+                self._inflight[request.key] = future
+                owner = True
+        if not owner:
+            # Waiter: ride the owner's computation.
+            response = dict(future.result())
+            response["dedup"] = True
+            return response
+        try:
+            response = self._execute(request)
+        except Exception as exc:
+            with self._lock:
+                self._inflight.pop(request.key, None)
+                self.errors += 1
+            future.set_exception(exc)
+            raise
+        with self._lock:
+            self._inflight.pop(request.key, None)
+            self.tasks_computed += response["accounting"]["computed"]
+            self.tasks_memoized += response["accounting"]["memoized"]
+            if response["accounting"]["store_served"]:
+                self.store_served += 1
+        future.set_result(response)
+        return dict(response)
+
+    def _execute(self, request: ServeRequest) -> dict[str, Any]:
+        """Run one request under the executor lock with exact accounting.
+
+        The store's hit/miss counters are process-cumulative; holding
+        ``_run_lock`` across the run makes the before/after delta
+        attributable to this request alone — that delta is the
+        "computed exactly once" evidence the CI smoke asserts on.
+        """
+        with self._run_lock:
+            hits0 = self.store.hits if self.store is not None else 0
+            misses0 = self.store.misses if self.store is not None else 0
+            start = time.perf_counter()
+            rows, n_tasks, reduce_stats = self._run(request)
+            wall = time.perf_counter() - start
+            hits = (self.store.hits - hits0) if self.store is not None else 0
+            misses = (self.store.misses - misses0) if self.store is not None else 0
+        if reduce_stats is not None:
+            # Reduce runs probe the store with ``contains`` (never a
+            # counted miss), so the miss delta undercounts; the
+            # reduction's own fold accounting is the ground truth.
+            n_tasks = int(reduce_stats.get("sessions", n_tasks))
+            if reduce_stats.get("memo") == "hit":
+                computed, memoized = 0, n_tasks  # one memo read replayed all
+            else:
+                memoized = hits
+                computed = max(0, n_tasks - memoized)
+        elif self.store is not None:
+            if n_tasks is None:
+                n_tasks = hits + misses
+            computed, memoized = misses, hits
+        else:
+            n_tasks = n_tasks or 0
+            computed, memoized = n_tasks, 0
+        accounting = {
+            "tasks": n_tasks,
+            "computed": computed,
+            "memoized": memoized,
+            "store_served": bool(n_tasks) and computed == 0,
+            "wall_s": round(wall, 3),
+        }
+        return {
+            "key": request.key,
+            "kind": request.kind,
+            "request": dict(request.params),
+            "rows": rows,
+            "accounting": accounting,
+            "dedup": False,
+        }
+
+    def _run(self, request: ServeRequest
+             ) -> tuple[list[str], int | None, dict | None]:
+        """Execute the request body.
+
+        Returns ``(printable rows, n_tasks, reduce_stats)``: ``n_tasks``
+        is ``None`` when only the store traffic can size the request
+        (experiments hide their manifests), and ``reduce_stats`` is the
+        reduction's fold accounting when the request streamed through
+        sketches.
+        """
+        if request.kind == "campaign":
+            from repro.xcal.dataset import CampaignSpec, generate_campaign
+
+            spec = CampaignSpec(minutes_per_operator=request.param("minutes"),
+                                session_s=request.param("session"),
+                                ul_fraction=request.param("ul_fraction"),
+                                seed=request.param("seed"))
+            campaign = generate_campaign(
+                spec=spec, jobs=self.workers, store=self.store,
+                executor=self.executor, reduce=request.param("reduce"))
+            if request.param("reduce"):
+                return (campaign.summary_rows(), campaign.n_sessions,
+                        dict(campaign.reduction.stats))
+            n = sum(len(traces) for traces in campaign.dl_traces.values())
+            n += sum(len(traces) for traces in campaign.ul_traces.values())
+            return campaign.summary_rows(), n, None
+        from repro.experiments import run_experiment
+
+        result = run_experiment(request.param("id"), seed=request.param("seed"),
+                                quick=request.param("quick"), jobs=self.workers,
+                                store=self.store, executor=self.executor,
+                                reduce=request.param("reduce"))
+        reduce_stats = (result.data.get("reduce_stats")
+                        if request.param("reduce") else None)
+        return result.render().splitlines(), None, reduce_stats
+
+    # ------------------------------------------------------------------ #
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        """The ``/stats`` document: serve counters + store + pool."""
+        with self._lock:
+            serve = {
+                "requests": self.requests,
+                "dedup_hits": self.dedup_hits,
+                "store_served": self.store_served,
+                "tasks_computed": self.tasks_computed,
+                "tasks_memoized": self.tasks_memoized,
+                "errors": self.errors,
+                "in_flight": len(self._inflight),
+                "draining": self._draining,
+                "workers": self.workers,
+                "uptime_s": round(time.time() - self.started, 1),
+            }
+        return {
+            "serve": serve,
+            "store": self.store.stats().to_dict() if self.store is not None else None,
+            "pool": self.executor.stats() if self.executor is not None else None,
+        }
+
+    def render_stats(self) -> str:
+        """The ``[serve]`` accounting line."""
+        s = self.stats()["serve"]
+        return (f"serve requests={s['requests']} dedup_hits={s['dedup_hits']} "
+                f"store_served={s['store_served']} "
+                f"computed={s['tasks_computed']} memoized={s['tasks_memoized']} "
+                f"errors={s['errors']}")
+
+    def begin_drain(self) -> None:
+        """Stop accepting submissions; in-flight work keeps running."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def close(self, timeout_s: float = 60.0) -> None:
+        """Drain and release the pool: refuse new work, wait for
+        in-flight requests (bounded by ``timeout_s``), shut the
+        executor down."""
+        self.begin_drain()
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                pending = list(self._inflight.values())
+            if not pending:
+                break
+            for future in pending:
+                remaining = max(0.0, deadline - time.monotonic())
+                try:
+                    future.result(timeout=remaining)
+                except Exception:
+                    pass  # the owner already reported it to its caller
+        if self.executor is not None:
+            self.executor.close()
+
+    def __enter__(self) -> "CampaignService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -67,6 +67,21 @@ class StoreStats:
                 f"read={self.bytes_read / 1e6:.2f}MB "
                 f"written={self.bytes_written / 1e6:.2f}MB")
 
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable counters — one serializer for ``repro cache
+        stats --json``, the serve daemon's ``/stats`` endpoint and CI
+        gates, so the three can never drift apart."""
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "quarantined": self.quarantined,
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
 
 class TraceStore:
     """Content-addressed cache of simulated session results."""
@@ -117,6 +132,23 @@ class TraceStore:
 
     def _sidecars(self) -> Iterator[Path]:
         yield from sorted((self.root / "objects").glob("*/*.json"))
+
+    def keys(self) -> list[str]:
+        """Keys of every complete entry (sidecar present), sorted.
+
+        A sidecar implies a complete payload (writes land payload first),
+        so this is the store's shareable inventory — what the remote tier
+        pushes and diffs against a peer.
+        """
+        return [path.stem for path in self._sidecars()]
+
+    def object_paths(self, key: str) -> tuple[Path, Path]:
+        """``(payload, sidecar)`` paths of ``key`` in the sharded layout.
+
+        Public for the remote tier (:mod:`repro.store.remote`), which
+        moves raw blob bytes without decoding them.
+        """
+        return self._paths(key)
 
     # ------------------------------------------------------------------ #
     # Get / put
@@ -180,7 +212,10 @@ class TraceStore:
 
         The store-routed runner uses this to materialize results its
         *workers* just wrote: those sessions were computed, so counting
-        the read-back as a cache hit would misreport the run.
+        the read-back as a cache hit would misreport the run.  The read
+        still advances the entry's LRU clock (via :meth:`_load`) —
+        hot store-routed campaign traces must age like hit traces, or
+        they would be evicted first under ``REPRO_CACHE_MAX_MB``.
         """
         return self._load(key)
 

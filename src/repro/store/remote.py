@@ -1,0 +1,403 @@
+"""Shared/remote tier for the content-addressed trace store.
+
+A :class:`~repro.store.backend.TraceStore` is single-machine; this
+module moves its sharded ``npz`` + sidecar blobs between peers so a
+fleet of CI machines and collaborators share warm caches.  Three design
+facts make the tier simple:
+
+- **Keys are content-addressed** (task fingerprints salted with the
+  store schema), so two stores can only ever disagree about *which*
+  keys they hold, never about what a key means.  Sync is mergeable by
+  construction: push uploads local-only keys, pull downloads
+  remote-only keys, and shared keys are left alone.
+- **A sidecar implies a complete payload** (local writes land payload
+  first, atomically), so the inventory on either side is just the set
+  of sidecar files.
+- **Every blob carries its own integrity proof** — the sidecar's
+  SHA-256 of the payload plus the key it was written under.  Pulls
+  re-verify both before a blob enters the local store; mismatches are
+  quarantined, never installed, so a corrupted or malicious peer can
+  cost a download but not poison a cache.
+
+The wire contract is the :class:`RemoteStore` protocol (list / fetch /
+store of raw blob bytes).  :class:`LocalDirectoryRemote` is the
+reference backend — a plain directory in the same sharded layout,
+reachable as a path or ``file://`` URL — and doubles as the peer-cache
+transport when the directory is network-mounted.  New schemes register
+through :func:`register_remote_scheme`.
+
+Remote operations are wrapped in bounded retries with exponential
+backoff and a per-operation deadline (:class:`RetryPolicy`): a flaky
+peer degrades to a slower sync, a dead one fails the single blob after
+``attempts`` tries and the batch reports it, rather than hanging a
+campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.parse
+from dataclasses import dataclass, field
+from hashlib import sha256
+from pathlib import Path
+from typing import Any, Callable, Iterable, Protocol, runtime_checkable
+
+from repro.store.backend import TraceStore
+
+__all__ = [
+    "LocalDirectoryRemote",
+    "RemoteError",
+    "RemoteStore",
+    "RetryPolicy",
+    "SyncReport",
+    "open_remote",
+    "pull",
+    "push",
+    "register_remote_scheme",
+    "status",
+    "sync",
+]
+
+
+class RemoteError(RuntimeError):
+    """A remote operation failed (after retries, for retried ops)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries for one remote operation.
+
+    ``attempts`` total tries; sleeps ``backoff_s * 2**try`` (capped at
+    ``max_backoff_s``) between them; gives up early once ``timeout_s``
+    of wall time has elapsed.  The defaults suit a same-host or
+    LAN-mounted peer; point a slow object store at larger values.
+    """
+
+    attempts: int = 3
+    backoff_s: float = 0.05
+    max_backoff_s: float = 2.0
+    timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.backoff_s < 0 or self.max_backoff_s < 0 or self.timeout_s <= 0:
+            raise ValueError("backoff/timeout values must be positive")
+
+    def run(self, op: Callable[[], Any], describe: str) -> Any:
+        """``op()`` with this policy; raises :class:`RemoteError` when
+        every attempt failed or the deadline passed."""
+        deadline = time.monotonic() + self.timeout_s
+        last: Exception | None = None
+        for attempt in range(self.attempts):
+            try:
+                return op()
+            except (RemoteError, OSError) as exc:
+                last = exc
+                if attempt + 1 >= self.attempts:
+                    break
+                delay = min(self.backoff_s * (2 ** attempt), self.max_backoff_s)
+                if time.monotonic() + delay >= deadline:
+                    break
+                time.sleep(delay)
+        raise RemoteError(f"{describe} failed after "
+                          f"{min(self.attempts, attempt + 1)} attempts: {last}") from last
+
+
+@runtime_checkable
+class RemoteStore(Protocol):
+    """What a remote backend must provide: raw blob transport.
+
+    Blobs are opaque ``(payload, sidecar)`` byte pairs — remotes never
+    decode traces.  ``store`` must be atomic per blob (a reader may not
+    observe a torn entry) and last-writer-wins; since keys are content
+    hashes, concurrent writers of the same key write the same bytes.
+    """
+
+    def describe(self) -> str:
+        """Human-readable location (for reports and errors)."""
+        ...
+
+    def list_keys(self) -> set[str]:
+        """Keys of every complete blob the remote holds."""
+        ...
+
+    def fetch(self, key: str) -> tuple[bytes, bytes]:
+        """``(payload, sidecar)`` bytes of ``key``; raises
+        :class:`RemoteError` (or ``OSError``) when absent/unreadable."""
+        ...
+
+    def store(self, key: str, payload: bytes, sidecar: bytes) -> None:
+        """Atomically install a blob under ``key``."""
+        ...
+
+
+class LocalDirectoryRemote:
+    """Reference :class:`RemoteStore`: a directory in the store layout.
+
+    ``objects/<k[:2]>/<key>.npz`` + ``.json``, atomic payload-first
+    writes — byte-compatible with a :class:`TraceStore` root, so a
+    pushed-to directory can itself be opened as a local store (and CI
+    can diff the two trees byte for byte).
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        (self.root / "objects").mkdir(parents=True, exist_ok=True)
+
+    def describe(self) -> str:
+        return str(self.root)
+
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        shard = self.root / "objects" / key[:2]
+        return shard / f"{key}.npz", shard / f"{key}.json"
+
+    def list_keys(self) -> set[str]:
+        return {path.stem for path in (self.root / "objects").glob("*/*.json")}
+
+    def fetch(self, key: str) -> tuple[bytes, bytes]:
+        payload_path, sidecar_path = self._paths(key)
+        try:
+            return payload_path.read_bytes(), sidecar_path.read_bytes()
+        except FileNotFoundError as exc:
+            raise RemoteError(f"remote {self.root} has no blob {key}") from exc
+
+    def store(self, key: str, payload: bytes, sidecar: bytes) -> None:
+        payload_path, sidecar_path = self._paths(key)
+        payload_path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write(payload_path, payload)
+        _atomic_write(sidecar_path, sidecar)
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    tmp = path.parent / f".{path.name}.{os.getpid()}.{os.urandom(4).hex()}.tmp"
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+# --------------------------------------------------------------------- #
+# Scheme registry
+# --------------------------------------------------------------------- #
+_SCHEMES: dict[str, Callable[[str], RemoteStore]] = {}
+
+
+def register_remote_scheme(scheme: str,
+                           factory: Callable[[str], RemoteStore]) -> None:
+    """Register ``factory(url) -> RemoteStore`` for ``scheme://`` URLs."""
+    _SCHEMES[scheme.lower()] = factory
+
+
+def open_remote(url: str | Path) -> RemoteStore:
+    """Open a remote by URL or plain path.
+
+    A bare path or a ``file://`` URL opens the reference
+    :class:`LocalDirectoryRemote`; other schemes resolve through
+    :func:`register_remote_scheme`.
+    """
+    text = str(url)
+    parsed = urllib.parse.urlparse(text)
+    # Windows drive letters and bare paths parse with empty/1-char scheme.
+    if len(parsed.scheme) <= 1:
+        return LocalDirectoryRemote(text)
+    if parsed.scheme == "file":
+        return LocalDirectoryRemote(urllib.parse.unquote(parsed.path) or "/")
+    factory = _SCHEMES.get(parsed.scheme.lower())
+    if factory is None:
+        known = sorted({"file", *_SCHEMES})
+        raise ValueError(f"unknown remote scheme {parsed.scheme!r} in {text!r}; "
+                         f"known: {known}")
+    return factory(text)
+
+
+# --------------------------------------------------------------------- #
+# Sync operations
+# --------------------------------------------------------------------- #
+@dataclass
+class SyncReport:
+    """Outcome of one push/pull/sync batch."""
+
+    pushed: int = 0
+    pulled: int = 0
+    skipped: int = 0       #: keys the destination already held
+    quarantined: int = 0   #: blobs that failed integrity verification
+    failed: list[str] = field(default_factory=list)  #: keys lost to remote errors
+    bytes_moved: int = 0
+
+    def merge(self, other: "SyncReport") -> "SyncReport":
+        return SyncReport(
+            pushed=self.pushed + other.pushed,
+            pulled=self.pulled + other.pulled,
+            skipped=self.skipped + other.skipped,
+            quarantined=self.quarantined + other.quarantined,
+            failed=self.failed + other.failed,
+            bytes_moved=self.bytes_moved + other.bytes_moved,
+        )
+
+    def render(self) -> str:
+        text = (f"pushed={self.pushed} pulled={self.pulled} "
+                f"skipped={self.skipped} quarantined={self.quarantined} "
+                f"failed={len(self.failed)} "
+                f"moved={self.bytes_moved / 1e6:.2f}MB")
+        return text
+
+
+def _verify_blob(key: str, payload: bytes, sidecar_bytes: bytes) -> str | None:
+    """``None`` when the blob proves out; else a reason string.
+
+    Integrity rides two checks: the payload hashes to the sidecar's
+    recorded SHA-256, and the sidecar was written for this very key —
+    a remote that serves blob A under key B fails here even though A
+    is internally consistent.
+    """
+    try:
+        sidecar = json.loads(sidecar_bytes)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return "unreadable sidecar"
+    if sidecar.get("key") != key:
+        return f"sidecar written for key {sidecar.get('key')!r}"
+    if sha256(payload).hexdigest() != sidecar.get("sha256"):
+        return "payload hash mismatch"
+    return None
+
+
+def _quarantine_foreign(store: TraceStore, key: str, payload: bytes,
+                        sidecar_bytes: bytes) -> None:
+    """Park a bad *pulled* blob in the store's quarantine.
+
+    It never touches ``objects/`` — the local store stays clean and the
+    key reads as a miss — but the bytes are kept for forensics, like a
+    locally corrupted entry would be.
+    """
+    quarantine = store.root / "quarantine"
+    _atomic_write(quarantine / f"{key}.npz", payload)
+    _atomic_write(quarantine / f"{key}.json", sidecar_bytes)
+
+
+def push(store: TraceStore, remote: RemoteStore, *,
+         keys: Iterable[str] | None = None,
+         policy: RetryPolicy | None = None) -> SyncReport:
+    """Upload local entries the remote lacks; returns a report.
+
+    Local blobs are re-verified before they leave the machine — a
+    locally corrupted entry is quarantined here exactly as a read
+    would, instead of being propagated to every peer.
+    """
+    policy = policy or RetryPolicy()
+    report = SyncReport()
+    have = policy.run(remote.list_keys, f"list {remote.describe()}")
+    wanted = store.keys() if keys is None else list(keys)
+    for key in wanted:
+        if key in have:
+            report.skipped += 1
+            continue
+        payload_path, sidecar_path = store.object_paths(key)
+        try:
+            payload = payload_path.read_bytes()
+            sidecar_bytes = sidecar_path.read_bytes()
+        except FileNotFoundError:
+            continue  # evicted since the inventory snapshot
+        reason = _verify_blob(key, payload, sidecar_bytes)
+        if reason is not None:
+            store._quarantine(key)
+            report.quarantined += 1
+            continue
+        try:
+            policy.run(lambda: remote.store(key, payload, sidecar_bytes),
+                       f"push {key[:12]} to {remote.describe()}")
+        except RemoteError:
+            report.failed.append(key)
+            continue
+        report.pushed += 1
+        report.bytes_moved += len(payload) + len(sidecar_bytes)
+    return report
+
+
+def pull(store: TraceStore, remote: RemoteStore, *,
+         keys: Iterable[str] | None = None,
+         policy: RetryPolicy | None = None) -> SyncReport:
+    """Download remote entries the local store lacks; returns a report.
+
+    Every fetched blob is verified (payload hash against the sidecar,
+    sidecar against the key) before it is installed — payload first,
+    sidecar second, atomically, the same torn-entry-free discipline as
+    local writes.  Mismatches are quarantined and the key stays a local
+    miss.
+    """
+    policy = policy or RetryPolicy()
+    report = SyncReport()
+    have = set(store.keys())
+    available = policy.run(remote.list_keys, f"list {remote.describe()}")
+    wanted = sorted(available) if keys is None else list(keys)
+    for key in wanted:
+        if key in have:
+            report.skipped += 1
+            continue
+        try:
+            payload, sidecar_bytes = policy.run(
+                lambda: remote.fetch(key),
+                f"pull {key[:12]} from {remote.describe()}")
+        except RemoteError:
+            report.failed.append(key)
+            continue
+        reason = _verify_blob(key, payload, sidecar_bytes)
+        if reason is not None:
+            _quarantine_foreign(store, key, payload, sidecar_bytes)
+            report.quarantined += 1
+            continue
+        payload_path, sidecar_path = store.object_paths(key)
+        payload_path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write(payload_path, payload)
+        _atomic_write(sidecar_path, sidecar_bytes)
+        report.pulled += 1
+        report.bytes_moved += len(payload) + len(sidecar_bytes)
+    if report.pulled and store.max_bytes is not None:
+        store.evict(store.max_bytes)
+    return report
+
+
+def sync(store: TraceStore, remote: RemoteStore, *,
+         policy: RetryPolicy | None = None) -> SyncReport:
+    """Bidirectional merge: push local-only keys, pull remote-only keys.
+
+    Content addressing makes this conflict-free — after a sync both
+    sides hold the union, and re-syncing is a no-op.
+    """
+    report = push(store, remote, policy=policy)
+    return report.merge(pull(store, remote, policy=policy))
+
+
+@dataclass(frozen=True)
+class SyncStatus:
+    """Inventory diff between a local store and a remote."""
+
+    local_only: int
+    remote_only: int
+    shared: int
+    local_only_bytes: int
+
+    def render(self) -> str:
+        return (f"local-only={self.local_only} "
+                f"({self.local_only_bytes / 1e6:.2f}MB to push) "
+                f"remote-only={self.remote_only} shared={self.shared}")
+
+
+def status(store: TraceStore, remote: RemoteStore, *,
+           policy: RetryPolicy | None = None) -> SyncStatus:
+    """What a push/pull would move, without moving anything."""
+    policy = policy or RetryPolicy()
+    local = set(store.keys())
+    remote_keys = policy.run(remote.list_keys, f"list {remote.describe()}")
+    local_only = local - remote_keys
+    pending_bytes = 0
+    for key in local_only:
+        payload_path, sidecar_path = store.object_paths(key)
+        try:
+            pending_bytes += payload_path.stat().st_size + sidecar_path.stat().st_size
+        except FileNotFoundError:
+            continue
+    return SyncStatus(local_only=len(local_only),
+                      remote_only=len(remote_keys - local),
+                      shared=len(local & remote_keys),
+                      local_only_bytes=pending_bytes)

@@ -421,6 +421,109 @@ class TestTensorWorkloadShape:
         assert [t.seed for t in a] == [t.seed for t in b]
 
 
+def _serve_report(direct_cold=60.0, serve_cold=58.0, serve_warm=300.0,
+                  tasks_computed=22, warm_computed=0, warm_store_served=True,
+                  quick=True) -> dict:
+    def cell(rate):
+        return {"sessions_per_s": rate, "wall_s": round(22.0 / rate, 3)}
+
+    return {
+        "bench": "serve",
+        "schema": bench.BENCH_SCHEMA_VERSION,
+        "quick": quick,
+        "config": {"minutes": 0.1, "session_s": 3.0, "n_sessions": 22,
+                   "jobs": 1, "cold_reps": 2, "concurrency": 4, "seed": 2024},
+        "workloads": {
+            "direct_cold": cell(direct_cold),
+            "serve_cold": cell(serve_cold),
+            "serve_warm": cell(serve_warm),
+            "serve_concurrent": {**cell(serve_cold), "requests": 4,
+                                 "dedup_hits": 3, "tasks": 22,
+                                 "tasks_computed": tasks_computed},
+        },
+        "serve": {"requests": 9, "dedup_hits": 3, "errors": 0,
+                  "tasks_computed": 66, "tasks_memoized": 44},
+        "checks": {
+            "singleflight_computed_once": tasks_computed == 22,
+            "warm_computed": warm_computed,
+            "warm_store_served": warm_store_served,
+        },
+        "speedup": {
+            "warm_vs_cold": round(serve_warm / serve_cold, 2),
+            "serve_cold_vs_direct_cold": round(serve_cold / direct_cold, 2),
+        },
+    }
+
+
+class TestServeRegressionGate:
+    def test_identical_reports_pass(self):
+        report = _serve_report()
+        assert bench.serve_regression_failures(report, report) == []
+
+    def test_uniform_slowdown_is_hardware_normalized_away(self):
+        base = _serve_report()
+        current = copy.deepcopy(base)
+        for data in current["workloads"].values():
+            data["sessions_per_s"] /= 2.0
+        assert bench.serve_regression_failures(current, base) == []
+
+    def test_serve_only_slowdown_fails(self):
+        base = _serve_report()
+        current = _serve_report(serve_cold=58.0 / 2.5, serve_warm=300.0)
+        failures = bench.serve_regression_failures(current, base)
+        assert any(f.startswith("serve_cold:") for f in failures)
+
+    def test_singleflight_recompute_fails(self):
+        # 44 tasks computed for a 22-task campaign = the dedup broke.
+        report = _serve_report(tasks_computed=44)
+        failures = bench.serve_regression_failures(report, report)
+        assert any(f.startswith("singleflight:") for f in failures)
+
+    def test_warm_recompute_fails(self):
+        report = _serve_report(warm_computed=3, warm_store_served=False)
+        failures = bench.serve_regression_failures(report, report)
+        assert any(f.startswith("serve_warm:") for f in failures)
+
+    def test_warm_below_intra_report_floor_fails(self):
+        report = _serve_report(serve_warm=70.0)  # 1.2x < 2x floor
+        failures = bench.serve_regression_failures(report, report)
+        assert any(f.startswith("warm_vs_cold:") for f in failures)
+
+    def test_warm_is_not_normalized_across_modes(self):
+        # A faster machine with identical warm throughput must pass:
+        # warm cost is fixed store-read overhead, not simulation.
+        base = _serve_report()
+        current = _serve_report(direct_cold=120.0, serve_cold=116.0,
+                                serve_warm=300.0)
+        assert bench.serve_regression_failures(current, base) == []
+
+    def test_missing_reference_reports_cleanly(self):
+        base = _serve_report()
+        current = copy.deepcopy(base)
+        del current["workloads"]["direct_cold"]
+        failures = bench.serve_regression_failures(current, base)
+        assert failures == [
+            "direct_cold: reference workload missing from a report"]
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            bench.serve_regression_failures(_serve_report(), _serve_report(),
+                                            threshold=0.0)
+
+
+class TestServeRender:
+    def test_render_lists_workloads_checks_and_totals(self):
+        text = bench.render_serve(_serve_report())
+        assert "serve_cold" in text and "direct_cold" in text
+        assert "singleflight: 4 concurrent" in text and "PASS" in text
+        assert "store_served=True" in text
+        assert "requests=9" in text
+
+    def test_render_flags_broken_singleflight(self):
+        text = bench.render_serve(_serve_report(tasks_computed=44))
+        assert "FAIL" in text
+
+
 class TestReportIo:
     def test_write_then_load_roundtrip(self, tmp_path):
         report = _report()

@@ -1,0 +1,157 @@
+"""Tests for repro.serve.daemon + client — the HTTP surface end to end."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    CampaignService,
+    ServeClient,
+    ServeClientError,
+    ServeDaemon,
+)
+from repro.store import TraceStore
+from repro.store.remote import RetryPolicy
+
+_TINY = {"kind": "campaign", "minutes": 0.02, "session": 1.0, "seed": 77}
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    service = CampaignService(store=TraceStore(tmp_path / "cache"), jobs=1)
+    with ServeDaemon(service, quiet=True) as running:
+        yield running
+
+
+@pytest.fixture
+def client(daemon):
+    client = ServeClient(daemon.url)
+    client.wait_healthy(timeout_s=10.0)
+    return client
+
+
+class TestEndpoints:
+    def test_health(self, client):
+        reply = client.health()
+        assert reply["ok"] is True and reply["draining"] is False
+
+    def test_submit_and_stats(self, daemon, client):
+        response = client.submit(dict(_TINY))
+        assert response["kind"] == "campaign"
+        assert response["rows"]
+        assert response["accounting"]["computed"] > 0
+        stats = client.stats()
+        assert stats["serve"]["requests"] == 1
+        assert stats["store"]["entries"] > 0
+
+        warm = client.submit(dict(_TINY))
+        assert warm["accounting"]["store_served"]
+        assert warm["rows"] == response["rows"]
+
+    def test_concurrent_submissions_over_http_compute_once(self, daemon):
+        responses = [None] * 3
+
+        def submit(slot):
+            responses[slot] = ServeClient(daemon.url).submit(dict(_TINY))
+
+        threads = [threading.Thread(target=submit, args=(slot,))
+                   for slot in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert all(r is not None for r in responses)
+        stats = daemon.service.stats()["serve"]
+        # however the arrivals interleaved, the campaign computed once
+        assert stats["tasks_computed"] == responses[0]["accounting"]["tasks"]
+        assert all(r["rows"] == responses[0]["rows"] for r in responses)
+
+    def test_bad_request_is_400(self, client):
+        with pytest.raises(ServeClientError) as err:
+            client.submit({"kind": "nope"})
+        assert err.value.status == 400
+        assert "unknown request kind" in str(err.value)
+
+    def test_malformed_body_is_400(self, client, daemon):
+        import urllib.request
+
+        request = urllib.request.Request(daemon.url + "/submit",
+                                         data=b"{not json",
+                                         method="POST")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10.0)
+        assert err.value.code == 400
+
+    def test_unknown_path_is_404(self, client):
+        with pytest.raises(ServeClientError) as err:
+            client._call("GET", "/nothing-here")
+        assert err.value.status == 404
+
+    def test_draining_is_503(self, daemon, client):
+        daemon.service.begin_drain()
+        assert client.health()["draining"] is True
+        with pytest.raises(ServeClientError) as err:
+            client.submit(dict(_TINY))
+        assert err.value.status == 503
+
+    def test_errors_are_not_retried(self, daemon):
+        service = daemon.service
+        before = service.requests
+        client = ServeClient(daemon.url,
+                             policy=RetryPolicy(attempts=5, backoff_s=0.0))
+        with pytest.raises(ServeClientError):
+            client.submit({"kind": "nope"})
+        # a 4xx answer is final: one request hit the daemon, not five
+        assert service.requests == before
+
+
+class TestLifecycle:
+    def test_shutdown_endpoint_stops_server(self, tmp_path):
+        service = CampaignService(store=None, jobs=1)
+        daemon = ServeDaemon(service, quiet=True).start()
+        client = ServeClient(daemon.url)
+        client.wait_healthy()
+        assert client.shutdown()["ok"] is True
+        for _ in range(100):
+            if service.draining:
+                break
+            time.sleep(0.05)
+        assert service.draining
+        daemon.stop()
+
+    def test_ephemeral_port_bound(self, daemon):
+        assert daemon.port != 0
+        assert daemon.url == f"http://127.0.0.1:{daemon.port}"
+
+
+class TestClientRetries:
+    def test_wait_healthy_rides_out_slow_start(self, tmp_path):
+        service = CampaignService(store=None, jobs=1)
+        daemon = ServeDaemon(service, quiet=True)
+
+        def late_start():
+            time.sleep(0.3)
+            daemon.start()
+
+        thread = threading.Thread(target=late_start)
+        thread.start()
+        try:
+            client = ServeClient(daemon.url)
+            reply = client.wait_healthy(timeout_s=10.0)
+            assert reply["ok"] is True
+        finally:
+            thread.join()
+            daemon.stop()
+
+    def test_unreachable_daemon_fails_with_client_error(self):
+        client = ServeClient("http://127.0.0.1:9",  # discard port, closed
+                             policy=RetryPolicy(attempts=2, backoff_s=0.0,
+                                                timeout_s=1.0))
+        with pytest.raises(ServeClientError):
+            client.health()
+
+    def test_wait_healthy_timeout(self):
+        client = ServeClient("http://127.0.0.1:9")
+        with pytest.raises(ServeClientError, match="not healthy"):
+            client.wait_healthy(timeout_s=0.3)

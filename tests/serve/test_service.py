@@ -1,0 +1,248 @@
+"""Tests for repro.serve.service — normalization, singleflight, accounting."""
+
+import threading
+
+import pytest
+
+from repro.serve import (
+    CampaignService,
+    DrainingError,
+    RequestError,
+    normalize_request,
+)
+from repro.store import TraceStore
+
+_TINY = {"kind": "campaign", "minutes": 0.02, "session": 1.0, "seed": 77}
+
+
+class TestNormalizeRequest:
+    def test_defaults_filled(self):
+        request = normalize_request({"kind": "campaign"})
+        assert request.param("minutes") == 0.2
+        assert request.param("session") == 4.0
+        assert request.param("ul_fraction") == 0.3
+        assert request.param("seed") == 2024
+        assert request.param("reduce") is False
+
+    def test_key_stable_under_field_order_and_defaults(self):
+        explicit = normalize_request({"kind": "campaign", "seed": 2024,
+                                      "minutes": 0.2, "session": 4.0,
+                                      "ul_fraction": 0.3, "reduce": False})
+        defaulted = normalize_request({"kind": "campaign"})
+        assert explicit.key == defaulted.key
+
+    def test_key_differs_on_params(self):
+        a = normalize_request({"kind": "campaign", "seed": 1})
+        b = normalize_request({"kind": "campaign", "seed": 2})
+        assert a.key != b.key
+
+    def test_rejects_non_object(self):
+        with pytest.raises(RequestError, match="JSON object"):
+            normalize_request([1, 2, 3])
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(RequestError, match="unknown request kind"):
+            normalize_request({"kind": "mystery"})
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(RequestError, match="unknown fields.*minutse"):
+            normalize_request({"kind": "campaign", "minutse": 1.0})
+
+    def test_rejects_bad_types(self):
+        with pytest.raises(RequestError, match="'minutes' must be float"):
+            normalize_request({"kind": "campaign", "minutes": "plenty"})
+        with pytest.raises(RequestError, match="'reduce' must be a boolean"):
+            normalize_request({"kind": "campaign", "reduce": 1})
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(RequestError, match="positive"):
+            normalize_request({"kind": "campaign", "minutes": -1.0})
+        with pytest.raises(RequestError, match="ul_fraction"):
+            normalize_request({"kind": "campaign", "ul_fraction": 1.5})
+
+    def test_experiment_requires_id(self):
+        with pytest.raises(RequestError, match="requires field 'id'"):
+            normalize_request({"kind": "experiment"})
+        with pytest.raises(RequestError, match="unknown experiment id"):
+            normalize_request({"kind": "experiment", "id": "fig99"})
+
+    def test_experiment_reduce_support_checked(self):
+        from repro.experiments import EXPERIMENT_IDS, supports_reduce
+
+        unsupported = [i for i in EXPERIMENT_IDS if not supports_reduce(i)]
+        if not unsupported:
+            pytest.skip("every experiment supports reduce")
+        with pytest.raises(RequestError, match="no streaming-reduction"):
+            normalize_request({"kind": "experiment", "id": unsupported[0],
+                              "reduce": True})
+
+    def test_describe(self):
+        request = normalize_request({"kind": "campaign", "minutes": 0.5})
+        assert "campaign/0.5min" in request.describe()
+
+
+class _GatedService(CampaignService):
+    """Service whose computation blocks until the test releases it —
+    makes the singleflight overlap deterministic instead of a race."""
+
+    def __init__(self):
+        super().__init__(store=None, jobs=1)
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.run_calls = 0
+
+    def _run(self, request):
+        self.run_calls += 1
+        self.entered.set()
+        assert self.release.wait(timeout=30.0)
+        return ([f"rows for {request.key[:8]}"], 5, None)
+
+
+class TestSingleflight:
+    def test_concurrent_identical_submissions_compute_once(self):
+        service = _GatedService()
+        responses = []
+        lock = threading.Lock()
+
+        def submit():
+            response = service.submit(dict(_TINY))
+            with lock:
+                responses.append(response)
+
+        owner = threading.Thread(target=submit)
+        owner.start()
+        assert service.entered.wait(timeout=30.0)  # owner is computing
+        waiters = [threading.Thread(target=submit) for _ in range(3)]
+        for thread in waiters:
+            thread.start()
+        # all three must be enqueued as dedup hits before the release
+        deadline = threading.Event()
+        for _ in range(200):
+            if service.dedup_hits == 3:
+                break
+            deadline.wait(0.01)
+        assert service.dedup_hits == 3
+        service.release.set()
+        owner.join(timeout=30.0)
+        for thread in waiters:
+            thread.join(timeout=30.0)
+
+        assert service.run_calls == 1  # computed exactly once
+        assert len(responses) == 4
+        assert len({r["key"] for r in responses}) == 1
+        assert sorted(r["dedup"] for r in responses) == [False, True, True, True]
+        assert all(r["rows"] == responses[0]["rows"] for r in responses)
+        stats = service.stats()["serve"]
+        assert stats["requests"] == 4 and stats["dedup_hits"] == 3
+        assert stats["in_flight"] == 0
+
+    def test_distinct_requests_do_not_dedup(self):
+        service = _GatedService()
+        service.release.set()  # no blocking needed
+        service.submit(dict(_TINY))
+        service.submit({**_TINY, "seed": 78})
+        assert service.run_calls == 2
+        assert service.stats()["serve"]["dedup_hits"] == 0
+
+    def test_owner_failure_propagates_to_waiters(self):
+        service = _GatedService()
+
+        def boom(request):
+            service.entered.set()
+            assert service.release.wait(timeout=30.0)
+            raise RuntimeError("simulation exploded")
+
+        service._run = boom
+        failures = []
+
+        def submit():
+            try:
+                service.submit(dict(_TINY))
+            except RuntimeError as exc:
+                failures.append(str(exc))
+
+        threads = [threading.Thread(target=submit) for _ in range(2)]
+        threads[0].start()
+        assert service.entered.wait(timeout=30.0)
+        threads[1].start()
+        for _ in range(200):
+            if service.dedup_hits == 1:
+                break
+            threading.Event().wait(0.01)
+        service.release.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert failures == ["simulation exploded"] * 2
+        assert service.stats()["serve"]["errors"] == 1
+        assert service.stats()["serve"]["in_flight"] == 0
+
+    def test_draining_rejects_new_work(self):
+        service = _GatedService()
+        service.begin_drain()
+        with pytest.raises(DrainingError):
+            service.submit(dict(_TINY))
+        assert service.draining
+
+
+class TestAccounting:
+    def test_cold_then_warm_campaign(self, tmp_path):
+        with CampaignService(store=TraceStore(tmp_path / "cache"),
+                             jobs=1) as service:
+            cold = service.submit(dict(_TINY))
+            assert cold["accounting"]["computed"] > 0
+            assert cold["accounting"]["memoized"] == 0
+            assert not cold["accounting"]["store_served"]
+            assert cold["accounting"]["tasks"] == cold["accounting"]["computed"]
+
+            warm = service.submit(dict(_TINY))
+            assert warm["accounting"]["computed"] == 0
+            assert warm["accounting"]["memoized"] == cold["accounting"]["tasks"]
+            assert warm["accounting"]["store_served"]
+            assert warm["rows"] == cold["rows"]
+            stats = service.stats()["serve"]
+            assert stats["store_served"] == 1
+            assert stats["tasks_computed"] == cold["accounting"]["tasks"]
+            assert service.stats()["store"]["entries"] > 0
+
+    def test_reduce_campaign_accounting(self, tmp_path):
+        with CampaignService(store=TraceStore(tmp_path / "cache"),
+                             jobs=1) as service:
+            request = {**_TINY, "reduce": True}
+            cold = service.submit(dict(request))
+            assert cold["accounting"]["computed"] == cold["accounting"]["tasks"] > 0
+            assert not cold["accounting"]["store_served"]
+
+            warm = service.submit(dict(request))
+            assert warm["accounting"]["computed"] == 0
+            assert warm["accounting"]["store_served"]
+            assert warm["rows"] == cold["rows"]
+
+    def test_experiment_branch_wiring(self, monkeypatch):
+        import repro.experiments as experiments
+
+        calls = {}
+
+        class _FakeResult:
+            data = {"reduce_stats": None}
+
+            def render(self):
+                return "line one\nline two"
+
+        def fake_run_experiment(experiment_id, **kwargs):
+            calls["id"] = experiment_id
+            calls["kwargs"] = kwargs
+            return _FakeResult()
+
+        monkeypatch.setattr(experiments, "run_experiment", fake_run_experiment)
+        experiment_id = experiments.EXPERIMENT_IDS[0]
+        service = CampaignService(store=None, jobs=1)
+        response = service.submit({"kind": "experiment", "id": experiment_id})
+        assert calls["id"] == experiment_id
+        assert calls["kwargs"]["quick"] is True
+        assert response["rows"] == ["line one", "line two"]
+
+    def test_render_stats_line(self):
+        service = CampaignService(store=None, jobs=1)
+        line = service.render_stats()
+        assert line.startswith("serve requests=0 ")
+        assert "dedup_hits=0" in line and "errors=0" in line

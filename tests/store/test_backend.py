@@ -148,6 +148,34 @@ class TestLruEviction:
         with pytest.raises(KeyError):
             store.get(keys[1])
 
+    def test_read_refreshes_lru_without_counting(self, store):
+        """Routed reads must age like hits: a hot store-routed trace is
+        not the next eviction victim, yet reads stay out of the
+        hit/miss tally (they would otherwise fake a 100% hit rate)."""
+        keys = [_key(tag) for tag in "abc"]
+        for i, key in enumerate(keys):
+            store.put(key, _trace(seed=i))
+            os.utime(store.root / "objects" / key[:2] / f"{key}.json",
+                     (1000.0 + i, 1000.0 + i))
+        store.read(keys[0])  # oldest written, freshly read
+        budget = sum(self._entry_bytes(store, k) for k in keys) - 1
+        assert store.evict(budget) == [keys[1]]
+        assert store.hits == 0 and store.misses == 0
+        assert store.read(keys[0]) is not None
+
+    def test_evict_same_mtime_ties_break_lexicographically(self, store):
+        """Same-mtime entries evict in key order — deterministic across
+        runs instead of following directory-listing order."""
+        keys = [_key(tag) for tag in "cab"]
+        for i, key in enumerate(keys):
+            store.put(key, _trace(seed=i))
+        for key in keys:
+            os.utime(store.root / "objects" / key[:2] / f"{key}.json",
+                     (1000.0, 1000.0))
+        budget = sum(self._entry_bytes(store, k) for k in keys) - 1
+        assert store.evict(budget) == [_key("a")]
+        assert store.evict(0) == sorted([_key("b"), _key("c")])
+
     def test_evict_to_zero_empties_store(self, store):
         for tag in "ab":
             store.put(_key(tag), _trace())
@@ -204,6 +232,72 @@ class TestAccounting:
         store.get(_key("a"))
         text = store.stats().render()
         assert "read=" in text and "written=" in text
+
+    def test_stats_to_dict_matches_counters(self, store):
+        """One serializer feeds ``cache stats --json``, the serve
+        daemon's ``/stats`` and the CI gates — keep it faithful."""
+        store.put(_key("a"), _trace())
+        store.get(_key("a"))
+        with pytest.raises(KeyError):
+            store.get(_key("b"))
+        stats = store.stats()
+        document = stats.to_dict()
+        assert document["entries"] == 1
+        assert document["hits"] == 1 and document["misses"] == 1
+        assert document["total_bytes"] == stats.total_bytes
+        assert document["bytes_read"] == store.bytes_read
+        assert document["bytes_written"] == store.bytes_written
+        assert document["quarantined"] == 0
+        assert document["root"] == str(store.root)
+        assert json.loads(json.dumps(document)) == document
+
+    def test_keys_and_object_paths(self, store):
+        for tag in "ba":
+            store.put(_key(tag), _trace())
+        assert store.keys() == sorted([_key("a"), _key("b")])
+        payload, sidecar = store.object_paths(_key("a"))
+        assert payload.exists() and sidecar.exists()
+        assert json.loads(sidecar.read_text())["key"] == _key("a")
+
+
+class TestQuarantineRecompute:
+    def _manifest(self):
+        from repro.operators.profiles import EU_PROFILES
+        from repro.xcal.dataset import CampaignSpec, campaign_manifest
+
+        spec = CampaignSpec(minutes_per_operator=0.02, session_s=1.0, seed=77)
+        return campaign_manifest({"V_Sp": EU_PROFILES["V_Sp"]}, spec)
+
+    def test_quarantine_recompute_write_back_roundtrip(self, tmp_path):
+        """A tampered entry heals end to end: the next run quarantines
+        it, recomputes the session, and writes the same bytes back."""
+        from repro.core.runner import run_tasks
+
+        store = TraceStore(tmp_path / "cache")
+        manifest = self._manifest()
+        first = run_tasks(manifest, jobs=1, store=store)
+        assert store.misses == len(manifest)
+        [key] = store.keys()
+        payload, _ = store.object_paths(key)
+        good_bytes = payload.read_bytes()
+        payload.write_bytes(b"garbage" + good_bytes[7:])
+
+        second = run_tasks(manifest, jobs=1, store=store)
+        # the tampered blob was parked, the session recomputed, and the
+        # deterministic simulation wrote back byte-identical content
+        assert (store.root / "quarantine" / f"{key}.npz").exists()
+        assert store.misses == 2 * len(manifest)
+        assert store.keys() == [key]
+        assert payload.read_bytes() == good_bytes
+        ok, bad = store.verify()
+        assert ok == 1 and not bad
+
+        before_hits = store.hits
+        third = run_tasks(manifest, jobs=1, store=store)
+        assert store.hits == before_hits + len(manifest)
+        for a, b in zip(first, third):
+            assert np.array_equal(a.delivered_bits, second[0].delivered_bits)
+            assert np.array_equal(a.delivered_bits, b.delivered_bits)
 
 
 _WRITER_SNIPPET = """

@@ -1,0 +1,287 @@
+"""Tests for repro.store.remote — the shared trace-store tier."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    LocalDirectoryRemote,
+    RemoteError,
+    RemoteStore,
+    RetryPolicy,
+    TraceStore,
+    open_remote,
+    pull,
+    push,
+    register_remote_scheme,
+    status,
+    sync,
+)
+from repro.store.remote import _SCHEMES
+from repro.xcal.records import SlotTrace, TraceMetadata
+
+
+def _trace(n: int = 16, seed: int = 3) -> SlotTrace:
+    trace = SlotTrace.empty(n, metadata=TraceMetadata(operator="T", seed=seed))
+    trace.delivered_bits[:] = np.random.default_rng(seed).integers(0, 9000, n)
+    trace.sinr_db[:] = np.random.default_rng(seed + 1).normal(20.0, 2.0, n)
+    return trace
+
+
+def _key(tag: str) -> str:
+    return (tag * 64)[:64]
+
+
+def _fill(store: TraceStore, tags: str) -> list[str]:
+    keys = []
+    for i, tag in enumerate(tags):
+        store.put(_key(tag), _trace(seed=i))
+        keys.append(_key(tag))
+    return keys
+
+
+@pytest.fixture
+def store(tmp_path) -> TraceStore:
+    return TraceStore(tmp_path / "cache")
+
+
+@pytest.fixture
+def remote(tmp_path) -> LocalDirectoryRemote:
+    return LocalDirectoryRemote(tmp_path / "remote")
+
+
+def _blob_bytes(root: Path, key: str) -> tuple[bytes, bytes]:
+    shard = root / "objects" / key[:2]
+    return (shard / f"{key}.npz").read_bytes(), (shard / f"{key}.json").read_bytes()
+
+
+class TestPushPull:
+    def test_push_pull_byte_identical(self, store, remote, tmp_path):
+        keys = _fill(store, "abc")
+        report = push(store, remote)
+        assert report.pushed == 3 and not report.failed
+
+        other = TraceStore(tmp_path / "other")
+        report = pull(other, remote)
+        assert report.pulled == 3 and not report.failed
+        for key in keys:
+            assert _blob_bytes(store.root, key) == _blob_bytes(other.root, key)
+            # the pulled entry is a first-class store entry
+            loaded = other.get(key)
+            assert np.array_equal(loaded.delivered_bits,
+                                  store.get(key).delivered_bits)
+
+    def test_push_skips_keys_remote_has(self, store, remote):
+        _fill(store, "ab")
+        assert push(store, remote).pushed == 2
+        report = push(store, remote)
+        assert report.pushed == 0 and report.skipped == 2
+
+    def test_pull_skips_keys_store_has(self, store, remote):
+        _fill(store, "ab")
+        push(store, remote)
+        report = pull(store, remote)
+        assert report.pulled == 0 and report.skipped == 2
+
+    def test_push_subset_by_keys(self, store, remote):
+        _fill(store, "abc")
+        report = push(store, remote, keys=[_key("a")])
+        assert report.pushed == 1
+        assert remote.list_keys() == {_key("a")}
+
+    def test_sync_merges_and_resync_is_noop(self, store, remote, tmp_path):
+        _fill(store, "ab")
+        other = TraceStore(tmp_path / "other")
+        other.put(_key("c"), _trace(seed=9))
+        sync(store, remote)
+        report = sync(other, remote)
+        assert report.pushed == 1 and report.pulled == 2
+        # both sides now hold the union, byte for byte
+        assert set(store.keys()) | {_key("c")} == set(other.keys())
+        again = sync(other, remote).merge(sync(store, remote))
+        assert again.pushed == 0 and again.pulled == 1  # store lacks "c"
+        final = sync(store, remote)
+        assert final.pushed == final.pulled == 0
+        for key in (_key("a"), _key("b"), _key("c")):
+            assert _blob_bytes(store.root, key) == _blob_bytes(other.root, key)
+
+    def test_status_counts(self, store, remote, tmp_path):
+        _fill(store, "ab")
+        other = TraceStore(tmp_path / "other")
+        other.put(_key("c"), _trace(seed=9))
+        push(other, remote)
+        report = status(store, remote)
+        assert report.local_only == 2
+        assert report.remote_only == 1
+        assert report.shared == 0
+        assert report.local_only_bytes > 0
+        assert "local-only=2" in report.render()
+
+    def test_pull_respects_size_cap(self, store, remote, tmp_path, monkeypatch):
+        _fill(store, "abcd")
+        push(store, remote)
+        capped = TraceStore(tmp_path / "capped", max_bytes=1)  # evict all
+        report = pull(capped, remote)
+        assert report.pulled == 4
+        assert capped.stats().entries < 4
+
+
+class TestPullIntegrity:
+    def test_tampered_payload_quarantined(self, store, remote, tmp_path):
+        _fill(store, "a")
+        push(store, remote)
+        payload_path = remote.root / "objects" / _key("a")[:2] / f"{_key('a')}.npz"
+        payload_path.write_bytes(b"X" + payload_path.read_bytes()[1:])
+
+        other = TraceStore(tmp_path / "other")
+        report = pull(other, remote)
+        assert report.quarantined == 1 and report.pulled == 0
+        assert not other.contains(_key("a"))
+        assert not other.keys()
+        assert (other.root / "quarantine" / f"{_key('a')}.npz").exists()
+
+    def test_blob_served_under_wrong_key_quarantined(self, store, remote, tmp_path):
+        _fill(store, "ab")
+        push(store, remote)
+        # the remote serves blob "a" under key "b"
+        a_payload, a_sidecar = _blob_bytes(store.root, _key("a"))
+        remote.store(_key("b"), a_payload, a_sidecar)
+
+        other = TraceStore(tmp_path / "other")
+        report = pull(other, remote)
+        assert report.pulled == 1 and report.quarantined == 1
+        assert other.contains(_key("a")) and not other.contains(_key("b"))
+
+    def test_unreadable_sidecar_quarantined(self, remote, tmp_path):
+        remote.store(_key("a"), b"payload", b"not json")
+        other = TraceStore(tmp_path / "other")
+        report = pull(other, remote)
+        assert report.quarantined == 1 and not other.keys()
+
+    def test_push_quarantines_local_corruption(self, store, remote):
+        _fill(store, "a")
+        payload_path, _ = store.object_paths(_key("a"))
+        payload_path.write_bytes(b"X" + payload_path.read_bytes()[1:])
+        report = push(store, remote)
+        assert report.quarantined == 1 and report.pushed == 0
+        assert remote.list_keys() == set()  # corruption never propagates
+        assert not store.contains(_key("a"))
+
+
+class _FlakyRemote:
+    """Reference remote that fails the first ``failures`` calls per op."""
+
+    def __init__(self, inner: LocalDirectoryRemote, failures: int) -> None:
+        self.inner = inner
+        self.failures = failures
+        self.calls = 0
+
+    def describe(self) -> str:
+        return f"flaky({self.inner.describe()})"
+
+    def _maybe_fail(self) -> None:
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RemoteError("transient flake")
+
+    def list_keys(self) -> set:
+        self._maybe_fail()
+        return self.inner.list_keys()
+
+    def fetch(self, key: str):
+        self._maybe_fail()
+        return self.inner.fetch(key)
+
+    def store(self, key: str, payload: bytes, sidecar: bytes) -> None:
+        self._maybe_fail()
+        self.inner.store(key, payload, sidecar)
+
+
+class TestRetryPolicy:
+    def test_retries_through_transient_failures(self, store, remote):
+        _fill(store, "a")
+        flaky = _FlakyRemote(remote, failures=2)
+        policy = RetryPolicy(attempts=3, backoff_s=0.0)
+        report = push(store, flaky, policy=policy)
+        assert report.pushed == 1 and not report.failed
+
+    def test_dead_remote_fails_blob_not_batch(self, store, remote):
+        _fill(store, "ab")
+        flaky = _FlakyRemote(remote, failures=10 ** 6)
+        flaky.list_keys = remote.list_keys  # only the uploads fail
+        policy = RetryPolicy(attempts=2, backoff_s=0.0)
+        report = push(store, flaky, policy=policy)
+        assert sorted(report.failed) == sorted([_key("a"), _key("b")])
+        assert report.pushed == 0
+
+    def test_dead_remote_listing_raises(self, store, remote):
+        flaky = _FlakyRemote(remote, failures=10 ** 6)
+        with pytest.raises(RemoteError, match="failed after 2 attempts"):
+            push(store, flaky, policy=RetryPolicy(attempts=2, backoff_s=0.0))
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0.0)
+
+    def test_deadline_cuts_retries_short(self, store, remote):
+        flaky = _FlakyRemote(remote, failures=10 ** 6)
+        policy = RetryPolicy(attempts=50, backoff_s=10.0, timeout_s=0.01)
+        with pytest.raises(RemoteError):
+            push(store, flaky, policy=policy)
+        assert flaky.calls < 5  # deadline stopped the ladder early
+
+
+class TestOpenRemote:
+    def test_bare_path(self, tmp_path):
+        remote = open_remote(tmp_path / "r")
+        assert isinstance(remote, LocalDirectoryRemote)
+        assert remote.root == tmp_path / "r"
+
+    def test_file_url(self, tmp_path):
+        remote = open_remote(f"file://{tmp_path}/r")
+        assert isinstance(remote, LocalDirectoryRemote)
+        assert remote.root == tmp_path / "r"
+
+    def test_unknown_scheme_lists_known(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown remote scheme 's3'"):
+            open_remote("s3://bucket/prefix")
+
+    def test_registered_scheme(self, tmp_path):
+        seen = {}
+
+        def factory(url: str) -> RemoteStore:
+            seen["url"] = url
+            return LocalDirectoryRemote(tmp_path / "reg")
+
+        register_remote_scheme("teststore", factory)
+        try:
+            remote = open_remote("teststore://somewhere")
+            assert isinstance(remote, LocalDirectoryRemote)
+            assert seen["url"] == "teststore://somewhere"
+        finally:
+            _SCHEMES.pop("teststore", None)
+
+    def test_remote_satisfies_protocol(self, remote):
+        assert isinstance(remote, RemoteStore)
+
+
+class TestLocalDirectoryRemote:
+    def test_fetch_missing_raises(self, remote):
+        with pytest.raises(RemoteError, match="has no blob"):
+            remote.fetch(_key("a"))
+
+    def test_store_is_atomic_no_litter(self, remote):
+        remote.store(_key("a"), b"payload", json.dumps({"key": _key("a")}).encode())
+        assert not list(remote.root.rglob("*.tmp"))
+
+    def test_pushed_directory_opens_as_store(self, store, remote):
+        _fill(store, "a")
+        push(store, remote)
+        as_store = TraceStore(remote.root)
+        loaded = as_store.get(_key("a"))
+        assert np.array_equal(loaded.delivered_bits,
+                              store.get(_key("a")).delivered_bits)

@@ -201,6 +201,98 @@ class TestCacheCommand:
         assert "evicted" in capsys.readouterr().out
 
 
+class TestCacheJsonStats:
+    def test_stats_json_machine_readable(self, tmp_path, capsys):
+        import json
+
+        cache = str(tmp_path / "cache")
+        assert main(["campaign", "--minutes", "0.05", "--session", "3",
+                     "--cache", cache]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--json", "--cache", cache]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["entries"] > 0
+        assert document["root"] == cache
+        assert set(document) == {"root", "entries", "total_bytes",
+                                 "quarantined", "hits", "misses",
+                                 "bytes_read", "bytes_written"}
+
+
+class TestCacheRemoteCommands:
+    def _warm(self, cache, capsys):
+        assert main(["campaign", "--minutes", "0.05", "--session", "3",
+                     "--cache", cache]) == 0
+        capsys.readouterr()
+
+    def test_remote_required(self, tmp_path, capsys):
+        assert main(["cache", "push", "--cache", str(tmp_path / "c")]) == 2
+        assert "--remote" in capsys.readouterr().err
+
+    def test_unknown_scheme_rejected(self, tmp_path, capsys):
+        assert main(["cache", "push", "--cache", str(tmp_path / "c"),
+                     "--remote", "s3://bucket"]) == 2
+        assert "unknown remote scheme" in capsys.readouterr().err
+
+    def test_push_pull_round_trip_byte_identical(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        self._warm(cache, capsys)
+        remote = str(tmp_path / "remote")
+        assert main(["cache", "push", "--cache", cache, "--remote", remote]) == 0
+        out = capsys.readouterr().out
+        assert "pushed=" in out and "failed=0" in out
+
+        other = tmp_path / "other"
+        assert main(["cache", "pull", "--cache", str(other),
+                     "--remote", remote]) == 0
+        assert "pulled=" in capsys.readouterr().out
+        ours = sorted((tmp_path / "cache" / "objects").rglob("*.npz"))
+        theirs = sorted((other / "objects").rglob("*.npz"))
+        assert [p.name for p in ours] == [p.name for p in theirs]
+        for a, b in zip(ours, theirs):
+            assert a.read_bytes() == b.read_bytes()
+
+    def test_status_and_sync(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        self._warm(cache, capsys)
+        remote = str(tmp_path / "remote")
+        assert main(["cache", "status", "--cache", cache,
+                     "--remote", remote]) == 0
+        assert "local-only=" in capsys.readouterr().out
+        assert main(["cache", "sync", "--cache", cache,
+                     "--remote", remote]) == 0
+        capsys.readouterr()
+        assert main(["cache", "status", "--cache", cache,
+                     "--remote", remote]) == 0
+        assert "local-only=0" in capsys.readouterr().out
+
+
+class TestSubmitCommand:
+    def test_unreachable_daemon_fails_cleanly(self, capsys):
+        assert main(["submit", "campaign", "--minutes", "0.05",
+                     "--url", "http://127.0.0.1:9", "--timeout", "1"]) == 1
+        assert "submit failed" in capsys.readouterr().err
+
+    def test_submit_round_trip_against_daemon(self, tmp_path, capsys):
+        from repro.serve import CampaignService, ServeDaemon
+        from repro.store import TraceStore
+
+        service = CampaignService(store=TraceStore(tmp_path / "cache"), jobs=1)
+        with ServeDaemon(service, quiet=True) as daemon:
+            args = ["submit", "campaign", "--minutes", "0.02",
+                    "--session", "1", "--seed", "77", "--url", daemon.url]
+            assert main(args) == 0
+            cold = capsys.readouterr()
+            assert "sessions:" in cold.out
+            assert "computed=" in cold.err and "store_served=0" in cold.err
+            assert main(args) == 0
+            warm = capsys.readouterr()
+            assert warm.out == cold.out  # stdout byte-identical warm vs cold
+            assert "store_served=1" in warm.err
+            assert main(["submit", "stats", "--url", daemon.url]) == 0
+            stats = capsys.readouterr().out
+            assert '"requests": 2' in stats
+
+
 class TestTopLevelApi:
     def test_package_exports(self):
         import repro
