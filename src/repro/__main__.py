@@ -36,7 +36,9 @@ Commands
     benchmarks the campaign service end to end — cold submit, warm
     store-served submit, concurrent singleflight — and emits
     ``BENCH_serve.json`` (``--baseline`` compares against a committed
-    report and fails on hardware-normalized regressions).
+    report and fails on hardware-normalized regressions; ``--profile``
+    wraps any workload in cProfile and writes a ``.pstats`` dump plus a
+    top-20 cumulative-time table next to the BENCH json).
 
 ``run`` and ``campaign`` accept ``--jobs N`` (or ``--jobs auto``) to
 fan independent sessions out to a process pool, and ``--cache DIR``
@@ -333,28 +335,43 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"baseline {args.baseline} is a {baseline.get('bench')!r} report, "
               f"not {expected!r}", file=sys.stderr)
         return 2
-    if args.workload == "campaign":
-        report = bench.measure_campaign(quick=args.quick, seed=args.seed,
-                                        jobs=args.jobs)
-        rendered, regressions = bench.render_campaign, bench.campaign_regression_failures
-    elif args.workload == "reduce":
-        report = bench.measure_reduce(quick=args.quick, seed=args.seed,
-                                      jobs=args.jobs)
-        rendered, regressions = bench.render_reduce, bench.reduce_regression_failures
-    elif args.workload == "tensor":
-        report = bench.measure_tensor(quick=args.quick, seed=args.seed)
-        rendered, regressions = bench.render_tensor, bench.tensor_regression_failures
-    elif args.workload == "serve":
-        report = bench.measure_serve(quick=args.quick, seed=args.seed,
-                                     jobs=args.jobs)
-        rendered, regressions = bench.render_serve, bench.serve_regression_failures
-    else:
-        report = bench.measure(quick=args.quick, seed=args.seed)
-        rendered, regressions = bench.render, bench.regression_failures
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        if args.workload == "campaign":
+            report = bench.measure_campaign(quick=args.quick, seed=args.seed,
+                                            jobs=args.jobs)
+            rendered, regressions = bench.render_campaign, bench.campaign_regression_failures
+        elif args.workload == "reduce":
+            report = bench.measure_reduce(quick=args.quick, seed=args.seed,
+                                          jobs=args.jobs)
+            rendered, regressions = bench.render_reduce, bench.reduce_regression_failures
+        elif args.workload == "tensor":
+            report = bench.measure_tensor(quick=args.quick, seed=args.seed)
+            rendered, regressions = bench.render_tensor, bench.tensor_regression_failures
+        elif args.workload == "serve":
+            report = bench.measure_serve(quick=args.quick, seed=args.seed,
+                                         jobs=args.jobs)
+            rendered, regressions = bench.render_serve, bench.serve_regression_failures
+        else:
+            report = bench.measure(quick=args.quick, seed=args.seed)
+            rendered, regressions = bench.render, bench.regression_failures
+    finally:
+        if profiler is not None:
+            profiler.disable()
     print(rendered(report))
     if args.out is not None:
         bench.write_report(report, args.out)
         print(f"wrote {args.out}")
+    if profiler is not None:
+        profile_anchor = args.out if args.out is not None \
+            else Path(f"BENCH_{expected}.json")
+        pstats_path, table_path = bench.write_profile(profiler, profile_anchor)
+        print(f"wrote {pstats_path} and {table_path}")
     if baseline is not None:
         failures = regressions(report, baseline, threshold=args.threshold)
         for failure in failures:
@@ -481,6 +498,10 @@ def main(argv: list[str] | None = None) -> int:
                                    "on a hardware-normalized regression")
     bench_parser.add_argument("--threshold", type=float, default=0.30,
                               help="allowed fractional regression (default 0.30)")
+    bench_parser.add_argument("--profile", action="store_true",
+                              help="wrap the workload in cProfile; write a "
+                                   ".pstats dump and a top-20 cumulative-time "
+                                   "table next to the BENCH json")
     bench_parser.set_defaults(func=_cmd_bench)
 
     cache_parser = sub.add_parser("cache", help="inspect/maintain a session store")

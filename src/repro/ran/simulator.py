@@ -137,6 +137,43 @@ class SimParams:
             raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
 
 
+# ---------------------------------------------------------------------- #
+# Shared retransmission-window semantics
+# ---------------------------------------------------------------------- #
+# Every engine — the scalar reference oracle, the segment-batched
+# vectorized engine, and the cohort tensor engine's batched retx lanes —
+# answers the same two questions per pending HARQ block: *can this slot
+# serve it* and *with what error probability*.  Both rules live here, in
+# scalar/array-polymorphic form, so an engine cannot re-derive (and
+# silently drift from) the oracle's semantics.
+
+def retx_fits_slot(is_special, tbs_bits, tbs_special) -> bool:
+    """Serve-eligibility of a due retransmission in one slot.
+
+    A special slot only qualifies if its (shorter) TBS can carry the
+    pending block; otherwise the retransmission waits for the next full
+    slot and the special slot carries new data (the *deferral* rule).
+    Full slots always qualify.
+    """
+    return not (is_special and tbs_bits > tbs_special)
+
+
+def retx_error_probability(p_hint, retx_error_scale):
+    """Error probability of serving a retransmission.
+
+    ``min(1, p_hint * retx_error_scale)`` — chase combining recovers
+    most of the loss, so the retransmission reuses the original
+    transmission's error probability scaled down.  Accepts a float (the
+    scalar engines) or an ndarray of hints (the cohort batched pass);
+    the array form may write through its temporary, and both forms run
+    the identical IEEE multiply-then-clamp sequence.
+    """
+    p_retx = p_hint * retx_error_scale
+    if isinstance(p_retx, np.ndarray):
+        return np.minimum(p_retx, 1.0, out=p_retx)
+    return p_retx if p_retx < 1.0 else 1.0
+
+
 class _RetxQueue:
     """Min-heap of pending HARQ retransmissions, ordered by due slot.
 
@@ -323,10 +360,10 @@ def _scalar_slot(trace: SlotTrace, queue: _RetxQueue, pd: _Period, i: int) -> tu
     # the pending block; otherwise the retransmission waits for
     # the next full slot and the special slot carries new data.
     if queue and queue.head[0] <= i and \
-            not (is_special and queue.head[2] > pd.tbs_special):
+            retx_fits_slot(is_special, queue.head[2], pd.tbs_special):
         _due, _seq, tbs, attempts, p_hint = queue.pop()
         params = pd.params
-        p_retx = min(1.0, p_hint * params.retx_error_scale)
+        p_retx = retx_error_probability(p_hint, params.retx_error_scale)
         ok = pd.retx_uniforms[i] >= p_retx
         trace.scheduled[i] = True
         trace.is_retx[i] = True
@@ -481,10 +518,10 @@ class _VectorizedEngine:
         is_special = bool(pd.special[i])
         heap = queue._heap
         if heap and heap[0][0] <= i and \
-                not (is_special and heap[0][2] > pd.tbs_special):
+                retx_fits_slot(is_special, heap[0][2], pd.tbs_special):
             _due, _seq, tbs, attempts, p_hint = queue.pop()
             params = pd.params
-            p_retx = min(1.0, p_hint * params.retx_error_scale)
+            p_retx = retx_error_probability(p_hint, params.retx_error_scale)
             ok = bool(pd.retx_uniforms[i] >= p_retx)
             self._events.append((i, tbs, ok, True, pd.prb, pd.mcs, pd.mod,
                                  pd.layers, pd.cqi, pd.dci))

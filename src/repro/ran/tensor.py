@@ -22,19 +22,28 @@ This module runs a whole *cohort* of same-shape sessions as one
 - **Decode outcomes evaluate as one 2-D BLER pass per CQI period** —
   the same in-place ufunc sequence the per-session path runs on a 1-D
   slice, which numpy evaluates bit-identically on 2-D views.
-- **Clean periods collapse to bookkeeping**: a (column, period) cell
-  with no pending HARQ retransmission and no failed transmission needs
-  no per-slot work at all — its ACK count is a prefix-sum difference
-  and its trace slots are bulk-filled from per-period constants at
-  flush time.  Dirty cells — where retx windows diverge between
-  columns — fall back per column to :func:`_run_column_period`, a
+- **Execution is three-tiered per (column, period) cell.**  *Clean*
+  cells — no failed transmission and no retransmission due inside the
+  period — collapse to bookkeeping: the ACK count is a prefix-sum
+  difference and the trace slots are bulk-filled from per-period
+  constants at flush time.  *Dirty* cells run through the **batched
+  retx pass** (:class:`_CohortRetxLanes`): per-column HARQ state lives
+  in struct-of-arrays lanes (due-slot / pending-TBS / attempt-count /
+  p-hint vectors instead of per-column heaps — valid because due slots
+  are strictly monotone in push order, see the class docstring), and
+  each round of the period advances *every* dirty column by one event
+  (a served retransmission, a special-slot deferral, or a committed
+  clean sub-segment) with masked gathers and scatters across the
+  cohort axis.  Only genuinely pathological cells — pending retx
+  backlog above :data:`_RESIDUAL_PENDING` blocks at period start — drop
+  to the *residual* per-column runner :func:`_run_column_period`, a
   flattened transliteration of the segment-batched
-  ``_VectorizedEngine.run_period`` / ``_fallback_slot`` pair: the same
-  control flow and the same float operations, but with heap and
-  segment state in locals and one tuple append per committed segment,
-  so a dirty cell costs a fraction of a full per-session period.  The
-  equivalence-matrix tests pin this transliteration byte-for-byte to
-  the ``engine="reference"`` oracle.
+  ``_VectorizedEngine.run_period`` / ``_fallback_slot`` pair.  All
+  three tiers share the retransmission-window semantics factored into
+  :func:`~repro.ran.simulator.retx_fits_slot` /
+  :func:`~repro.ran.simulator.retx_error_probability`, and the
+  equivalence-matrix tests pin every tier byte-for-byte to the
+  ``engine="reference"`` oracle.
 
 Traces are flushed one column at a time (``simulate_*_cohort`` return
 lazy generators), so a reducing consumer folds each session's sketch
@@ -51,6 +60,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.channel.model import ChannelRealization
+from repro.ran import _native
 from repro.nr.cqi import CQI_MAX
 from repro.nr.mcs import Modulation
 from repro.nr.signal import sinr_to_cqi
@@ -60,7 +70,8 @@ from repro.ran.config import CellConfig
 from repro.ran.simulator import (BACKGROUND_TRIM_MAX, SLOT_DL, SLOT_SPECIAL,
                                  SLOT_UL, SimParams, _mappers, _RB_QUANTUM,
                                  _slot_types, _TbsCache, _usable_symbols,
-                                 _forward_fill_cqi, replace)
+                                 _forward_fill_cqi, replace,
+                                 retx_error_probability, retx_fits_slot)
 from repro.xcal.records import SlotTrace, TraceMetadata
 
 __all__ = [
@@ -78,35 +89,59 @@ __all__ = [
 _COUNTERS = {
     "cohorts": 0,            # tensor passes run in this process
     "columns": 0,            # sessions executed through a tensor pass
-    "columns_fallback": 0,   # columns that needed the per-column runner
-    "dirty_periods": 0,      # (column, period) cells run via fallback
+    "columns_fallback": 0,   # columns that needed the residual runner
+    "cells": 0,              # (column, period) cells examined
+    "dirty_periods": 0,      # cells with HARQ retx work (batched + residual)
+    "batched_periods": 0,    # dirty cells handled by the batched retx lanes
+    "native_periods": 0,     # batched cells that ran the compiled kernel
+    "residual_periods": 0,   # dirty cells through _run_column_period
     "slots": 0,              # column-slots processed by tensor passes
     "seconds": 0.0,          # wall time inside tensor passes
+    "predraw_s": 0.0,        # per-column RNG pre-draw + measurement chain
+    "pass_s": 0.0,           # vectorized period loop (LA/BLER/bookkeeping)
+    "batched_s": 0.0,        # batched retx lanes (dirty cells, cohort-wide)
+    "residual_s": 0.0,       # residual per-column fallback
+    "flush_s": 0.0,          # trace materialization
 }
 
 
 def cohort_stats() -> dict:
     """Counters of the cohort tensor path in this process.
 
-    ``columns_fallback`` counts columns evicted from the pure tensor
-    path at least once (a diverging retx window instantiated their
-    per-column state); ``slots``/``seconds`` give tensor slots/s.
+    ``dirty_periods`` counts (column, period) cells with retransmission
+    work; of those, ``batched_periods`` ran through the batched retx
+    lanes (``native_periods`` of them via the compiled kernel) and
+    ``residual_periods`` through the per-column runner
+    (``columns_fallback`` counts the columns that ever took the
+    residual path).  The ``*_s`` keys decompose ``seconds`` into the
+    pass phases surfaced by ``repro bench --workload tensor``.
     """
     return dict(_COUNTERS)
 
 
 def reset_cohort_stats() -> None:
-    for key in _COUNTERS:
-        _COUNTERS[key] = 0.0 if key == "seconds" else 0
+    for key, value in _COUNTERS.items():
+        _COUNTERS[key] = 0.0 if isinstance(value, float) else 0
 
 
 def render_cohort_stats() -> str:
-    """One-line summary, shaped like the TBS cache line."""
+    """One-line summary, shaped like the TBS cache line.
+
+    Reports the dirty-cell *fraction* and the batched-vs-residual
+    split, not just raw counters — a 100%-fallback regression must be
+    visible at a glance.
+    """
     s = cohort_stats()
     rate = s["slots"] / s["seconds"] if s["seconds"] > 0 else 0.0
+    cells = s["cells"]
+    dirty = s["dirty_periods"]
+    dirty_pct = 100.0 * dirty / cells if cells else 0.0
+    resid_pct = 100.0 * s["residual_periods"] / dirty if dirty else 0.0
     return (f"tensor cohorts={s['cohorts']} columns={s['columns']} "
             f"fallback_columns={s['columns_fallback']} "
-            f"dirty_periods={s['dirty_periods']} "
+            f"dirty={dirty}/{cells} ({dirty_pct:.1f}%) "
+            f"batched={s['batched_periods']} (native={s['native_periods']}) "
+            f"residual={s['residual_periods']} ({resid_pct:.1f}% of dirty) "
             f"slots_per_s={rate:,.0f}")
 
 
@@ -158,6 +193,532 @@ def _la_luts(cell: CellConfig):
     cached = (mcs_lut, eff_lut, mod_lut, n_max)
     _MCS_LUT_CACHE[key] = cached
     return cached
+
+
+# ---------------------------------------------------------------------- #
+# Batched retx lanes: the period-major dirty-cell pass
+# ---------------------------------------------------------------------- #
+
+#: Due-slot sentinel for empty lane entries — far beyond any slot index,
+#: so ``due[:, 0] < stop`` doubles as the "head pending and due inside
+#: this period" predicate without a separate emptiness mask.
+_FAR = np.int64(1) << 60
+
+#: Pending-backlog ceiling for the batched lanes.  A column holding
+#: more queued retransmissions than this at period start is genuinely
+#: pathological (sustained near-certain failure at long RTT); its round
+#: count would make the whole cohort's batched pass iterate for a
+#: handful of stragglers, so the cell drops to the residual per-column
+#: runner instead.  The bench gate asserts the residual tier stays
+#: below 5% of dirty cells.
+_RESIDUAL_PENDING = 6
+
+
+def _next_slot_table(mask: np.ndarray) -> np.ndarray:
+    """``nxt[j]`` = smallest slot ``k >= j`` with ``mask[k]`` (else
+    ``mask.size``) — a suffix-minimum over the masked slot indices."""
+    n = mask.size
+    idx = np.where(mask, np.arange(n, dtype=np.int64), n)
+    return np.minimum.accumulate(idx[::-1])[::-1].copy()
+
+
+class _CohortRetxLanes:
+    """Struct-of-arrays HARQ retransmission state for a whole cohort.
+
+    One lane (row) per column.  ``due[c, :n[c]]`` holds the due slots
+    of the column's pending retransmission blocks in **strictly
+    increasing order**, with ``tbs``/``att``/``p`` the matching TBS,
+    attempt count and error-probability hint.  A flat sorted lane is
+    exactly equivalent to the per-session engines' due-slot min-heap
+    because every push is ``slot + harq_rtt_slots`` with at most one
+    push per slot (a slot serves a retransmission *or* transmits new
+    data, never both): due slots are unique and monotone in push
+    order, so FIFO order == heap order and the ``_RetxQueue`` sequence
+    tie-break can never fire.
+
+    :meth:`run_period` advances all dirty columns of one CQI period in
+    lock-step *rounds*.  Per round each active column handles its next
+    event — serve the due head at the first eligible slot (the shared
+    :func:`~repro.ran.simulator.retx_fits_slot` rule, resolved through
+    precomputed next-eligible-slot tables), transmit new data in a
+    special slot that cannot carry an oversized due block (the
+    deferral rule), or commit a maximal clean sub-segment bounded by
+    the head's due slot and the first fresh NACK's re-arm point — as
+    masked gathers/scatters across the cohort axis.  Every round
+    strictly advances each active cursor, so a period of ``m`` slots
+    takes at most ``m`` rounds and typically two or three.
+
+    Committed sub-segments and served/deferred events are buffered as
+    arrays per round; :meth:`committed_mask` / :meth:`events_by_column`
+    re-shape them for the flush, which writes the identical bytes the
+    per-session engines produce.
+    """
+
+    def __init__(self, n_cols: int, n_slots: int, usable: np.ndarray,
+                 special_mask: np.ndarray, cum4: np.ndarray,
+                 rtt: int, scale: float, max_attempts: int):
+        self.n_cols = n_cols
+        self.n_slots = n_slots
+        self.special = special_mask
+        self.cum4 = cum4
+        self.rtt = rtt
+        self.scale = scale
+        self.max_attempts = max_attempts
+        # Next-eligible-slot tables for the three serve/defer targets:
+        # any usable slot (a fitting block), usable full slots (an
+        # oversized block), usable special slots (deferral candidates).
+        self.nxt_usable = _next_slot_table(usable)
+        self.nxt_full = _next_slot_table(usable & ~special_mask)
+        self.nxt_special = _next_slot_table(usable & special_mask)
+        # With no usable special slot anywhere (FDD-like patterns) the
+        # serve target never depends on the head size and deferral is
+        # impossible, so the window phase can skip both decisions.
+        self.no_defer = not bool((usable & special_mask).any())
+        # Byte views + scratch for the compiled kernel (grown lazily;
+        # unused when the native tier is unavailable).
+        self._usable_u8 = np.ascontiguousarray(usable).view(np.uint8)
+        self._special_u8 = np.ascontiguousarray(special_mask).view(np.uint8)
+        self._nat_rows = 0
+        self._nat_args: list | None = None
+        cap = 8
+        self.due = np.full((n_cols, cap), _FAR, dtype=np.int64)
+        self.tbs = np.zeros((n_cols, cap), dtype=np.int64)
+        self.att = np.zeros((n_cols, cap), dtype=np.int64)
+        self.p = np.zeros((n_cols, cap))
+        self.n = np.zeros(n_cols, dtype=np.int64)
+        # Flush buffers: committed sub-segments as (col, lo, hi) triples
+        # and fallback events as (col, slot, tbs, ok, is_retx) rows,
+        # appended one array per round.
+        self._seg_cols: list[np.ndarray] = []
+        self._seg_lo: list[np.ndarray] = []
+        self._seg_hi: list[np.ndarray] = []
+        self._ev_cols: list[np.ndarray] = []
+        self._ev_slot: list[np.ndarray] = []
+        self._ev_tbs: list[np.ndarray] = []
+        self._ev_ok: list[np.ndarray] = []
+        self._ev_retx: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------ #
+    # Lane capacity and heap interchange (residual tier)
+    # ------------------------------------------------------------------ #
+    def _ensure_cap(self, need: int) -> None:
+        cap = self.due.shape[1]
+        if need <= cap:
+            return
+        new = max(need, 2 * cap)
+
+        def widen(a: np.ndarray, fill) -> np.ndarray:
+            b = np.full((self.n_cols, new), fill, dtype=a.dtype)
+            b[:, :cap] = a
+            return b
+
+        self.due = widen(self.due, _FAR)
+        self.tbs = widen(self.tbs, 0)
+        self.att = widen(self.att, 0)
+        self.p = widen(self.p, 0.0)
+        if self._nat_args is not None:
+            self._refresh_native_ptrs()
+
+    def export_heap(self, c: int) -> list[tuple]:
+        """A column's lane as ``_RetxQueue``-shaped heap tuples (the
+        sorted lane is a valid min-heap; seq = lane position)."""
+        k = int(self.n[c])
+        due, tbs, att, p = self.due[c], self.tbs[c], self.att[c], self.p[c]
+        return [(int(due[i]), i, int(tbs[i]), int(att[i]), float(p[i]))
+                for i in range(k)]
+
+    def import_heap(self, c: int, heap: list[tuple]) -> None:
+        """Re-absorb a column's heap after a residual period (due order
+        restored by sorting; dues are unique, so the order is total)."""
+        entries = sorted(heap)
+        k = len(entries)
+        self._ensure_cap(k)
+        due, tbs, att, p = self.due[c], self.tbs[c], self.att[c], self.p[c]
+        for i, (d, _seq, t, a, hint) in enumerate(entries):
+            due[i] = d
+            tbs[i] = t
+            att[i] = a
+            p[i] = hint
+        due[k:] = _FAR
+        self.n[c] = k
+
+    # ------------------------------------------------------------------ #
+    # The batched pass
+    # ------------------------------------------------------------------ #
+    def run_period(self, bidx: np.ndarray, start: int, stop: int,
+                   failm_b: np.ndarray, case_b: np.ndarray,
+                   tbsf_b: np.ndarray, tbss_b: np.ndarray,
+                   retx2: np.ndarray, decoded2: np.ndarray,
+                   p_err2: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Advance the batched dirty columns ``bidx`` through one
+        period; returns their per-column (acks, nacks) over new
+        transmissions, exactly as the scalar oracle counts them.
+
+        Each round runs the segment phase first, so a column whose
+        clean sub-segment ends at a due (or freshly re-armed) head is
+        served by the window phase of the *same* round: the common
+        dirty cell — one failed transmission, one retransmission —
+        costs two rounds instead of four.
+
+        When the compiled kernel is available the same advance runs
+        natively (identical semantics, identical buffers — see
+        ``_retx_kernel.c``); this numpy pass is the portable tier.
+        """
+        kernel = _native.load_kernel()
+        if kernel is not None:
+            return self._run_period_native(
+                kernel, bidx, start, stop, failm_b, case_b,
+                tbsf_b, tbss_b, retx2, decoded2, p_err2)
+        nb = bidx.size
+        m = stop - start
+        rtt = self.rtt
+        spec = self.special
+        cum4 = self.cum4
+        max_att = self.max_attempts
+        nxt_u, nxt_f, nxt_s = self.nxt_usable, self.nxt_full, self.nxt_special
+        no_defer = self.no_defer
+
+        # Local working copies of the selected lanes (scattered back at
+        # the end; capacity growth stays local until then).  ``due0``
+        # views the head column, so pops and pushes keep it current.
+        due = self.due[bidx]
+        tbs = self.tbs[bidx]
+        att = self.att[bidx]
+        ph = self.p[bidx]
+        pn = self.n[bidx]
+        cap = due.shape[1]
+        due0 = due[:, 0]
+
+        def grow(need: int) -> None:
+            nonlocal due, tbs, att, ph, cap, due0
+            new = max(need, 2 * cap)
+
+            def widen(a: np.ndarray, fill) -> np.ndarray:
+                b = np.full((nb, new), fill, dtype=a.dtype)
+                b[:, :cap] = a
+                return b
+
+            due = widen(due, _FAR)
+            tbs = widen(tbs, 0)
+            att = widen(att, 0)
+            ph = widen(ph, 0.0)
+            cap = new
+            due0 = due[:, 0]
+
+        # Fresh-NACK bookkeeping: prefix counts give both the number of
+        # NACKs a committed range queues and — because the cursor only
+        # ever consumes positions it passes — the ordinal of the next
+        # candidate; a suffix-minimum over absolute candidate re-arm
+        # slots (``start + pos + rtt``, sentinel past the period) bounds
+        # every segment with a single gather + minimum: the oracle's
+        # two-clause shrink rule (first < end and first + rtt < end)
+        # collapses to it because rtt >= 1 makes the first clause
+        # redundant, and the re-arm point always sits strictly past the
+        # cursor, so rounds keep advancing.
+        total_err = int(failm_b.sum())
+        if total_err:
+            cumf = np.zeros((nb, m + 1), dtype=np.int64)
+            np.cumsum(failm_b, axis=1, out=cumf[:, 1:])
+            ecnt = cumf[:, m]
+            rearm = np.where(failm_b, np.arange(m, dtype=np.int64), m)
+            rearm = np.minimum.accumulate(rearm[:, ::-1], axis=1)[:, ::-1]
+            rearm += start + rtt
+            err_pad = np.full((nb, int(ecnt.max())), m, dtype=np.int64)
+            erows, epos = np.nonzero(failm_b)
+            row0 = np.cumsum(ecnt) - ecnt
+            err_pad[erows, np.arange(erows.size) - row0[erows]] = epos
+
+        cur = np.full(nb, start, dtype=np.int64)
+        acks_b = np.zeros(nb, dtype=np.int64)
+        nacks_b = np.zeros(nb, dtype=np.int64)
+        live = np.ones(nb, dtype=bool)
+
+        while live.any():
+            # --- segment phase: commit one clean sub-segment ----------
+            gidx = np.flatnonzero(live & (due0 > cur))
+            if gidx.size:
+                i0 = cur[gidx]
+                send = np.minimum(due0[gidx], stop)
+                cg = case_b[gidx]
+                self._seg_cols.append(bidx[gidx])
+                self._seg_lo.append(i0)
+                if total_err:
+                    send = np.minimum(send, rearm[gidx, i0 - start])
+                    cnt = cum4[cg, send] - cum4[cg, i0]
+                    e0 = cumf[gidx, i0 - start]
+                    npush = cumf[gidx, send - start] - e0
+                    acks_b[gidx] += cnt - npush
+                    nacks_b[gidx] += npush
+                    tot = int(npush.sum())
+                    if tot == 0:
+                        pass
+                    elif int(npush.max()) == 1:
+                        # Fast path: at most one fresh NACK per column
+                        # this round — direct scatter, no repeats.
+                        pm = npush > 0
+                        rep = gidx[pm]
+                        pos = err_pad[rep, e0[pm]]
+                        slot = pn[rep]
+                        if int(slot.max()) >= cap:
+                            grow(cap + 1)
+                        due[rep, slot] = start + pos + rtt
+                        tbs[rep, slot] = np.where(spec[start + pos],
+                                                  tbss_b[rep], tbsf_b[rep])
+                        att[rep, slot] = 1
+                        ph[rep, slot] = p_err2[bidx[rep], pos]
+                        pn[rep] += 1
+                    else:
+                        rep = np.repeat(gidx, npush)
+                        k = np.arange(tot, dtype=np.int64) \
+                            - np.repeat(np.cumsum(npush) - npush, npush)
+                        pos = err_pad[rep, np.repeat(e0, npush) + k]
+                        slot = pn[rep] + k
+                        need = int(slot.max()) + 1
+                        if need > cap:
+                            grow(need)
+                        due[rep, slot] = start + pos + rtt
+                        tbs[rep, slot] = np.where(spec[start + pos],
+                                                  tbss_b[rep], tbsf_b[rep])
+                        att[rep, slot] = 1
+                        ph[rep, slot] = p_err2[bidx[rep], pos]
+                        pn[gidx] += npush
+                else:
+                    acks_b[gidx] += cum4[cg, send] - cum4[cg, i0]
+                self._seg_hi.append(send)
+                cur[gidx] = send
+                np.less(cur, stop, out=live)
+
+            # --- window phase: one serve/deferral event per column ----
+            widx = np.flatnonzero(live & (due0 <= cur))
+            if not widx.size:
+                if not gidx.size:
+                    break
+                continue
+            w = cur[widx]
+            if no_defer:
+                j_srv = nxt_u[w]
+                do_srv = j_srv < stop
+                do_def = None
+            else:
+                tsp = tbss_b[widx]
+                fits = tbs[widx, 0] <= tsp  # vectorized retx_fits_slot
+                j_srv = np.where(fits, nxt_u[w], nxt_f[w])
+                j_def = np.where(fits | (tsp <= 0), _FAR, nxt_s[w])
+                do_def = (j_def < j_srv) & (j_def < stop)
+                do_srv = ~do_def & (j_srv < stop)
+            # Default every window column to the halt outcome (no
+            # eligible slot left: the cursor crawls to the boundary
+            # with the head still due); serve/defer overwrite below.
+            cur[widx] = stop
+            sidx = widx[do_srv]
+            if sidx.size:
+                s = j_srv[do_srv]
+                g = bidx[sidx]
+                s_tbs = tbs[sidx, 0]
+                s_att = att[sidx, 0]
+                s_ph = ph[sidx, 0]
+                ok = retx2[g, s] >= retx_error_probability(s_ph, self.scale)
+                self._ev_cols.append(g)
+                self._ev_slot.append(s)
+                self._ev_tbs.append(s_tbs)
+                self._ev_ok.append(ok)
+                self._ev_retx.append(np.ones(s.size, dtype=bool))
+                # Pop the served head (lanes shift left, staying
+                # due-sorted) and requeue scaled failures.
+                due[sidx, :-1] = due[sidx, 1:]
+                due[sidx, -1] = _FAR
+                tbs[sidx, :-1] = tbs[sidx, 1:]
+                att[sidx, :-1] = att[sidx, 1:]
+                ph[sidx, :-1] = ph[sidx, 1:]
+                pn[sidx] -= 1
+                requeue = ~ok & (s_att + 1 < max_att)
+                if requeue.any():
+                    r = sidx[requeue]
+                    slot = pn[r]
+                    due[r, slot] = s[requeue] + rtt
+                    tbs[r, slot] = s_tbs[requeue]
+                    att[r, slot] = s_att[requeue] + 1
+                    ph[r, slot] = s_ph[requeue]
+                    pn[r] += 1
+                cur[sidx] = s + 1
+            if do_def is not None and do_def.any():
+                # Deferral: the special slot carries new data while
+                # the oversized block waits for the next full slot.
+                didx = widx[do_def]
+                d = j_def[do_def]
+                g = bidx[didx]
+                d_tbs = tbss_b[didx]
+                ok = decoded2[g, d]
+                self._ev_cols.append(g)
+                self._ev_slot.append(d)
+                self._ev_tbs.append(d_tbs.copy())
+                self._ev_ok.append(ok)
+                self._ev_retx.append(np.zeros(d.size, dtype=bool))
+                acks_b[didx] += ok
+                bad = ~ok
+                if bad.any():
+                    b = didx[bad]
+                    if int(pn[b].max()) >= cap:
+                        grow(cap + 1)
+                    slot = pn[b]
+                    due[b, slot] = d[bad] + rtt
+                    tbs[b, slot] = d_tbs[bad]
+                    att[b, slot] = 1
+                    ph[b, slot] = p_err2[g[bad], d[bad] - start]
+                    pn[b] += 1
+                    nacks_b[b] += 1
+                cur[didx] = d + 1
+            np.less(cur, stop, out=live)
+
+        # Scatter the lanes back (untouched rows beyond the local
+        # capacity are already at the _FAR sentinel).
+        self._ensure_cap(cap)
+        self.due[bidx, :cap] = due
+        self.tbs[bidx, :cap] = tbs
+        self.att[bidx, :cap] = att
+        self.p[bidx, :cap] = ph
+        self.n[bidx] = pn
+        return acks_b, nacks_b
+
+    # ------------------------------------------------------------------ #
+    # Native tier
+    # ------------------------------------------------------------------ #
+    def _grow_native_scratch(self, rows: int) -> None:
+        self._nat_rows = rows
+        self._nat_seg_col = np.empty(rows, dtype=np.int64)
+        self._nat_seg_lo = np.empty(rows, dtype=np.int64)
+        self._nat_seg_hi = np.empty(rows, dtype=np.int64)
+        self._nat_ev_col = np.empty(rows, dtype=np.int64)
+        self._nat_ev_slot = np.empty(rows, dtype=np.int64)
+        self._nat_ev_tbs = np.empty(rows, dtype=np.int64)
+        self._nat_ev_ok = np.empty(rows, dtype=bool)
+        self._nat_ev_retx = np.empty(rows, dtype=bool)
+        self._nat_acks = np.empty(self.n_cols, dtype=np.int64)
+        self._nat_nacks = np.empty(self.n_cols, dtype=np.int64)
+        self._nat_counts = np.empty(2, dtype=np.int64)
+        if self._nat_args is not None:
+            self._refresh_native_ptrs()
+
+    def _refresh_native_ptrs(self) -> None:
+        """Re-read the data pointers of reallocatable arrays into the
+        cached argument list (lane arrays move on ``_ensure_cap``,
+        scratch on ``_grow_native_scratch``)."""
+        a = self._nat_args
+        a[4] = self.due.shape[1]
+        a[5] = self.due.ctypes.data
+        a[6] = self.tbs.ctypes.data
+        a[7] = self.att.ctypes.data
+        a[8] = self.p.ctypes.data
+        for i, arr in enumerate((
+                self._nat_acks, self._nat_nacks, self._nat_seg_col,
+                self._nat_seg_lo, self._nat_seg_hi, self._nat_ev_col,
+                self._nat_ev_slot, self._nat_ev_tbs, self._nat_ev_ok,
+                self._nat_ev_retx, self._nat_counts), start=26):
+            a[i] = arr.ctypes.data
+
+    def _bind_native(self, retx2: np.ndarray, decoded2: np.ndarray,
+                     p_err2: np.ndarray) -> None:
+        """Build the cached kernel argument list once per cohort.
+
+        ``ndarray.ctypes.data`` costs ~1us per access; at ~35 arguments
+        per period call that attribute churn would rival the kernel
+        itself, so per-cohort constants are resolved here and only the
+        genuinely per-call slots are rewritten in the hot path."""
+        self._nat_args = [
+            0, 0, 0, 0,                                   # nb, bidx, start, stop
+            0, 0, 0, 0, 0,                                # cap, due, tbs, att, ph
+            self.n.ctypes.data, int(_FAR),
+            0, 0, 0, 0,                                   # failm, case, tbsf, tbss
+            self.n_slots, retx2.ctypes.data, decoded2.ctypes.data,
+            p_err2.ctypes.data, p_err2.shape[1],
+            self.cum4.ctypes.data, self._usable_u8.ctypes.data,
+            self._special_u8.ctypes.data,
+            self.rtt, self.scale, self.max_attempts,
+            0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,              # outputs
+        ]
+        self._refresh_native_ptrs()
+
+    def _run_period_native(self, kernel, bidx: np.ndarray,
+                           start: int, stop: int,
+                           failm_b: np.ndarray, case_b: np.ndarray,
+                           tbsf_b: np.ndarray, tbss_b: np.ndarray,
+                           retx2: np.ndarray, decoded2: np.ndarray,
+                           p_err2: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One compiled-kernel call for the whole batched period.
+
+        Operates on the lane arrays in place (capacity pre-grown to the
+        worst case: each slot queues at most one block, so the pending
+        count can rise by at most the period length) and drains the
+        kernel's segment/event buffers into the same flush lists the
+        numpy rounds append, in the same within-column order.
+        """
+        nb = bidx.size
+        m = stop - start
+        self._ensure_cap(int(self.n[bidx].max()) + m)
+        rows = nb * m
+        if self._nat_rows < rows:
+            self._grow_native_scratch(rows)
+        if self._nat_args is None:
+            self._bind_native(retx2, decoded2, p_err2)
+        args = self._nat_args
+        args[0] = nb
+        args[1] = bidx.ctypes.data
+        args[2] = start
+        args[3] = stop
+        args[11] = failm_b.ctypes.data
+        args[12] = case_b.ctypes.data
+        args[13] = tbsf_b.ctypes.data
+        args[14] = tbss_b.ctypes.data
+        rc = kernel(*args)
+        if rc != 0:  # pragma: no cover - the kernel cannot fail today
+            raise RuntimeError(f"native retx kernel returned {rc}")
+        ns = int(self._nat_counts[0])
+        ne = int(self._nat_counts[1])
+        if ns:
+            self._seg_cols.append(self._nat_seg_col[:ns].copy())
+            self._seg_lo.append(self._nat_seg_lo[:ns].copy())
+            self._seg_hi.append(self._nat_seg_hi[:ns].copy())
+        if ne:
+            self._ev_cols.append(self._nat_ev_col[:ne].copy())
+            self._ev_slot.append(self._nat_ev_slot[:ne].copy())
+            self._ev_tbs.append(self._nat_ev_tbs[:ne].copy())
+            self._ev_ok.append(self._nat_ev_ok[:ne].copy())
+            self._ev_retx.append(self._nat_ev_retx[:ne].copy())
+        # Views of reusable scratch: the caller scatters these into its
+        # per-column accumulators immediately, before the next call.
+        return self._nat_acks[:nb], self._nat_nacks[:nb]
+
+    # ------------------------------------------------------------------ #
+    # Flush shaping
+    # ------------------------------------------------------------------ #
+    def committed_mask(self) -> np.ndarray | None:
+        """(n_cols, n_slots) bool of batched committed sub-segment
+        ranges (pre-AND with the transmit pattern), or ``None``."""
+        if not self._seg_cols:
+            return None
+        c = np.concatenate(self._seg_cols)
+        lo = np.concatenate(self._seg_lo)
+        hi = np.concatenate(self._seg_hi)
+        delta = np.zeros((self.n_cols, self.n_slots + 1), dtype=np.int32)
+        np.add.at(delta, (c, lo), 1)
+        np.add.at(delta, (c, hi), -1)
+        return np.cumsum(delta[:, :-1], axis=1, dtype=np.int32) > 0
+
+    def events_by_column(self):
+        """Served/deferred events grouped by column for the flush:
+        ``(bounds, slots, tbs, ok, is_retx)`` with column ``c``'s rows
+        at ``[bounds[c]:bounds[c + 1]]``, or ``None``."""
+        if not self._ev_cols:
+            return None
+        c = np.concatenate(self._ev_cols)
+        order = np.argsort(c, kind="stable")
+        c = c[order]
+        bounds = np.searchsorted(c, np.arange(self.n_cols + 1))
+        return (bounds,
+                np.concatenate(self._ev_slot)[order],
+                np.concatenate(self._ev_tbs)[order],
+                np.concatenate(self._ev_ok)[order],
+                np.concatenate(self._ev_retx)[order])
 
 
 # ---------------------------------------------------------------------- #
@@ -223,10 +784,9 @@ def _run_column_period(col: _Column, start: int, stop: int,
         # data, which this period cannot carry).
         while i < stop:
             if heap and heap[0][0] <= i and usable[i]:
-                if not (special[i] and heap[0][2] > tbs_special):
+                if retx_fits_slot(special[i], heap[0][2], tbs_special):
                     _due, _seq, tbs, attempts, p_hint = heappop(heap)
-                    p_retx = p_hint * scale
-                    ok = retx_u[i] >= (p_retx if p_retx < 1.0 else 1.0)
+                    ok = retx_u[i] >= retx_error_probability(p_hint, scale)
                     events.append((i, tbs, ok, True))
                     if not ok and attempts + 1 < max_attempts:
                         heappush(heap, (i + rtt, seq, tbs, attempts + 1, p_hint))
@@ -250,10 +810,9 @@ def _run_column_period(col: _Column, start: int, stop: int,
             # cannot carry it).
             if usable[i]:
                 is_special = special[i]
-                if not (is_special and heap[0][2] > tbs_special):
+                if retx_fits_slot(is_special, heap[0][2], tbs_special):
                     _due, _seq, tbs, attempts, p_hint = heappop(heap)
-                    p_retx = p_hint * scale
-                    ok = retx_u[i] >= (p_retx if p_retx < 1.0 else 1.0)
+                    ok = retx_u[i] >= retx_error_probability(p_hint, scale)
                     events.append((i, tbs, ok, True))
                     if not ok and attempts + 1 < max_attempts:
                         heappush(heap, (i + rtt, seq, tbs, attempts + 1, p_hint))
@@ -419,14 +978,14 @@ def _simulate_direction_cohort(
     # on the same 1-D arrays the per-session path sees, then stacks.
     bler = params.bler
     uniforms2 = np.empty((n_cols, n_slots))
-    retx_rows: list[np.ndarray] = []
+    retx2 = np.empty((n_cols, n_slots))
     noise2 = np.empty((n_cols, n_periods_total))
     bg_raw2 = np.empty((n_cols, n_periods_total))
     sinr2 = np.empty((n_cols, n_slots))
     meas_idx = np.maximum(starts - params.cqi_delay_slots, 0)
     for c, rng in enumerate(rngs):
         uniforms2[c] = rng.random(n_slots)
-        retx_rows.append(rng.random(n_slots))
+        retx2[c] = rng.random(n_slots)
         noise2[c] = rng.standard_normal(n_periods_total)
         bg_raw2[c] = rng.standard_normal(n_periods_total)
         sinr2[c] = channels[c].sinr_db
@@ -497,7 +1056,8 @@ def _simulate_direction_cohort(
     delta = np.zeros(n_cols)
     rank = np.ones(n_cols, dtype=np.int64)
     ewma = np.empty(n_cols)
-    queue_active = np.zeros(n_cols, dtype=bool)
+    lanes = _CohortRetxLanes(n_cols, n_slots, usable, special_mask, cum4,
+                             rtt, scale, max_attempts)
     cols: list[_Column | None] = [None] * n_cols
 
     decoded2 = np.empty((n_cols, n_slots), dtype=bool)
@@ -545,6 +1105,11 @@ def _simulate_direction_cohort(
     empty_err: list = []
 
     dirty_cells = 0
+    batched_cells = 0
+    residual_cells = 0
+    t_batched = 0.0
+    t_residual = 0.0
+    t_loop = time.perf_counter()
     for p in range(n_periods):
         start = starts_l[p]
         stop = stops_l[p]
@@ -598,42 +1163,58 @@ def _simulate_direction_cohort(
                                out=failm2[:, :m])
         fail_any = failm.any(axis=1)
         cnt = percnt4[:, p][case]
-        dirty = queue_active | fail_any
+        # Narrowed dirty predicate: a pending queue only dirties a
+        # period its head can actually come due in — a backlog due
+        # beyond ``stop`` leaves the whole period on the clean path.
+        dirty = fail_any | (lanes.due[:, 0] < stop)
         clean = ~dirty
         clean2t[p] = clean
         acks = np.where(clean, cnt, 0)
         nacks = np.zeros(n_cols, dtype=np.int64)
 
         if dirty.any():
-            dirty_idx = np.flatnonzero(dirty).tolist()
-            dirty_cells += len(dirty_idx)
-            fail_l = fail_any.tolist()
-            prb_l = prb2[:, p].tolist()
-            mcs_l = mcs.tolist()
-            mod_l = mod.tolist()
-            lay_l = layers.tolist()
-            cqi_l = cqi.tolist()
-            dci_l = dci2t[p].tolist()
-            tbsf_l = tbs_full.tolist()
-            tbss_l = tbs_special.tolist()
-            case_l = case.tolist()
-            for c in dirty_idx:
-                col = cols[c]
-                if col is None:
-                    col = cols[c] = _Column(n_slots)
-                    _COUNTERS["columns_fallback"] += 1
-                ci = case_l[c]
-                a, n = _run_column_period(
-                    col, start, stop, tx4[ci], cum4_l[ci], usable_l, special_l,
-                    decoded[c], p_err2[c], retx_rows[c],
-                    (prb_l[c], mcs_l[c], mod_l[c], lay_l[c], cqi_l[c],
-                     dci_l[c]),
-                    tbsf_l[c], tbss_l[c], rtt, scale, max_attempts,
-                    failm[c].nonzero()[0].tolist() if fail_l[c] else empty_err,
+            dirty_cells += int(dirty.sum())
+            # Tier split: the batched lanes take every dirty column
+            # except genuinely pathological backlogs, whose round count
+            # would stall the whole cohort's batched pass.
+            residual = dirty & (lanes.n > _RESIDUAL_PENDING)
+            bidx = np.flatnonzero(dirty & ~residual)
+            if bidx.size:
+                tb = time.perf_counter()
+                a_b, n_b = lanes.run_period(
+                    bidx, start, stop, failm[bidx], case[bidx],
+                    tbs_full[bidx], tbs_special[bidx],
+                    retx2, decoded2, p_err2,
                 )
-                acks[c] = a
-                nacks[c] = n
-                queue_active[c] = bool(col.heap)
+                acks[bidx] = a_b
+                nacks[bidx] = n_b
+                batched_cells += bidx.size
+                t_batched += time.perf_counter() - tb
+            if residual.any():
+                tr = time.perf_counter()
+                dci_p = dci2t[p]
+                for c in np.flatnonzero(residual).tolist():
+                    col = cols[c]
+                    if col is None:
+                        col = cols[c] = _Column(n_slots)
+                        _COUNTERS["columns_fallback"] += 1
+                    col.heap = lanes.export_heap(c)
+                    ci = int(case[c])
+                    a, n = _run_column_period(
+                        col, start, stop, tx4[ci], cum4_l[ci], usable_l,
+                        special_l, decoded[c], p_err2[c], retx2[c],
+                        (int(prb2[c, p]), int(mcs[c]), int(mod[c]),
+                         int(layers[c]), int(cqi[c]), int(dci_p[c])),
+                        int(tbs_full[c]), int(tbs_special[c]),
+                        rtt, scale, max_attempts,
+                        failm[c].nonzero()[0].tolist() if fail_any[c]
+                        else empty_err,
+                    )
+                    acks[c] = a
+                    nacks[c] = n
+                    lanes.import_heap(c, col.heap)
+                    residual_cells += 1
+                t_residual += time.perf_counter() - tr
 
         if olla_enabled:
             np.add(delta, acks * olla_up, out=delta)
@@ -641,11 +1222,21 @@ def _simulate_direction_cohort(
             np.maximum(delta, olla_lo, out=delta)
             np.minimum(delta, olla_hi, out=delta)
 
+    t_end = time.perf_counter()
     _COUNTERS["cohorts"] += 1
     _COUNTERS["columns"] += n_cols
+    _COUNTERS["cells"] += n_cols * n_periods
     _COUNTERS["dirty_periods"] += dirty_cells
+    _COUNTERS["batched_periods"] += batched_cells
+    if batched_cells and _native.load_kernel() is not None:
+        _COUNTERS["native_periods"] += batched_cells
+    _COUNTERS["residual_periods"] += residual_cells
     _COUNTERS["slots"] += n_cols * n_slots
-    _COUNTERS["seconds"] += time.perf_counter() - t0
+    _COUNTERS["seconds"] += t_end - t0
+    _COUNTERS["predraw_s"] += t_loop - t0
+    _COUNTERS["batched_s"] += t_batched
+    _COUNTERS["residual_s"] += t_residual
+    _COUNTERS["pass_s"] += (t_end - t_loop) - t_batched - t_residual
 
     # --- flush: one column trace at a time ------------------------------
     # Back to column-major so each column's per-period constants are a
@@ -660,6 +1251,10 @@ def _simulate_direction_cohort(
     tbss2 = np.ascontiguousarray(tbss2t.T)
     col_slots = np.arange(n_slots)
     period_of_slot = col_slots // period
+    tf = time.perf_counter()
+    inseg2 = lanes.committed_mask()
+    events = lanes.events_by_column()
+    _COUNTERS["flush_s"] += time.perf_counter() - tf
     for c in range(n_cols):
         t1 = time.perf_counter()
         trace = SlotTrace.empty(n_slots, mu=channels[c].mu, metadata=metadatas[c])
@@ -667,12 +1262,17 @@ def _simulate_direction_cohort(
         trace.rsrp_dbm[:] = channels[c].rsrp_dbm
         trace.rsrq_db[:] = channels[c].rsrq_db
         trace.slot_type[:] = slot_types
-        # Clean-period fast-path slots, bulk-filled from the per-period
-        # constant tensors (disjoint from the fallback runner's slots;
-        # every value equals what the per-session flush writes there).
+        # Clean-period and batched committed-segment slots, bulk-filled
+        # from the per-period constant tensors (disjoint from event and
+        # residual-runner slots; every value equals what the per-session
+        # flush writes there — clean slots all decoded, so the general
+        # delivered/error formula degenerates to the clean fill).
         case_slot = case2[c][period_of_slot]
         tx_slot = tx4[case_slot, col_slots]
-        idx = np.flatnonzero(tx_slot & clean2[c][period_of_slot])
+        fill_mask = clean2[c][period_of_slot]
+        if inseg2 is not None:
+            fill_mask = fill_mask | inseg2[c]
+        idx = np.flatnonzero(tx_slot & fill_mask)
         if idx.size:
             pos = period_of_slot[idx]
             prb = prb2[c][pos]
@@ -682,14 +1282,38 @@ def _simulate_direction_cohort(
                 layers=lay2[c][pos], cqi=cqi2[c][pos], dci_format=dci2[c][pos],
             )
             tbs_vec = np.where(special_mask[idx], tbss2[c][pos], tbsf2[c][pos])
+            ok = decoded2[c][idx]
             trace.tbs_bits[idx] = tbs_vec
-            # Clean periods have no failed transmission by definition:
-            # everything scheduled delivered, ``error`` stays False.
-            trace.delivered_bits[idx] = tbs_vec
+            trace.delivered_bits[idx] = np.where(ok, tbs_vec, 0)
+            trace.error[idx] = ~ok
+        if events is not None:
+            # Batched serve/deferral events: same payloads the residual
+            # runner buffers, with the period constants gathered via
+            # period-of-slot instead of np.repeat over meta rows.
+            ev_bounds, ev_slot, ev_tbs, ev_ok, ev_retx = events
+            lo, hi = ev_bounds[c], ev_bounds[c + 1]
+            if hi > lo:
+                ridx = ev_slot[lo:hi]
+                pos = period_of_slot[ridx]
+                prb = prb2[c][pos]
+                trace.fill(
+                    ridx, scheduled=True, n_prb=prb, n_re=prb * 12,
+                    mcs_index=mcs2[c][pos], modulation_order=mod2[c][pos],
+                    layers=lay2[c][pos], cqi=cqi2[c][pos],
+                    dci_format=dci2[c][pos],
+                )
+                rtbs = ev_tbs[lo:hi]
+                rok = ev_ok[lo:hi]
+                trace.is_retx[ridx] = ev_retx[lo:hi]
+                trace.tbs_bits[ridx] = rtbs
+                trace.delivered_bits[ridx] = np.where(rok, rtbs, 0)
+                trace.error[ridx] = ~rok
         if cols[c] is not None:
             _flush_column(cols[c], trace, special_mask, decoded2[c])
         _forward_fill_cqi(trace)
-        _COUNTERS["seconds"] += time.perf_counter() - t1
+        dt = time.perf_counter() - t1
+        _COUNTERS["seconds"] += dt
+        _COUNTERS["flush_s"] += dt
         yield trace
 
 

@@ -313,8 +313,8 @@ class TestReduceWorkloadShape:
 
 
 def _tensor_report(session_cold=150.0, session_warm=155.0,
-                   tensor_cold=310.0, tensor_warm=325.0,
-                   cohorts=8, quick=True) -> dict:
+                   tensor_cold=525.0, tensor_warm=550.0,
+                   cohorts=8, residual_fraction=0.017, quick=True) -> dict:
     def cell(rate):
         return {"sessions_per_s": rate, "wall_s": round(64.0 / rate, 3)}
 
@@ -332,8 +332,17 @@ def _tensor_report(session_cold=150.0, session_warm=155.0,
         },
         "cohort": {"cohorts": cohorts, "columns": cohorts * 32,
                    "columns_fallback": cohorts * 32,
+                   "cells": 51200,
                    "dirty_periods": 28000,
+                   "batched_periods": 27500,
+                   "residual_periods": 500,
+                   "dirty_fraction": 0.5469,
+                   "residual_fraction_of_dirty": residual_fraction,
+                   "native_kernel": True,
                    "tensor_slots_per_s": 1.4e6},
+        "phases": {"predraw_s": 0.05, "tensor_pass_s": 0.09,
+                   "batched_retx_s": 0.04, "residual_fallback_s": 0.02,
+                   "flush_s": 0.13, "total_s": 0.45},
         "speedup": {
             "tensor_cold_vs_session_cold": round(tensor_cold / session_cold, 2),
             "tensor_warm_vs_session_warm": round(tensor_warm / session_warm, 2),
@@ -355,7 +364,7 @@ class TestTensorRegressionGate:
 
     def test_tensor_only_slowdown_fails(self):
         base = _tensor_report()
-        current = _tensor_report(tensor_cold=310.0 / 2.5, tensor_warm=130.0)
+        current = _tensor_report(tensor_cold=525.0 / 2.5, tensor_warm=220.0)
         failures = bench.tensor_regression_failures(current, base,
                                                     threshold=0.30)
         # Fails both the normalized gate and the intra-report floor.
@@ -364,15 +373,27 @@ class TestTensorRegressionGate:
                    for f in failures)
 
     def test_speedup_below_floor_fails_intra_report(self):
-        # 1.4x < the full-mode 1.5x floor even with itself as baseline.
-        report = _tensor_report(tensor_cold=210.0, quick=False)
+        # 2.2x < the full-mode 2.5x floor even with itself as baseline.
+        report = _tensor_report(tensor_cold=330.0, quick=False)
         failures = bench.tensor_regression_failures(report, report)
         assert any(f.startswith("tensor_cold_vs_session_cold:")
                    for f in failures)
 
     def test_quick_reports_get_floor_slack(self):
-        # The same 1.4x passes in quick mode (floor 1.3x).
-        report = _tensor_report(tensor_cold=210.0, quick=True)
+        # The same 2.2x passes in quick mode (floor 2.0x).
+        report = _tensor_report(tensor_cold=330.0, quick=True)
+        assert bench.tensor_regression_failures(report, report) == []
+
+    def test_residual_above_ceiling_fails(self):
+        # The batched pass must carry dirty cells; a punt predicate
+        # regression shows up as residual share past the 5% ceiling.
+        report = _tensor_report(residual_fraction=0.12)
+        failures = bench.tensor_regression_failures(report, report)
+        assert any(f.startswith("batched-retx:") for f in failures)
+
+    def test_residual_ceiling_skipped_for_legacy_reports(self):
+        report = _tensor_report()
+        del report["cohort"]["residual_fraction_of_dirty"]
         assert bench.tensor_regression_failures(report, report) == []
 
     def test_no_cohorts_run_fails(self):
@@ -400,8 +421,15 @@ class TestTensorRender:
     def test_render_lists_workloads_speedup_and_counters(self):
         text = bench.render_tensor(_tensor_report())
         assert "tensor_cold" in text and "session_cold" in text
-        assert "2.07x" in text  # 310 / 150 cold speedup
+        assert "3.50x" in text  # 525 / 150 cold speedup
         assert "fallback_columns=256" in text
+
+    def test_render_shows_dirty_split_and_phases(self):
+        text = bench.render_tensor(_tensor_report())
+        assert "dirty=54.7%" in text
+        assert "batched=27500 (native)" in text
+        assert "residual=500 (1.7% of dirty)" in text
+        assert "phases:" in text and "batched_retx=0.04s" in text
 
 
 class TestTensorWorkloadShape:
@@ -535,6 +563,27 @@ class TestReportIo:
         assert text.endswith("\n")
         bench.write_report(report, path)
         assert path.read_text() == text
+
+    def test_write_profile_dumps_stats_and_table(self, tmp_path):
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        sum(range(1000))
+        profiler.disable()
+
+        report_path = tmp_path / "BENCH_tensor.json"
+        pstats_path, table_path = bench.write_profile(profiler, report_path,
+                                                      top=5)
+        assert pstats_path == tmp_path / "BENCH_tensor.pstats"
+        assert table_path == tmp_path / "BENCH_tensor.profile.txt"
+        # The dump reloads as pstats and the table lists hot functions
+        # by cumulative time.
+        pstats.Stats(str(pstats_path))
+        table = table_path.read_text()
+        assert "cumtime" in table
+        assert "sum" in table
 
 
 class TestRender:

@@ -4,7 +4,7 @@
 same-shape runs; ``run_tasks`` executes such runs as single tensor
 passes when a cohort runner is registered.  The contract under test:
 campaign output is *byte-identical* — same npz bytes per session — no
-matter the cohort chunk size (1/7/64), the jobs count (1/2/auto), or
+matter the cohort chunk size (1/2/7/64), the jobs count (1/2/auto), or
 whether the tensor engine runs at all.
 """
 
@@ -104,7 +104,7 @@ class TestCampaignByteIdentity:
         finally:
             del os.environ["REPRO_ENGINE"]
 
-    @pytest.mark.parametrize("cohort_size", [1, 7, 64])
+    @pytest.mark.parametrize("cohort_size", [1, 2, 7, 64])
     @pytest.mark.parametrize("jobs", [1, 2])
     def test_matches_per_session(self, per_session_baseline, monkeypatch,
                                  cohort_size: int, jobs: int):

@@ -176,6 +176,91 @@ def test_divergent_retx_fallback_mixed_columns():
     assert sorted(set(c == 0 for c in retx_counts)) == [False, True]
 
 
+# Adversarial retx density: low SINR plus an optimistic CQI mapping and
+# unscaled retx errors keeps most cells dirty and builds real backlogs.
+HIGH_BLER_PARAMS = dict(cqi_alpha=2.0, retx_error_scale=1.0,
+                        harq_rtt_slots=8)
+HIGH_BLER_SINR = -2.0
+
+
+def test_high_bler_cohort_byte_identical():
+    """Forced >=80% dirty cells: the batched pass carries the cohort.
+
+    At -2 dB with an aggressive CQI mapping nearly every (column, period)
+    cell holds pending retransmissions, so the clean-bookkeeping tier
+    almost never applies — the batched retx lanes (and, for the deepest
+    backlogs, the residual fallback) do the work and must still match
+    the per-session reference byte for byte.
+    """
+    cell = _tdd_cell(Modulation.QAM256)
+    seeds = list(range(5))
+    singles = [_single_bytes(simulate_downlink, cell, HIGH_BLER_SINR, s,
+                             "reference", **HIGH_BLER_PARAMS) for s in seeds]
+    tensor.reset_cohort_stats()
+    cohort = _cohort_bytes(simulate_downlink_cohort, cell, HIGH_BLER_SINR,
+                           seeds, **HIGH_BLER_PARAMS)
+    stats = tensor.cohort_stats()
+
+    assert cohort == singles
+    assert stats["dirty_periods"] / stats["cells"] >= 0.8
+    assert stats["batched_periods"] > 0
+
+
+def test_native_and_numpy_retx_tiers_identical(monkeypatch):
+    """The compiled kernel and the portable numpy pass agree bytewise.
+
+    Both tiers must produce identical traces; the counters must also
+    show which tier ran (``native_periods`` collapses to zero when the
+    kernel is forced off).
+    """
+    from repro.ran import _native
+
+    cell = _tdd_cell(Modulation.QAM256)
+    seeds = list(range(20, 24))
+
+    tensor.reset_cohort_stats()
+    default = _cohort_bytes(simulate_downlink_cohort, cell, HIGH_BLER_SINR,
+                            seeds, **HIGH_BLER_PARAMS)
+    default_stats = tensor.cohort_stats()
+    if _native.load_kernel() is not None:
+        assert default_stats["native_periods"] == \
+            default_stats["batched_periods"] > 0
+
+    monkeypatch.setattr(tensor._native, "load_kernel", lambda: None)
+    tensor.reset_cohort_stats()
+    portable = _cohort_bytes(simulate_downlink_cohort, cell, HIGH_BLER_SINR,
+                             seeds, **HIGH_BLER_PARAMS)
+    portable_stats = tensor.cohort_stats()
+
+    assert portable == default
+    assert portable_stats["native_periods"] == 0
+    assert portable_stats["batched_periods"] == \
+        default_stats["batched_periods"] > 0
+
+
+def test_forced_residual_cohort(monkeypatch):
+    """Every dirty cell punted to the residual per-column fallback.
+
+    Dropping the backlog threshold below zero forces the batched lanes
+    out of the picture entirely; the scalar fallback must carry the
+    whole dirty load and still match the reference oracle.
+    """
+    monkeypatch.setattr(tensor, "_RESIDUAL_PENDING", -1)
+    cell, sinr, params = CASES["tdd-retx-heavy"]
+    seeds = [30, 31, 32, 33]
+    singles = [_single_bytes(simulate_downlink, cell, sinr, s, "reference",
+                             **params) for s in seeds]
+    tensor.reset_cohort_stats()
+    cohort = _cohort_bytes(simulate_downlink_cohort, cell, sinr, seeds,
+                           **params)
+    stats = tensor.cohort_stats()
+
+    assert cohort == singles
+    assert stats["dirty_periods"] > 0
+    assert stats["residual_periods"] == stats["dirty_periods"]
+    assert stats["batched_periods"] == 0
+
+
 def test_cohort_stats_render():
     tensor.reset_cohort_stats()
     line = tensor.render_cohort_stats()

@@ -147,6 +147,24 @@ class TestBenchWorkloadFlag:
         with pytest.raises(SystemExit):
             main(["bench", "--workload", "sessions"])
 
+    def test_profile_flag_writes_artifacts_next_to_report(
+            self, tmp_path, capsys, monkeypatch):
+        from repro.core import bench
+
+        report = {"bench": "slot_engine", "schema": bench.BENCH_SCHEMA_VERSION,
+                  "quick": True, "workloads": {}}
+        monkeypatch.setattr(bench, "measure", lambda **kwargs: report)
+        monkeypatch.setattr(bench, "render", lambda r: "stub render")
+        out = tmp_path / "BENCH_slot_engine.json"
+        assert main(["bench", "--quick", "--profile",
+                     "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert out.exists()
+        assert (tmp_path / "BENCH_slot_engine.pstats").exists()
+        table = (tmp_path / "BENCH_slot_engine.profile.txt").read_text()
+        assert "cumtime" in table
+        assert "BENCH_slot_engine.pstats" in printed
+
 
 class TestCacheCommand:
     def _warm(self, cache, capsys):
