@@ -180,7 +180,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     for row in campaign.summary_rows():
         print(row)
     if args.out is not None:
-        paths = campaign.export(args.out, format=args.out_format)
+        try:
+            paths = campaign.export(args.out, format=args.out_format)
+        except RuntimeError as exc:  # e.g. parquet without pyarrow
+            print(str(exc), file=sys.stderr)
+            return 2
         print(f"exported {len(paths)} traces to {args.out}")
     _report_store(store, executor)
     if args.reduce:
@@ -327,6 +331,13 @@ def _submit_params(args: argparse.Namespace) -> dict:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.core import bench
 
+    if args.history:
+        report = bench.history_report()
+        print(bench.render_history(report))
+        if args.out is not None:
+            bench.write_report(report, args.out)
+            print(f"wrote {args.out}")
+        return 0
     baseline = bench.load_report(args.baseline) if args.baseline else None
     expected = {"campaign": "campaign", "reduce": "reduce",
                 "tensor": "tensor", "serve": "serve"}.get(args.workload,
@@ -417,8 +428,12 @@ def main(argv: list[str] | None = None) -> int:
                                  help="worker processes for campaign sessions (default 1)")
     campaign_parser.add_argument("--cache", **cache_kwargs)
     campaign_parser.add_argument("--out", type=Path, default=None)
-    campaign_parser.add_argument("--out-format", choices=("csv", "jsonl", "npz"),
-                                 default="csv", help="export format (default csv)")
+    campaign_parser.add_argument("--out-format",
+                                 choices=("csv", "jsonl", "npz", "parquet"),
+                                 default="csv",
+                                 help="export format (default csv); parquet "
+                                      "needs the optional pyarrow package and "
+                                      "partitions by operator")
     campaign_parser.add_argument("--reduce", action="store_true",
                                  help="fold sessions into streaming KPI "
                                       "sketches; peak memory stays bounded by "
@@ -484,6 +499,10 @@ def main(argv: list[str] | None = None) -> int:
                                    "execution layer, the streaming reduction "
                                    "path, the cohort tensor engine, or the "
                                    "campaign service")
+    bench_parser.add_argument("--history", action="store_true",
+                              help="fold every committed BENCH_*.json into one "
+                                   "trajectory report instead of running a "
+                                   "workload (combine with --out for JSON)")
     bench_parser.add_argument("--quick", action="store_true",
                               help="short workloads, fewer repetitions (CI mode)")
     bench_parser.add_argument("--seed", type=int, default=2024)

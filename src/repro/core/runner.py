@@ -30,7 +30,15 @@ sessions.  This module gives them one execution engine:
    instead of megabytes of pickles.  ``transport="pipe"`` forces the
    legacy pickle-the-result path (the pre-store-routing behaviour,
    kept for benchmarks and cross-checks); results are byte-identical
-   either way.
+   either way.  ``transport="shm"`` moves results through
+   ``multiprocessing.shared_memory`` instead: a worker flushes its
+   cohort straight into a shared-memory trace arena
+   (:class:`repro.xcal.arena.CohortArena`) and ships only
+   ``(segment name, layout, row index)`` over the pipe; the parent
+   re-attaches and materializes traces as zero-copy numpy views.  Cold
+   parallel runs without a store select it automatically under
+   ``transport="auto"``; platforms without POSIX shm fall back to the
+   pipe transport with identical results.
 5. **Pool reuse** — :class:`CampaignExecutor` keeps one warm process
    pool alive across many ``run_tasks`` calls (a whole ``repro
    campaign`` / multi-experiment ``repro run``), with a worker
@@ -51,7 +59,9 @@ sessions.  This module gives them one execution engine:
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
 import os
+import weakref
 import zlib
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -59,6 +69,11 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
+
+try:  # POSIX shm transport backend; absent on some minimal platforms
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
+    _shm = None
 
 __all__ = [
     "CampaignExecutor",
@@ -69,8 +84,10 @@ __all__ = [
     "group_tasks_by_shape",
     "prewarm_worker_caches",
     "register_cohort_runner",
+    "release_shm_segments",
     "resolve_jobs",
     "run_tasks",
+    "shm_transport_available",
 ]
 
 #: Cap on the number of tasks batched into one worker round-trip.  Keeps
@@ -167,20 +184,26 @@ def _execute(task: SessionTask) -> Any:
 # instead of task by task.  Registration happens at module import, so
 # workers that unpickle the task's ``fn`` register it too.
 
-_COHORT_RUNNERS: dict[Callable[..., Any], Callable[..., Iterable[Any]]] = {}
+_COHORT_RUNNERS: dict[Callable[..., Any],
+                      tuple[Callable[..., Iterable[Any]], bool]] = {}
 
 
 def register_cohort_runner(fn: Callable[..., Any],
-                           cohort_fn: Callable[..., Iterable[Any]]) -> None:
+                           cohort_fn: Callable[..., Iterable[Any]],
+                           accepts_arena: bool = False) -> None:
     """Register ``cohort_fn(seeds=[...], **kwargs)`` as the batched
     executor for same-shape runs of ``fn`` tasks.
 
     ``cohort_fn`` must yield exactly ``len(seeds)`` results in seed
     order, each byte-identical to the corresponding per-task
     ``fn(**kwargs, seed=seed)`` call — dispatch treats the two paths as
-    interchangeable.
+    interchangeable.  ``accepts_arena=True`` declares that the runner
+    takes an ``arena_factory`` keyword (see
+    :class:`repro.xcal.arena.CohortArena`); materializing dispatch
+    paths then pass one so the cohort flush writes a whole arena at
+    once instead of building traces column by column.
     """
-    _COHORT_RUNNERS[fn] = cohort_fn
+    _COHORT_RUNNERS[fn] = (cohort_fn, accepts_arena)
 
 
 def _same_shape(a: SessionTask, b: SessionTask) -> bool:
@@ -222,7 +245,16 @@ def _cohortable(tasks: Sequence[SessionTask]) -> bool:
             and all(_same_shape(tasks[0], task) for task in tasks[1:]))
 
 
-def _chunk_values(chunk: list[tuple[int, SessionTask, str | None]]
+def _local_arena_factory(n_cols: int, n_slots: int, mu) -> Any:
+    """Default arena factory for materializing consumers: a private
+    heap-backed :class:`~repro.xcal.arena.CohortArena`."""
+    from repro.xcal.arena import CohortArena
+
+    return CohortArena.allocate(n_cols, n_slots, mu)
+
+
+def _chunk_values(chunk: list[tuple[int, SessionTask, str | None]],
+                  arena_factory: Callable[..., Any] | None = None,
                   ) -> Iterable[tuple[int, SessionTask, str | None, Any]]:
     """Yield ``(index, task, key, value)`` for one dispatch chunk.
 
@@ -231,15 +263,23 @@ def _chunk_values(chunk: list[tuple[int, SessionTask, str | None]]
     flushes one column trace per ``next()``), so a consumer that folds
     or writes each value before advancing holds at most one result.
     Everything else executes task by task.
+
+    ``arena_factory`` is forwarded to cohort runners registered with
+    ``accepts_arena=True``: the cohort then flushes into one backing
+    arena and yields zero-copy row views.  Streaming consumers (the
+    reducing path) pass ``None`` to keep the one-live-trace memory
+    bound.
     """
     tasks = [task for _, task, _ in chunk]
     if not _cohortable(tasks):
         for index, task, key in chunk:
             yield index, task, key, task.execute()
         return
-    cohort_fn = _COHORT_RUNNERS[tasks[0].fn]
-    values = iter(cohort_fn(seeds=[task.seed for task in tasks],
-                            **dict(tasks[0].kwargs)))
+    cohort_fn, accepts_arena = _COHORT_RUNNERS[tasks[0].fn]
+    kwargs = dict(tasks[0].kwargs)
+    if accepts_arena and arena_factory is not None:
+        kwargs["arena_factory"] = arena_factory
+    values = iter(cohort_fn(seeds=[task.seed for task in tasks], **kwargs))
     for index, task, key in chunk:
         try:
             value = next(values)
@@ -290,7 +330,8 @@ def _grouped_chunks(entries: list[tuple[int, SessionTask, str | None]],
 def _execute_chunk_plain(chunk: list[tuple[int, SessionTask, str | None]]
                          ) -> list[tuple[int, Any]]:
     """Worker body for the unrouted paths: ``(index, value)`` pairs."""
-    return [(index, value) for index, _, _, value in _chunk_values(chunk)]
+    return [(index, value) for index, _, _, value
+            in _chunk_values(chunk, arena_factory=_local_arena_factory)]
 
 
 def resolve_jobs(jobs: int | str | None) -> int:
@@ -421,7 +462,8 @@ def _execute_chunk_routed(chunk: list[tuple[int, SessionTask, str | None]]
         else:
             out.append((index, None, value, 0))
 
-    for index, task, key, value in _chunk_values(chunk):
+    for index, task, key, value in _chunk_values(
+            chunk, arena_factory=_local_arena_factory):
         if key is not None and _WORKER_STORE is not None:
             entry = (index, value, key, _writer_pool().submit(_store_put_job,
                                                               key, task, value))
@@ -475,6 +517,325 @@ def _execute_chunk_reduced(chunk: list[tuple[int, SessionTask, str | None]],
     if pending is not None:
         _finish(pending)
     return out
+
+
+# ---------------------------------------------------------------------- #
+# Shared-memory transport
+# ---------------------------------------------------------------------- #
+# The pipe transport pays pickle + copy for every trace crossing a
+# process boundary; the store transport pays an npz encode/decode round
+# trip through disk.  The shm transport pays neither: the worker's
+# cohort pass flushes into a CohortArena allocated inside a POSIX
+# shared-memory segment, only ``(segment name, layout, row index,
+# metadata)`` crosses the pipe, and the parent re-attaches the segment
+# and hands out zero-copy row views.
+#
+# Lifecycle protocol (start method "fork", the Linux default, shares
+# one resource tracker between parent and workers):
+#
+# - the *worker* creates segments under a parent-chosen, deterministic
+#   name prefix, writes them, releases its views, closes its handle and
+#   never unlinks;
+# - the *parent* attaches, unlinks immediately (the mapping survives
+#   until the last close, but the name disappears — nothing can leak
+#   in /dev/shm even if the parent dies from here on), and defers its
+#   close until the arena's base array is garbage collected
+#   (``weakref.finalize``);
+# - on any dispatch failure the parent sweeps every possible segment
+#   name of every chunk with attach→close→unlink, so a crashed or
+#   cancelled worker cannot leak segments either.
+
+_SHM_PREFIX = "repro"
+_SHM_RUN = 0
+_SHM_PROBED: bool | None = None
+
+#: Deferred parent-side segment closes, kept so callers that want the
+#: memory back *now* (benchmarks, tests) can force them via
+#: :func:`release_shm_segments` instead of waiting for GC.
+_SHM_FINALIZERS: list[Any] = []
+
+
+def shm_transport_available() -> bool:
+    """Whether this platform supports the shared-memory transport.
+
+    Checks the module import each call (tests monkeypatch it away) and
+    probes segment creation once per process.
+    """
+    global _SHM_PROBED
+    if _shm is None:
+        return False
+    if _SHM_PROBED is None:
+        try:
+            probe = _shm.SharedMemory(create=True, size=16)
+        except Exception:
+            _SHM_PROBED = False
+        else:
+            try:
+                probe.close()
+                probe.unlink()
+            except OSError:  # pragma: no cover - probe cleanup best-effort
+                pass
+            _SHM_PROBED = True
+    return _SHM_PROBED
+
+
+def _close_segment(seg: Any) -> None:
+    """Deferred parent-side close of an already-unlinked segment.
+
+    The finalize that calls this fires while the arena's base array is
+    mid-deallocation — weakref callbacks run *before* the array releases
+    its buffer export — so ``seg.close()`` typically raises
+    ``BufferError`` here.  In that case the segment is dismantled by
+    hand: dropping the ``SharedMemory`` object's references lets the
+    mmap unmap itself the moment the last numpy view dies, the fd is
+    closed immediately, and the object's eventual ``__del__`` becomes a
+    no-op instead of an unraisable ``BufferError``.  Either way the
+    name is already gone from ``/dev/shm``.
+    """
+    try:
+        seg.close()
+        return
+    except BufferError:
+        pass
+    try:
+        seg._buf = None
+        seg._mmap = None
+        fd = getattr(seg, "_fd", -1)
+        if fd >= 0:
+            os.close(fd)
+            seg._fd = -1
+    except Exception:  # pragma: no cover - stdlib internals changed shape
+        pass
+
+
+def release_shm_segments() -> int:
+    """Force every deferred parent-side segment close; returns how many
+    segments were actually closed.
+
+    Safe to call repeatedly (double-close is a no-op: a finalizer runs
+    at most once, and the list drains).  Call after dropping all trace
+    views, e.g. between benchmark repetitions.
+    """
+    closed = 0
+    while _SHM_FINALIZERS:
+        finalizer = _SHM_FINALIZERS.pop()
+        if finalizer.alive:
+            finalizer()
+            closed += 1
+    return closed
+
+
+def _execute_chunk_shm(chunk: list[tuple[int, SessionTask, str | None]],
+                       prefix: str) -> tuple[list, list]:
+    """Worker body for the shm transport.
+
+    Cohort runs flush straight into a shared-memory arena via the
+    ``arena_factory`` hook; per-task traces outside a cohort are packed
+    (one strided copy per column) into extra arenas grouped by shape.
+    Returns ``(segments, plain)`` where ``segments`` is a list of
+    ``(name, layout, [(manifest index, row, metadata), ...])`` and
+    ``plain`` carries non-trace values the classic pickled way.
+    """
+    from repro.xcal.arena import CohortArena, arena_nbytes
+    from repro.xcal.records import SlotTrace
+
+    handles: list[Any] = []
+    arenas: list[Any] = []
+    segments: list[tuple[str, dict, list]] = []
+
+    def _new_arena(n_cols: int, n_slots: int, mu: Any) -> Any:
+        name = f"{prefix}-{len(handles)}"
+        seg = _shm.SharedMemory(name=name, create=True,
+                                size=max(1, arena_nbytes(n_cols, n_slots)))
+        handles.append(seg)
+        arena = CohortArena.over_buffer(seg.buf, n_cols, n_slots, mu,
+                                        zeroed=True)
+        arenas.append(arena)
+        segments.append((name, arena.layout(), []))
+        return arena
+
+    def _build() -> list[tuple[int, Any]]:
+        # Nested so every trace reference dies when it returns — the
+        # segment handles cannot close while numpy exports are alive.
+        cohort = None
+        plain: list[tuple[int, Any]] = []
+        stray: list[tuple[int, Any]] = []
+        for index, _, _, value in _chunk_values(chunk,
+                                                arena_factory=_new_arena):
+            cohort = arenas[0] if arenas else None
+            row = cohort.row_index_of(value) \
+                if cohort is not None and isinstance(value, SlotTrace) else None
+            if row is not None:
+                segments[0][2].append((index, row, value.metadata))
+            elif isinstance(value, SlotTrace):
+                stray.append((index, value))
+            else:
+                plain.append((index, value))
+        groups: dict[tuple[int, int], list[tuple[int, Any]]] = {}
+        for index, trace in stray:
+            groups.setdefault((len(trace), int(trace.mu)), []).append(
+                (index, trace))
+        for (n_slots, mu), members in groups.items():
+            arena = _new_arena(len(members), n_slots, mu)
+            rows = segments[-1][2]
+            for row, (index, trace) in enumerate(members):
+                arena.pack_row(row, trace)
+                rows.append((index, row, trace.metadata))
+        return plain
+
+    try:
+        plain = _build()
+    except BaseException:
+        # Unlink our own segments: the parent will sweep the name space
+        # too, but a worker that cleans up after itself keeps /dev/shm
+        # tidy even when the parent dies mid-dispatch.
+        for arena in arenas:
+            arena.release()
+        for seg in handles:
+            try:
+                seg.close()
+            except BufferError:
+                pass
+            try:
+                seg.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+        raise
+    for arena in arenas:
+        arena.release()
+    arenas.clear()
+    for seg in handles:
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+        if multiprocessing.get_start_method(allow_none=True) != "fork":
+            # Non-fork workers own a private resource tracker that would
+            # unlink (and warn about) the segment at worker shutdown;
+            # hand ownership to the parent by unregistering here.  Under
+            # fork the tracker is shared and the parent's unlink-time
+            # unregister balances the books.
+            try:  # pragma: no cover - fork is the default on Linux
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(
+                    getattr(seg, "_name", "/" + seg.name), "shared_memory")
+            except Exception:
+                pass
+    return segments, plain
+
+
+def _attach_shm_arena(name: str, layout: Mapping) -> Any:
+    """Parent side: attach a worker-written segment as a zero-copy arena.
+
+    Unlinks the name immediately — the mapping stays valid until the
+    deferred close, but nothing can leak in ``/dev/shm`` afterwards.
+    The close itself fires when the arena's base array dies, i.e. once
+    the caller drops the last trace view.
+    """
+    from repro.xcal.arena import CohortArena
+
+    seg = _shm.SharedMemory(name=name)
+    try:
+        arena = CohortArena.from_layout(seg.buf, layout)
+    except Exception:
+        seg.close()
+        try:
+            seg.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+        raise
+    try:
+        seg.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover - raced cleanup
+        pass
+    _SHM_FINALIZERS.append(weakref.finalize(arena.base, _close_segment, seg))
+    return arena
+
+
+def _consume_shm_payload(payload: tuple[list, list],
+                         results: list[Any]) -> None:
+    """Materialize one worker's shm payload into ``results`` in place."""
+    segments, plain = payload
+    for name, layout, rows in segments:
+        arena = _attach_shm_arena(name, layout)
+        for index, row, metadata in rows:
+            results[index] = arena.trace(row, metadata=metadata)
+    for index, value in plain:
+        results[index] = value
+
+
+def _cleanup_shm_chunk(prefix: str, count: int) -> None:
+    """Best-effort unlink of every segment a chunk may have created.
+
+    attach→close→unlink by deterministic name: covers workers that died
+    before returning (their segments are orphaned but named) and, under
+    fork, re-registering on attach then unregistering on unlink leaves
+    the shared resource tracker balanced.
+    """
+    if _shm is None:
+        return
+    for k in range(count):
+        try:
+            seg = _shm.SharedMemory(name=f"{prefix}-{k}")
+        except (FileNotFoundError, OSError):
+            continue
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+        try:
+            seg.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+
+def _dispatch_shm(manifest: Sequence[SessionTask], indices: list[int],
+                  workers: int, results: list[Any],
+                  executor: CampaignExecutor | None) -> None:
+    """Shared-memory parallel execution of ``indices``, in place.
+
+    Chunk segment names are chosen by the parent before dispatch
+    (``repro-<pid>-<run>-c<chunk>-<k>``), so cleanup after a failure or
+    worker crash needs no information back from the workers: every name
+    a chunk could have created is enumerable and swept.
+    """
+    global _SHM_RUN
+    _SHM_RUN += 1
+    chunks = _grouped_chunks([(i, manifest[i], None) for i in indices],
+                             dispatch_chunksize(len(indices), workers))
+    prefixes = [f"{_SHM_PREFIX}-{os.getpid()}-{_SHM_RUN}-c{n}"
+                for n in range(len(chunks))]
+
+    def _collect(pool: ProcessPoolExecutor) -> None:
+        futures = {
+            pool.submit(_execute_chunk_shm, chunk, prefix): (len(chunk), prefix)
+            for chunk, prefix in zip(chunks, prefixes)}
+        try:
+            for future in as_completed(futures):
+                _consume_shm_payload(future.result(), results)
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            for future in futures:  # wait out in-flight chunks
+                if not future.cancelled():
+                    try:
+                        future.result()
+                    except BaseException:
+                        pass
+            # A chunk makes at most one cohort arena plus one packed
+            # arena per distinct stray trace shape (<= chunk length).
+            for size, prefix in futures.values():
+                _cleanup_shm_chunk(prefix, size + 1)
+            raise
+
+    if executor is not None:
+        executor.dispatches += 1
+        executor.tasks_executed += len(indices)
+        _collect(executor.pool())
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(indices))) as pool:
+            _collect(pool)
 
 
 # ---------------------------------------------------------------------- #
@@ -579,19 +940,26 @@ def _chunked(items: list, size: int) -> list[list]:
 
 
 def _dispatch(manifest: Sequence[SessionTask], workers: int,
-              executor: CampaignExecutor | None = None) -> list[Any]:
+              executor: CampaignExecutor | None = None,
+              shm: bool = False) -> list[Any]:
     """Execute tasks in order, serially or on a process pool.
 
     Chunking is cohort-aware either way: a run of same-shape tasks with
     a registered cohort runner executes as whole tensor passes (one per
-    chunk) instead of task by task.
+    chunk) instead of task by task.  ``shm=True`` moves parallel results
+    through the shared-memory transport instead of the result pipe.
     """
     results: list[Any] = [None] * len(manifest)
     entries = [(index, task, None) for index, task in enumerate(manifest)]
     if workers == 1 or len(manifest) <= 1:
         for chunk in _grouped_chunks(entries, _MAX_CHUNK):
-            for index, _, _, value in _chunk_values(chunk):
+            for index, _, _, value in _chunk_values(
+                    chunk, arena_factory=_local_arena_factory):
                 results[index] = value
+        return results
+    if shm and shm_transport_available():
+        _dispatch_shm(manifest, list(range(len(manifest))), workers,
+                      results, executor)
         return results
     chunks = _grouped_chunks(entries, dispatch_chunksize(len(manifest), workers))
 
@@ -831,9 +1199,13 @@ def run_tasks(tasks: Iterable[SessionTask] | Sequence[SessionTask],
     ``executor`` (a :class:`CampaignExecutor`) supplies a persistent
     pool shared across calls; it overrides ``jobs`` with its own worker
     count.  ``transport`` selects how parallel miss results travel:
-    ``"auto"`` routes through the store whenever the workers share one,
-    ``"pipe"`` forces the legacy pickle-the-result path, ``"store"``
-    requires routing (raises if no store is configured).
+    ``"auto"`` routes through the store whenever the workers share one
+    (and through shared memory when they do not), ``"pipe"`` forces the
+    legacy pickle-the-result path, ``"store"`` requires routing (raises
+    if no store is configured), and ``"shm"`` requests the zero-copy
+    shared-memory transport, falling back to the pipe on platforms
+    without POSIX shm.  Storeless parallel runs under ``"auto"`` use
+    shared memory whenever it is available.
 
     ``reduce`` (e.g. a :class:`repro.core.reduce.CampaignReduction`)
     switches the call into streaming-reduction mode: instead of the
@@ -845,8 +1217,9 @@ def run_tasks(tasks: Iterable[SessionTask] | Sequence[SessionTask],
     combination.  With a store, misses still warm the cache and the
     campaign-level sketch itself is memoized.
     """
-    if transport not in ("auto", "pipe", "store"):
-        raise ValueError(f"transport must be 'auto', 'pipe' or 'store', got {transport!r}")
+    if transport not in ("auto", "pipe", "store", "shm"):
+        raise ValueError(
+            f"transport must be 'auto', 'pipe', 'store' or 'shm', got {transport!r}")
     if transport == "store" and store is None:
         raise ValueError("transport='store' requires a configured store")
     manifest = list(tasks)
@@ -857,7 +1230,8 @@ def run_tasks(tasks: Iterable[SessionTask] | Sequence[SessionTask],
             raise TypeError("reduce must provide fold(task, value) and merge(acc, sketch)")
         return _run_reduced(manifest, workers, store, executor, transport, reduce)
     if store is None:
-        return _dispatch(manifest, workers, executor=executor)
+        return _dispatch(manifest, workers, executor=executor,
+                         shm=transport in ("shm", "auto"))
 
     keys = [store.task_key(task) for task in manifest]
     results: list[Any] = [None] * len(manifest)
@@ -875,19 +1249,30 @@ def run_tasks(tasks: Iterable[SessionTask] | Sequence[SessionTask],
 
     routable = executor.routes_for(store) if executor is not None else True
     route = transport == "store" or (transport == "auto" and routable)
+    use_shm = (not route and transport in ("shm", "auto")
+               and shm_transport_available())
     if workers == 1 or len(miss_indices) == 1:
         # Serial path: execute in manifest order (cohort runs as tensor
         # passes), stream each write.
         miss_chunks = _grouped_chunks(
             [(i, manifest[i], keys[i]) for i in miss_indices], _MAX_CHUNK)
         for chunk in miss_chunks:
-            for index, task, key, value in _chunk_values(chunk):
+            for index, task, key, value in _chunk_values(
+                    chunk, arena_factory=_local_arena_factory):
                 results[index] = value
                 if key is not None:
                     store.put(key, value, task=task)
     elif route:
         _dispatch_routed(manifest, miss_indices, keys, store, workers,
                          results, executor)
+    elif use_shm:
+        # Zero-copy transport with a warm-up side effect: the parent
+        # writes misses back to the store after materializing them, so
+        # the cache state matches the routed path.
+        _dispatch_shm(manifest, miss_indices, workers, results, executor)
+        for index in miss_indices:
+            if keys[index] is not None:
+                store.put(keys[index], results[index], task=manifest[index])
     else:
         # Pipe transport: results pickle back; completed chunks stream
         # in and write through as they land.

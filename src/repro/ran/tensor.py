@@ -49,6 +49,15 @@ Traces are flushed one column at a time (``simulate_*_cohort`` return
 lazy generators), so a reducing consumer folds each session's sketch
 straight out of the tensor state with a single column trace live at a
 time instead of materializing the whole cohort.
+
+Materializing consumers instead pass ``arena_factory``: the engine
+then allocates one :class:`~repro.xcal.arena.CohortArena` for the
+cohort and the flush becomes a handful of cohort-wide 2-D masked
+writes straight into the arena — per-session traces are zero-copy row
+views, and the per-column trace-construction walk (the old ~45% flush
+share) disappears.  With a factory that allocates the arena in shared
+memory, the same writes land directly in a segment the parent process
+can map (the ``transport="shm"`` path of :mod:`repro.core.runner`).
 """
 
 from __future__ import annotations
@@ -72,6 +81,7 @@ from repro.ran.simulator import (BACKGROUND_TRIM_MAX, SLOT_DL, SLOT_SPECIAL,
                                  _slot_types, _TbsCache, _usable_symbols,
                                  _forward_fill_cqi, replace,
                                  retx_error_probability, retx_fits_slot)
+from repro.xcal.arena import CohortArena
 from repro.xcal.records import SlotTrace, TraceMetadata
 
 __all__ = [
@@ -89,7 +99,11 @@ __all__ = [
 _COUNTERS = {
     "cohorts": 0,            # tensor passes run in this process
     "columns": 0,            # sessions executed through a tensor pass
-    "columns_fallback": 0,   # columns that needed the residual runner
+    # Columns that instantiated the residual runner at least once — a
+    # *touched* count, not a per-period fallback share (a column counts
+    # once even if a single period of thousands went residual; the
+    # per-cell split is batched_periods / residual_periods).
+    "columns_touched_fallback": 0,
     "cells": 0,              # (column, period) cells examined
     "dirty_periods": 0,      # cells with HARQ retx work (batched + residual)
     "batched_periods": 0,    # dirty cells handled by the batched retx lanes
@@ -98,10 +112,16 @@ _COUNTERS = {
     "slots": 0,              # column-slots processed by tensor passes
     "seconds": 0.0,          # wall time inside tensor passes
     "predraw_s": 0.0,        # per-column RNG pre-draw + measurement chain
-    "pass_s": 0.0,           # vectorized period loop (LA/BLER/bookkeeping)
-    "batched_s": 0.0,        # batched retx lanes (dirty cells, cohort-wide)
+    "pass_s": 0.0,           # vectorized period loop (LA/BLER/bookkeeping);
+    #                          with an arena this includes committing the
+    #                          loop's results in place (the clean fill)
+    "batched_s": 0.0,        # batched retx lanes (dirty cells, cohort-wide);
+    #                          with an arena, includes the lanes' event scatter
     "residual_s": 0.0,       # residual per-column fallback
-    "flush_s": 0.0,          # trace materialization
+    "flush_s": 0.0,          # trace materialization: without an arena, the
+    #                          whole per-column re-expansion walk; with one,
+    #                          what remains — view creation, residual
+    #                          columns, CQI forward-fill
 }
 
 
@@ -111,10 +131,13 @@ def cohort_stats() -> dict:
     ``dirty_periods`` counts (column, period) cells with retransmission
     work; of those, ``batched_periods`` ran through the batched retx
     lanes (``native_periods`` of them via the compiled kernel) and
-    ``residual_periods`` through the per-column runner
-    (``columns_fallback`` counts the columns that ever took the
-    residual path).  The ``*_s`` keys decompose ``seconds`` into the
-    pass phases surfaced by ``repro bench --workload tensor``.
+    ``residual_periods`` through the per-column runner.
+    ``columns_touched_fallback`` counts columns that *ever* took the
+    residual path — one dirty period out of thousands still counts the
+    whole column, so compare it with ``residual_periods / cells`` for
+    the actual fallback share, not with ``dirty_periods``.  The
+    ``*_s`` keys decompose ``seconds`` into the pass phases surfaced
+    by ``repro bench --workload tensor``.
     """
     return dict(_COUNTERS)
 
@@ -138,7 +161,7 @@ def render_cohort_stats() -> str:
     dirty_pct = 100.0 * dirty / cells if cells else 0.0
     resid_pct = 100.0 * s["residual_periods"] / dirty if dirty else 0.0
     return (f"tensor cohorts={s['cohorts']} columns={s['columns']} "
-            f"fallback_columns={s['columns_fallback']} "
+            f"columns_touched_fallback={s['columns_touched_fallback']} "
             f"dirty={dirty}/{cells} ({dirty_pct:.1f}%) "
             f"batched={s['batched_periods']} (native={s['native_periods']}) "
             f"residual={s['residual_periods']} ({resid_pct:.1f}% of dirty) "
@@ -945,15 +968,31 @@ def _simulate_direction_cohort(
     max_layers: int,
     n_prb: int,
     metadatas: Sequence[TraceMetadata],
+    arena_factory=None,
 ) -> Iterator[SlotTrace]:
     """Cohort counterpart of ``_simulate_direction`` (lazy, one trace
-    yielded per column in cohort order)."""
+    yielded per column in cohort order).
+
+    ``arena_factory(n_cols, n_slots, mu)`` — when given — supplies a
+    :class:`~repro.xcal.arena.CohortArena` the whole flush writes into
+    as cohort-wide 2-D passes; yielded traces are then zero-copy row
+    views of the arena.  A factory returning ``None`` (e.g. a failed
+    shared-memory allocation) falls back to the lazy per-column flush.
+    """
     t0 = time.perf_counter()
     n_cols = len(channels)
     n_slots = channels[0].n_slots
     for ch in channels:
         if ch.n_slots != n_slots:
             raise ValueError("cohort channels must share one slot count")
+    arena: CohortArena | None = None
+    if arena_factory is not None:
+        arena = arena_factory(n_cols, n_slots, channels[0].mu)
+        if arena is not None and (arena.n_cols != n_cols
+                                  or arena.n_slots != n_slots):
+            raise ValueError(
+                f"arena shape ({arena.n_cols}, {arena.n_slots}) does not "
+                f"match cohort ({n_cols}, {n_slots})")
 
     slot_types = _slot_types(cell, n_slots, direction)
     own_code = SLOT_DL if direction is SlotType.DL else SLOT_UL
@@ -981,7 +1020,16 @@ def _simulate_direction_cohort(
     retx2 = np.empty((n_cols, n_slots))
     noise2 = np.empty((n_cols, n_periods_total))
     bg_raw2 = np.empty((n_cols, n_periods_total))
-    sinr2 = np.empty((n_cols, n_slots))
+    # With an arena, the channel-state columns are written straight
+    # into their final 2-D blocks (the stacked SINR tensor *is* the
+    # arena's sinr_db column) — the flush never touches them again.
+    if arena is not None:
+        sinr2 = arena.columns["sinr_db"]
+        rsrp_rows = arena.columns["rsrp_dbm"]
+        rsrq_rows = arena.columns["rsrq_db"]
+    else:
+        sinr2 = np.empty((n_cols, n_slots))
+        rsrp_rows = rsrq_rows = None
     meas_idx = np.maximum(starts - params.cqi_delay_slots, 0)
     for c, rng in enumerate(rngs):
         uniforms2[c] = rng.random(n_slots)
@@ -989,6 +1037,9 @@ def _simulate_direction_cohort(
         noise2[c] = rng.standard_normal(n_periods_total)
         bg_raw2[c] = rng.standard_normal(n_periods_total)
         sinr2[c] = channels[c].sinr_db
+        if rsrp_rows is not None:
+            rsrp_rows[c] = channels[c].rsrp_dbm
+            rsrq_rows[c] = channels[c].rsrq_db
     # The measurement chain is elementwise (shannon/searchsorted/rint
     # chains), so one 2-D evaluation produces the exact per-column
     # values the per-session path computes on 1-D arrays.
@@ -1197,7 +1248,7 @@ def _simulate_direction_cohort(
                     col = cols[c]
                     if col is None:
                         col = cols[c] = _Column(n_slots)
-                        _COUNTERS["columns_fallback"] += 1
+                        _COUNTERS["columns_touched_fallback"] += 1
                     col.heap = lanes.export_heap(c)
                     ci = int(case[c])
                     a, n = _run_column_period(
@@ -1251,9 +1302,113 @@ def _simulate_direction_cohort(
     tbss2 = np.ascontiguousarray(tbss2t.T)
     col_slots = np.arange(n_slots)
     period_of_slot = col_slots // period
-    tf = time.perf_counter()
+    t_lanes = time.perf_counter()
     inseg2 = lanes.committed_mask()
     events = lanes.events_by_column()
+    tf = time.perf_counter()
+    _COUNTERS["batched_s"] += tf - t_lanes
+    if arena is not None:
+        # --- arena output stage: one cohort-wide scatter -----------------
+        # The same values the per-column loop below scatters one trace
+        # at a time, written once across the whole (n_cols, n_slots)
+        # block: the filled (clean-period + committed-segment) cells are
+        # flattened into a single index vector and every column lands
+        # with one fancy-index write over exactly those cells — the
+        # buffer's untouched majority stays on its zero pages.  These
+        # writes commit the period loop's results to their *final*
+        # location (there is no later re-expansion), so they are charged
+        # to ``pass_s`` — exactly like the pre-draw, which writes
+        # sinr/rsrp/rsrq straight into the arena and is charged to
+        # ``predraw_s``.  ``flush_s`` is left measuring what flushing
+        # still costs with an arena: trace-view creation, the residual
+        # fallback columns, and the CQI forward-fill.
+        acols = arena.columns
+        acols["slot_type"][:] = slot_types
+        pos2 = period_of_slot
+        case_slot2 = case2[:, pos2]
+        tx_slot2 = tx4[case_slot2, col_slots]
+        fill2 = clean2[:, pos2]
+        if inseg2 is not None:
+            fill2 |= inseg2
+        tx_slot2 &= fill2
+        flat_fill = np.flatnonzero(tx_slot2.reshape(-1))
+        rows_f, slots_f = np.divmod(flat_fill, n_slots)
+        pos_f = period_of_slot[slots_f]
+        prb_f = prb2[rows_f, pos_f]
+        tbs_f = np.where(special_mask[slots_f],
+                         tbss2[rows_f, pos_f], tbsf2[rows_f, pos_f])
+        ok_f = decoded2.reshape(-1)[flat_fill]
+        for name, vals in (
+            ("scheduled", True),
+            ("n_prb", prb_f),
+            ("n_re", prb_f * 12),
+            ("mcs_index", mcs2[rows_f, pos_f]),
+            ("modulation_order", mod2[rows_f, pos_f]),
+            ("layers", lay2[rows_f, pos_f]),
+            ("cqi", cqi2[rows_f, pos_f]),
+            ("dci_format", dci2[rows_f, pos_f]),
+            ("tbs_bits", tbs_f),
+        ):
+            acols[name].reshape(-1)[flat_fill] = vals
+        # delivered_bits and error start on zero pages, so only the cells
+        # that differ from zero need a write: delivered at decoded cells,
+        # error at the (few) undecoded ones.
+        acols["delivered_bits"].reshape(-1)[flat_fill[ok_f]] = tbs_f[ok_f]
+        acols["error"].reshape(-1)[flat_fill[~ok_f]] = True
+        t_fill = time.perf_counter()
+        _COUNTERS["pass_s"] += t_fill - tf
+        if events is not None:
+            # Batched serve/deferral events as one flat scatter: event
+            # slots are unique per column and disjoint from the masked
+            # fill above, so write order does not matter.  These are the
+            # retx lanes' outputs landing in place — charged to
+            # ``batched_s`` with the rest of the lane work.
+            ev_bounds, ev_slot, ev_tbs, ev_ok, ev_retx = events
+            ev_col = np.repeat(np.arange(n_cols), np.diff(ev_bounds))
+            flat = ev_col * n_slots + ev_slot
+            posv = pos2[ev_slot]
+            prb_e = prb2[ev_col, posv]
+            for name, vals in (
+                ("scheduled", True),
+                ("n_prb", prb_e),
+                ("n_re", prb_e * 12),
+                ("mcs_index", mcs2[ev_col, posv]),
+                ("modulation_order", mod2[ev_col, posv]),
+                ("layers", lay2[ev_col, posv]),
+                ("cqi", cqi2[ev_col, posv]),
+                ("dci_format", dci2[ev_col, posv]),
+                ("is_retx", ev_retx),
+                ("tbs_bits", ev_tbs),
+                ("delivered_bits", np.where(ev_ok, ev_tbs, 0)),
+                ("error", ~ev_ok),
+            ):
+                acols[name].reshape(-1)[flat] = vals
+        t_events = time.perf_counter()
+        _COUNTERS["batched_s"] += t_events - t_fill
+        traces = [arena.trace(c, metadata=metadatas[c]) for c in range(n_cols)]
+        for c in range(n_cols):
+            if cols[c] is not None:
+                _flush_column(cols[c], traces[c], special_mask, decoded2[c])
+        # Forward-fill CQI across the whole cohort — the exact per-row
+        # equivalent of _forward_fill_cqi (integer ops, so vectorizing
+        # across rows cannot perturb a single value).
+        cqi_col = acols["cqi"]
+        cmask = cqi_col > 0
+        any_rows = cmask.any(axis=1)
+        if any_rows.any():
+            idx2 = np.multiply(cmask, col_slots, dtype=np.int64)
+            np.maximum.accumulate(idx2, axis=1, out=idx2)
+            filled2 = np.take_along_axis(cqi_col, idx2, axis=1)
+            first = cmask.argmax(axis=1)
+            firstval = cqi_col[np.arange(n_cols), first]
+            np.copyto(filled2, firstval[:, None],
+                      where=col_slots[None, :] < first[:, None])
+            np.copyto(cqi_col, filled2, where=any_rows[:, None])
+        t_end = time.perf_counter()
+        _COUNTERS["seconds"] += t_end - tf
+        _COUNTERS["flush_s"] += t_end - t_events
+        yield from traces
+        return
     _COUNTERS["flush_s"] += time.perf_counter() - tf
     for c in range(n_cols):
         t1 = time.perf_counter()
@@ -1323,6 +1478,7 @@ def simulate_downlink_cohort(
     rngs: Sequence[np.random.Generator],
     params: SimParams | None = None,
     metadatas: Sequence[TraceMetadata] | None = None,
+    arena_factory=None,
 ) -> Iterator[SlotTrace]:
     """Cohort counterpart of :func:`~repro.ran.simulator.simulate_downlink`.
 
@@ -1330,7 +1486,9 @@ def simulate_downlink_cohort(
     entry, cohort order = manifest order); each ``rngs[c]`` must be
     positioned exactly where the per-session path would hand it to
     ``simulate_downlink``.  Returns a lazy generator of one byte-identical
-    trace per column.
+    trace per column.  ``arena_factory`` (see
+    :func:`_simulate_direction_cohort`) switches the flush to cohort-wide
+    2-D writes into a :class:`~repro.xcal.arena.CohortArena`.
     """
     params = params or SimParams()
     if metadatas is None:
@@ -1343,6 +1501,7 @@ def simulate_downlink_cohort(
     return _simulate_direction_cohort(
         cell, channels, SlotType.DL, rngs, params,
         max_layers=cell.max_layers, n_prb=cell.grantable_rb, metadatas=metadatas,
+        arena_factory=arena_factory,
     )
 
 
@@ -1353,6 +1512,7 @@ def simulate_uplink_cohort(
     params: SimParams | None = None,
     max_layers: int = 2,
     metadatas: Sequence[TraceMetadata] | None = None,
+    arena_factory=None,
 ) -> Iterator[SlotTrace]:
     """Cohort counterpart of :func:`~repro.ran.simulator.simulate_uplink`."""
     params = params or SimParams()
@@ -1368,5 +1528,5 @@ def simulate_uplink_cohort(
     return _simulate_direction_cohort(
         ul_cell, channels, SlotType.UL, rngs, params,
         max_layers=min(max_layers, cell.max_layers), n_prb=cell.grantable_rb,
-        metadatas=metadatas,
+        metadatas=metadatas, arena_factory=arena_factory,
     )

@@ -17,6 +17,14 @@ result shapes are supported, covering every session-manifest producer:
 then simply executes such tasks every time instead of caching them.
 Pickle is never used on either side, so a corrupted or adversarial
 blob can fail decoding but cannot execute code.
+
+Arena-backed traces (rows of a :class:`~repro.xcal.arena.CohortArena`,
+including shared-memory segments materialized by the shm transport)
+encode through the same path: ``npz_bytes`` copies each column via
+``ascontiguousarray``, so the payload is byte-identical to an
+owning-trace encoding and never aliases — or pins — the arena's
+backing buffer.  That copy is what lets the shm transport unlink a
+segment as soon as its misses are written back to the store.
 """
 
 from __future__ import annotations

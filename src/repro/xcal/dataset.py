@@ -32,15 +32,24 @@ from repro.core.runner import (SessionTask, derive_seed,
 from repro.ran.config import resolve_engine
 from repro.ran.simulator import simulate_downlink, simulate_uplink
 from repro.ran.tensor import simulate_downlink_cohort, simulate_uplink_cohort
-from repro.xcal.io import write_csv, write_jsonl, write_npz
+from repro.xcal.io import write_csv, write_jsonl, write_npz, write_parquet
 from repro.xcal.records import SlotTrace, TraceMetadata
 
-#: Trace writer and file suffix per export format.
+#: Trace writer and file suffix per export format.  Parquet needs the
+#: optional pyarrow package — listing it here keeps format discovery
+#: uniform; the writer raises an actionable RuntimeError if pyarrow is
+#: missing.
 EXPORT_FORMATS = {
     "csv": (write_csv, ".csv"),
     "jsonl": (write_jsonl, ".jsonl"),
     "npz": (write_npz, ".npz"),
+    "parquet": (write_parquet, ".parquet"),
 }
+
+#: Formats whose exports are laid out as hive-style partitions
+#: (``operator=<key>/...``) instead of flat files — the layout query
+#: engines (DuckDB, Spark, pandas) prune on.
+_PARTITIONED_FORMATS = frozenset({"parquet"})
 
 _UNSAFE_FILENAME = re.compile(r"[^A-Za-z0-9._-]+")
 
@@ -133,7 +142,11 @@ class MeasurementCampaign:
         """Write every trace under ``directory``; returns paths.
 
         ``format`` is one of :data:`EXPORT_FORMATS` (``csv``, ``jsonl``,
-        ``npz``).  Operator keys are sanitized for filenames.
+        ``npz``, ``parquet``).  Operator keys are sanitized for
+        filenames.  Flat formats write ``<operator>_<kind>_<i>`` files
+        directly under ``directory``; parquet exports are partitioned
+        hive-style (``operator=<key>/<kind>_<i>.parquet``) so dataset
+        readers can prune whole operators without opening a file.
         """
         try:
             writer, suffix = EXPORT_FORMATS[format]
@@ -143,12 +156,19 @@ class MeasurementCampaign:
             ) from None
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
+        partitioned = format in _PARTITIONED_FORMATS
         paths: list[Path] = []
         for kind, collection in (("dl", self.dl_traces), ("ul", self.ul_traces)):
             for key, traces in collection.items():
                 safe = _filename_key(key)
                 for i, trace in enumerate(traces):
-                    paths.append(writer(trace, directory / f"{safe}_{kind}_{i:03d}{suffix}"))
+                    if partitioned:
+                        part = directory / f"operator={safe}"
+                        part.mkdir(exist_ok=True)
+                        target = part / f"{kind}_{i:03d}{suffix}"
+                    else:
+                        target = directory / f"{safe}_{kind}_{i:03d}{suffix}"
+                    paths.append(writer(trace, target))
         return paths
 
     def export_csv(self, directory: str | Path) -> list[Path]:
@@ -268,7 +288,7 @@ def run_session(profile, spec: CampaignSpec, direction: str, seed: int) -> SlotT
 
 
 def run_session_cohort(profile, spec: CampaignSpec, direction: str,
-                       seeds: list[int]):
+                       seeds: list[int], arena_factory=None):
     """Batched counterpart of :func:`run_session` for same-shape cohorts.
 
     Yields one trace per seed, in order, each byte-identical to
@@ -284,6 +304,11 @@ def run_session_cohort(profile, spec: CampaignSpec, direction: str,
     Registered as the cohort runner for :func:`run_session`, so
     :func:`repro.core.runner.run_tasks` routes maximal same-shape
     manifest runs through here automatically.
+
+    ``arena_factory`` (``(n_cols, n_slots, mu) -> CohortArena | None``)
+    is forwarded to the tensor engine so materializing consumers — the
+    runner's plain, routed and shared-memory transports — get the
+    cohort-wide arena flush; the per-session fallback path ignores it.
     """
     if direction not in ("DL", "UL"):
         raise ValueError(f"direction must be 'DL' or 'UL', got {direction!r}")
@@ -310,12 +335,14 @@ def run_session_cohort(profile, spec: CampaignSpec, direction: str,
     if direction == "UL":
         return simulate_uplink_cohort(cell, channels, rngs, params=params,
                                       max_layers=profile.ul_max_layers,
-                                      metadatas=metadatas)
+                                      metadatas=metadatas,
+                                      arena_factory=arena_factory)
     return simulate_downlink_cohort(cell, channels, rngs, params=params,
-                                    metadatas=metadatas)
+                                    metadatas=metadatas,
+                                    arena_factory=arena_factory)
 
 
-register_cohort_runner(run_session, run_session_cohort)
+register_cohort_runner(run_session, run_session_cohort, accepts_arena=True)
 
 
 def campaign_manifest(profiles: dict, spec: CampaignSpec) -> list[SessionTask]:

@@ -63,7 +63,8 @@ class TestRegressionGate:
 
 
 def _campaign_report(jobs1_cold=50.0, jobs1_warm=400.0, pipe=90.0,
-                     routed_cold=150.0, routed_warm=420.0) -> dict:
+                     routed_cold=150.0, routed_warm=420.0,
+                     shm_cold=65.0, cpu_count=4) -> dict:
     def cell(rate):
         return {"sessions_per_s": rate, "wall_s": round(12.0 / rate, 3)}
 
@@ -72,7 +73,8 @@ def _campaign_report(jobs1_cold=50.0, jobs1_warm=400.0, pipe=90.0,
         "schema": bench.BENCH_SCHEMA_VERSION,
         "quick": True,
         "config": {"profiles": ["V_Sp", "O_Sp_100", "T_Ge", "V_Ge"],
-                   "n_sessions": 12, "jobs": 2, "seed": 2024},
+                   "n_sessions": 12, "jobs": 2, "seed": 2024,
+                   "cpu_count": cpu_count},
         "pool": {"workers": 2, "pools_created": 1, "dispatches": 2,
                  "tasks_executed": 12, "tasks_routed": 12,
                  "tasks_recomputed": 0},
@@ -82,10 +84,13 @@ def _campaign_report(jobs1_cold=50.0, jobs1_warm=400.0, pipe=90.0,
             "pipe_cold": cell(pipe),
             "store_routed_cold": cell(routed_cold),
             "store_routed_warm": cell(routed_warm),
+            "shm_cold": {**cell(shm_cold), "jobs": 2},
         },
         "speedup": {
             "routed_cold_vs_pipe_cold": round(routed_cold / pipe, 2),
             "warm_vs_pre_pr_pipe": round(routed_warm / pipe, 2),
+            "shm_cold_vs_jobs1_cold": round(shm_cold / jobs1_cold, 2),
+            "shm_cold_vs_pipe_cold": round(shm_cold / pipe, 2),
         },
     }
 
@@ -138,6 +143,47 @@ class TestCampaignRegressionGate:
         report["quick"] = False
         assert bench.campaign_regression_failures(report, report) == []
 
+    def test_shm_below_parallel_efficiency_floor_fails(self):
+        # Full-mode, multi-core: shm with 2 workers must reach 1.2x serial.
+        report = _campaign_report(shm_cold=55.0)  # 1.10x vs jobs1_cold
+        report["quick"] = False
+        failures = bench.campaign_regression_failures(report, report)
+        assert len(failures) == 1
+        assert failures[0].startswith("shm_cold_vs_jobs1_cold:")
+
+    def test_shm_floor_relaxed_in_quick_mode(self):
+        # Quick workloads are spawn-dominated; 1.10x clears the 0.85 floor.
+        report = _campaign_report(shm_cold=55.0)
+        assert bench.campaign_regression_failures(report, report) == []
+
+    def test_shm_floor_relaxed_on_single_core(self):
+        # Two workers timesharing one core cannot beat serial wall-clock;
+        # the gate degrades to break-even there.
+        report = _campaign_report(shm_cold=55.0, cpu_count=1)
+        report["quick"] = False
+        assert bench.campaign_regression_failures(report, report) == []
+
+    def test_shm_losing_to_serial_fails_everywhere(self):
+        # The pre-arena serialization tax (0.58x) must fail on any host.
+        report = _campaign_report(shm_cold=29.0, cpu_count=1)
+        report["quick"] = False
+        failures = bench.campaign_regression_failures(report, report)
+        assert any(f.startswith("shm_cold_vs_jobs1_cold:") for f in failures)
+
+    def test_shm_unavailable_platform_skips_gate(self):
+        report = _campaign_report()
+        del report["workloads"]["shm_cold"]
+        del report["speedup"]["shm_cold_vs_jobs1_cold"]
+        del report["speedup"]["shm_cold_vs_pipe_cold"]
+        report["shm_unavailable"] = True
+        assert bench.campaign_regression_failures(report, report) == []
+
+    def test_missing_shm_workload_fails_when_available(self):
+        report = _campaign_report()
+        del report["speedup"]["shm_cold_vs_jobs1_cold"]
+        failures = bench.campaign_regression_failures(report, report)
+        assert any("shm workload did not run" in f for f in failures)
+
     def test_quick_reports_get_pipe_floor_slack(self):
         # Pool spawn dominates a quick run's sub-second wall, so the
         # same 0.78x ratio passes in quick mode but not full mode.
@@ -158,7 +204,7 @@ class TestCampaignRegressionGate:
         # still beats its own cold run by 2x+.
         current = _campaign_report(jobs1_cold=100.0, jobs1_warm=800.0,
                                    pipe=180.0, routed_cold=250.0,
-                                   routed_warm=520.0)
+                                   routed_warm=520.0, shm_cold=130.0)
         assert bench.campaign_regression_failures(current, base) == []
 
     def test_routed_warm_below_intra_report_floor_fails(self):
@@ -331,7 +377,7 @@ def _tensor_report(session_cold=150.0, session_warm=155.0,
             "tensor_warm": cell(tensor_warm),
         },
         "cohort": {"cohorts": cohorts, "columns": cohorts * 32,
-                   "columns_fallback": cohorts * 32,
+                   "columns_touched_fallback": cohorts * 32,
                    "cells": 51200,
                    "dirty_periods": 28000,
                    "batched_periods": 27500,
@@ -422,7 +468,7 @@ class TestTensorRender:
         text = bench.render_tensor(_tensor_report())
         assert "tensor_cold" in text and "session_cold" in text
         assert "3.50x" in text  # 525 / 150 cold speedup
-        assert "fallback_columns=256" in text
+        assert "columns_touched_fallback=256" in text
 
     def test_render_shows_dirty_split_and_phases(self):
         text = bench.render_tensor(_tensor_report())

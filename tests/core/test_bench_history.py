@@ -1,0 +1,86 @@
+"""``repro bench --history``: folding BENCH_*.json into one trajectory."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import bench
+
+
+def _write(path, payload):
+    path.write_text(json.dumps(payload))
+
+
+def _campaign_report():
+    return {
+        "bench": "campaign", "schema": 1, "quick": False,
+        "workloads": {
+            "jobs1_cold": {"sessions_per_s": 40.0, "wall_s": 0.6},
+            "shm_cold": {"sessions_per_s": 50.0, "wall_s": 0.48, "jobs": 2},
+        },
+        "speedup": {"shm_cold_vs_jobs1_cold": 1.25},
+    }
+
+
+def _tensor_report():
+    return {
+        "bench": "tensor", "schema": 1, "quick": True,
+        "workloads": {"tensor_cold": {"sessions_per_s": 260.0, "wall_s": 0.5}},
+        "speedup": {"tensor_cold_vs_session_cold": 3.1},
+        "phases": {"total_s": 2.0, "flush_s": 0.3},
+    }
+
+
+class TestHistoryReport:
+    def test_folds_all_reports(self, tmp_path):
+        _write(tmp_path / "BENCH_campaign.json", _campaign_report())
+        _write(tmp_path / "BENCH_tensor.json", _tensor_report())
+        report = bench.history_report(tmp_path)
+        assert report["bench"] == "history"
+        kinds = {e["kind"]: e for e in report["reports"]}
+        assert set(kinds) == {"campaign", "tensor"}
+        assert kinds["campaign"]["throughput"]["shm_cold"] == 50.0
+        assert kinds["campaign"]["speedup"]["shm_cold_vs_jobs1_cold"] == 1.25
+        assert kinds["tensor"]["flush_share"] == 0.15
+        assert report["skipped"] == []
+
+    def test_corrupt_file_is_skipped_not_fatal(self, tmp_path):
+        _write(tmp_path / "BENCH_campaign.json", _campaign_report())
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        _write(tmp_path / "BENCH_other.json", {"no": "bench key"})
+        report = bench.history_report(tmp_path)
+        assert [e["kind"] for e in report["reports"]] == ["campaign"]
+        assert len(report["skipped"]) == 2
+
+    def test_empty_directory(self, tmp_path):
+        report = bench.history_report(tmp_path)
+        assert report["reports"] == [] and report["skipped"] == []
+
+    def test_committed_reports_fold(self):
+        # The repo's own BENCH artifacts must always be foldable.
+        report = bench.history_report(".")
+        assert len(report["reports"]) >= 5
+        assert report["skipped"] == []
+
+
+class TestRenderHistory:
+    def test_renders_table(self, tmp_path):
+        _write(tmp_path / "BENCH_campaign.json", _campaign_report())
+        _write(tmp_path / "BENCH_tensor.json", _tensor_report())
+        text = bench.render_history(bench.history_report(tmp_path))
+        assert "BENCH_campaign.json [campaign, full]" in text
+        assert "BENCH_tensor.json [tensor, quick]" in text
+        assert "shm_cold_vs_jobs1_cold" in text
+        assert "flush share of tensor wall" in text
+        assert "15.0%" in text
+
+    def test_renders_empty(self, tmp_path):
+        text = bench.render_history(bench.history_report(tmp_path))
+        assert "no BENCH_*.json reports found" in text
+
+    def test_cli_flag(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["bench", "--history"]) == 0
+        out = capsys.readouterr().out
+        assert "benchmark trajectory" in out

@@ -1,0 +1,140 @@
+"""Shared-memory transport: correctness, fallback and segment lifecycle.
+
+The shm transport moves parallel results as POSIX shared-memory arenas
+instead of pickles; the contracts under test are that it is invisible
+to callers (byte-identical results, plain values pass through), that it
+degrades to the pipe when shm is unavailable, and — the part that can
+silently rot a host — that ``/dev/shm`` holds no ``repro-*`` segments
+after any outcome: success, explicit release, or a worker crash.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import runner as runner_mod
+from repro.core.runner import (SessionTask, release_shm_segments, run_tasks,
+                               shm_transport_available)
+from repro.xcal.io import npz_bytes, trace_to_arrays
+from repro.xcal.records import SlotTrace
+
+needs_shm = pytest.mark.skipif(not shm_transport_available(),
+                               reason="POSIX shared memory unavailable")
+
+
+def _make_trace(n_slots: int = 64, seed: int = 0) -> SlotTrace:
+    rng = np.random.default_rng(seed)
+    trace = SlotTrace.empty(n_slots)
+    trace.sinr_db[:] = rng.normal(15.0, 3.0, n_slots)
+    trace.tbs_bits[:] = rng.integers(0, 200_000, n_slots)
+    trace.delivered_bits[:] = trace.tbs_bits
+    trace.scheduled[:] = rng.random(n_slots) < 0.7
+    return trace
+
+
+def _trace_task(n_slots: int = 64, seed: int = 0) -> SlotTrace:
+    return _make_trace(n_slots, seed)
+
+
+def _int_task(x: int = 0, seed: int = 0) -> int:
+    return x + seed
+
+
+def _crash_task(seed: int = 0) -> None:
+    os._exit(3)  # hard kill: no finally blocks, no atexit — a real crash
+
+
+def _trace_manifest(n: int = 6, n_slots: int = 64) -> list[SessionTask]:
+    return [SessionTask(fn=_trace_task, kwargs={"n_slots": n_slots}, seed=s)
+            for s in range(n)]
+
+
+def _bytes_of(trace: SlotTrace) -> bytes:
+    return npz_bytes(trace_to_arrays(trace), {"mu": int(trace.mu)})
+
+
+def _own_segments() -> list[str]:
+    """Leaked ``/dev/shm`` segments created by this process tree."""
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        return []
+    prefix = f"repro-{os.getpid()}-"
+    return [name for name in os.listdir(shm_dir) if name.startswith(prefix)]
+
+
+class TestShmByteIdentity:
+    @needs_shm
+    def test_matches_serial_and_pipe(self):
+        manifest = _trace_manifest()
+        serial = run_tasks(manifest, jobs=1)
+        pipe = run_tasks(manifest, jobs=2, transport="pipe")
+        shm = run_tasks(manifest, jobs=2, transport="shm")
+        for a, b, c in zip(serial, pipe, shm):
+            assert _bytes_of(a) == _bytes_of(b) == _bytes_of(c)
+
+    @needs_shm
+    def test_plain_values_pass_through(self):
+        manifest = [SessionTask(fn=_int_task, kwargs={"x": 10 * i}, seed=i)
+                    for i in range(5)]
+        assert run_tasks(manifest, jobs=2, transport="shm") == \
+            [10 * i + i for i in range(5)]
+
+    @needs_shm
+    def test_mixed_traces_and_plain(self):
+        manifest = [SessionTask(fn=_trace_task, kwargs={}, seed=1),
+                    SessionTask(fn=_int_task, kwargs={"x": 7}, seed=2),
+                    SessionTask(fn=_trace_task, kwargs={}, seed=3)]
+        serial = run_tasks(manifest, jobs=1)
+        shm = run_tasks(manifest, jobs=2, transport="shm")
+        assert _bytes_of(shm[0]) == _bytes_of(serial[0])
+        assert shm[1] == serial[1] == 9
+        assert _bytes_of(shm[2]) == _bytes_of(serial[2])
+
+
+class TestShmFallback:
+    def test_unavailable_without_module(self, monkeypatch):
+        monkeypatch.setattr(runner_mod, "_shm", None)
+        assert shm_transport_available() is False
+
+    def test_run_tasks_falls_back_to_pipe(self, monkeypatch):
+        monkeypatch.setattr(runner_mod, "_shm", None)
+        manifest = _trace_manifest(n=4)
+        serial = run_tasks(manifest, jobs=1)
+        shm_requested = run_tasks(manifest, jobs=2, transport="shm")
+        for a, b in zip(serial, shm_requested):
+            assert _bytes_of(a) == _bytes_of(b)
+
+
+class TestSegmentLifecycle:
+    @needs_shm
+    def test_no_leak_after_successful_run(self):
+        results = run_tasks(_trace_manifest(), jobs=2, transport="shm")
+        # Segments are unlinked as soon as the parent attaches: nothing
+        # may remain visible in /dev/shm even while results are alive.
+        assert _own_segments() == []
+        del results
+        release_shm_segments()
+        assert _own_segments() == []
+
+    @needs_shm
+    def test_release_is_idempotent(self):
+        run_tasks(_trace_manifest(n=3), jobs=2, transport="shm")
+        release_shm_segments()
+        assert release_shm_segments() == 0
+        assert release_shm_segments() == 0
+
+    @needs_shm
+    def test_worker_crash_leaks_no_segments(self):
+        # Trace tasks force arena segments into existence in the chunks
+        # that complete; the crashing task then kills its worker
+        # mid-run.  The dispatcher must sweep every chunk prefix —
+        # completed, in-flight and never-started — on the way out.
+        manifest = _trace_manifest(n=8)
+        manifest.append(SessionTask(fn=_crash_task, kwargs={}, seed=99))
+        with pytest.raises(BaseException):
+            run_tasks(manifest, jobs=2, transport="shm")
+        release_shm_segments()
+        assert _own_segments() == []

@@ -163,7 +163,7 @@ def test_divergent_retx_fallback_mixed_columns():
     assert stats["cohorts"] == 1
     assert stats["columns"] == len(seeds)
     # The adversarial mix: some columns diverged, some never did.
-    assert 0 < stats["columns_fallback"] < len(seeds)
+    assert 0 < stats["columns_touched_fallback"] < len(seeds)
     assert stats["dirty_periods"] > 0
 
     # The fallback columns really retransmitted; the clean ones did not.

@@ -92,7 +92,7 @@ class TestExportFormats:
 
     def test_unknown_format_rejected(self, small_campaign, tmp_path):
         with pytest.raises(ValueError, match="unknown export format"):
-            small_campaign.export(tmp_path, format="parquet")
+            small_campaign.export(tmp_path, format="xlsx")
 
     def test_operator_keys_sanitized_in_filenames(self, tmp_path):
         from repro.xcal.dataset import _filename_key

@@ -1,0 +1,116 @@
+"""Parquet export: optional-dependency gating, layout and round-trip.
+
+pyarrow is an *optional* integration — the simulator itself never needs
+it — so the tests split in two: the gating tests always run (a missing
+wheel must produce one actionable error, not a traceback from deep
+inside an export loop), while the round-trip and partition-layout tests
+skip cleanly on hosts without pyarrow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.xcal import io as io_mod
+from repro.xcal.dataset import (EXPORT_FORMATS, CampaignSpec,
+                                MeasurementCampaign)
+from repro.xcal.io import read_parquet, write_parquet
+from repro.xcal.records import TRACE_COLUMNS, SlotTrace, TraceMetadata
+
+try:
+    import pyarrow  # noqa: F401
+    HAVE_PYARROW = True
+except ImportError:
+    HAVE_PYARROW = False
+
+needs_pyarrow = pytest.mark.skipif(not HAVE_PYARROW,
+                                   reason="pyarrow not installed")
+
+
+def _trace(n: int = 32, seed: int = 0,
+           operator: str = "V_Sp") -> SlotTrace:
+    rng = np.random.default_rng(seed)
+    trace = SlotTrace.empty(
+        n, metadata=TraceMetadata(operator=operator, country="ES"))
+    trace.sinr_db[:] = rng.normal(10.0, 5.0, n)
+    trace.mcs_index[:] = rng.integers(0, 28, n)
+    trace.tbs_bits[:] = rng.integers(0, 100_000, n)
+    trace.scheduled[:] = rng.random(n) < 0.5
+    return trace
+
+
+def _campaign() -> MeasurementCampaign:
+    spec = CampaignSpec(minutes_per_operator=0.1, session_s=3.0)
+    return MeasurementCampaign(
+        spec=spec,
+        dl_traces={"V_Sp": [_trace(seed=1), _trace(seed=2)],
+                   "O_Fr": [_trace(seed=3, operator="O_Fr")]},
+        ul_traces={"V_Sp": [_trace(seed=4)]},
+    )
+
+
+class TestOptionalDependencyGate:
+    def test_parquet_is_a_registered_format(self):
+        assert "parquet" in EXPORT_FORMATS
+        assert EXPORT_FORMATS["parquet"][1] == ".parquet"
+
+    def test_missing_pyarrow_raises_actionable_error(self, monkeypatch,
+                                                     tmp_path):
+        import builtins
+
+        real_import = builtins.__import__
+
+        def no_pyarrow(name, *args, **kwargs):
+            if name == "pyarrow" or name.startswith("pyarrow."):
+                raise ImportError(f"No module named {name!r}")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", no_pyarrow)
+        with pytest.raises(RuntimeError, match="pyarrow"):
+            write_parquet(_trace(), tmp_path / "t.parquet")
+
+    def test_export_propagates_clean_error(self, monkeypatch, tmp_path):
+        if HAVE_PYARROW:
+            pytest.skip("pyarrow installed; gate exercised above")
+        with pytest.raises(RuntimeError, match="pip install pyarrow"):
+            _campaign().export(tmp_path, format="parquet")
+
+
+class TestPartitionLayout:
+    @needs_pyarrow
+    def test_hive_style_operator_partitions(self, tmp_path):
+        paths = _campaign().export(tmp_path, format="parquet")
+        rels = sorted(p.relative_to(tmp_path).as_posix() for p in paths)
+        assert rels == [
+            "operator=O_Fr/dl_000.parquet",
+            "operator=V_Sp/dl_000.parquet",
+            "operator=V_Sp/dl_001.parquet",
+            "operator=V_Sp/ul_000.parquet",
+        ]
+
+    def test_flat_formats_stay_flat(self, tmp_path):
+        paths = _campaign().export(tmp_path / "csv", format="csv")
+        assert all(p.parent == tmp_path / "csv" for p in paths)
+
+
+class TestRoundTrip:
+    @needs_pyarrow
+    def test_trace_round_trips(self, tmp_path):
+        original = _trace(seed=11)
+        path = write_parquet(original, tmp_path / "t.parquet")
+        loaded = read_parquet(path)
+        assert loaded.mu == original.mu
+        assert loaded.metadata == original.metadata
+        for name in TRACE_COLUMNS:
+            np.testing.assert_array_equal(loaded.column(name),
+                                          original.column(name), err_msg=name)
+
+    @needs_pyarrow
+    def test_metadata_travels_in_schema(self, tmp_path):
+        import pyarrow.parquet as pq
+
+        path = write_parquet(_trace(operator="T_Ge"), tmp_path / "t.parquet")
+        meta = pq.read_schema(path).metadata
+        assert io_mod._PARQUET_META_KEY in meta
+        assert b"T_Ge" in meta[io_mod._PARQUET_META_KEY]
